@@ -1,0 +1,357 @@
+// Figure 12 + Tables 2 and 3: the Pando field-test replication on ISP-B.
+//
+// Paper setup: two parallel swarms share a popular 20 MB video clip across
+// ISP-B (52 PoPs, residential FTTP/cable/DSL access) and the rest of the
+// Internet; the P4P swarm uses the appTracker Optimization Service
+// (upload/download bandwidth matching, eq. 5) for clients inside ISP-B.
+//
+// We model "the rest of the Internet" as an external AS cluster joined to
+// ISP-B through capacity-limited peering links, and run Native and P4P
+// over the same client population (the field test achieves the same pairing
+// by random swarm assignment — see Figure 11).
+//
+// Reported:
+//   Table 2  — overall traffic split (ext<->ext, ext->B, B->ext, B<->B)
+//   Table 3  — ISP-B internal traffic: same-metro vs cross-metro
+//   Fig 12a  — unit BDP of ISP-B internal transfers (paper: 5.5 -> 0.89,
+//              mean PID-pair backbone distance 6.2)
+//   Fig 12b  — completion-time CDF, all ISP-B clients (paper: 9460 -> 7312 s)
+//   Fig 12c  — completion-time CDF, FTTP clients (paper: 4164 -> 2481 s)
+#include "common.h"
+
+#include <random>
+
+#include "core/matching.h"
+
+namespace {
+
+using namespace p4p;
+
+struct FieldGraph {
+  net::Graph graph;
+  int num_ispb_pops = 0;                 // nodes [0, n) are ISP-B
+  std::vector<net::NodeId> external;     // external AS nodes
+  std::vector<net::LinkId> peering;      // interdomain link ids
+};
+
+FieldGraph BuildFieldGraph() {
+  FieldGraph fg;
+  fg.graph = net::MakeIspB();
+  fg.num_ispb_pops = static_cast<int>(fg.graph.node_count());
+
+  // External AS: three well-provisioned PoPs.
+  const auto ext_metro_base = 1000;
+  for (int k = 0; k < 3; ++k) {
+    fg.external.push_back(fg.graph.add_node("EXT-" + std::to_string(k),
+                                            net::NodeType::kPop,
+                                            ext_metro_base + k, 40.0, -60.0 - k));
+  }
+  for (std::size_t a = 0; a < fg.external.size(); ++a) {
+    for (std::size_t b = a + 1; b < fg.external.size(); ++b) {
+      fg.graph.add_duplex_link(fg.external[a], fg.external[b], 100e9, 10.0, 100.0,
+                               net::LinkType::kBackbone);
+    }
+  }
+  // Capacity-limited peering: each external PoP connects to two ISP-B hubs.
+  const std::vector<net::NodeId> hubs = {0, 1, 2};
+  for (std::size_t k = 0; k < fg.external.size(); ++k) {
+    for (int h = 0; h < 2; ++h) {
+      const net::NodeId hub = hubs[(k + static_cast<std::size_t>(h)) % hubs.size()];
+      // Transit is long (the "rest of the Internet" is not next door) and
+      // runs with steady-state congestion loss — per-stream TCP throughput
+      // over it is far below what intradomain paths achieve.
+      const net::LinkId l = fg.graph.add_duplex_link(
+          fg.external[k], hub, /*capacity=*/1e9, /*weight=*/500.0,
+          /*distance=*/3000.0, net::LinkType::kInterdomain);
+      fg.graph.mutable_link(l).loss_rate = 0.05;
+      fg.graph.mutable_link(l + 1).loss_rate = 0.05;
+      fg.peering.push_back(l);
+      fg.peering.push_back(l + 1);
+    }
+  }
+  return fg;
+}
+
+struct Accounting {
+  double ext_ext = 0.0;
+  double ext_to_b = 0.0;
+  double b_to_ext = 0.0;
+  double b_b = 0.0;
+  double b_same_metro = 0.0;
+  double b_cross_metro = 0.0;
+  double unit_bdp = 0.0;
+};
+
+Accounting Account(const sim::BitTorrentResult& result, const FieldGraph& fg,
+                   const net::RoutingTable& routing) {
+  Accounting acc;
+  double byte_hops = 0.0;
+  for (std::size_t i = 0; i < result.pop_traffic.size(); ++i) {
+    for (std::size_t j = 0; j < result.pop_traffic.size(); ++j) {
+      const double bytes = result.pop_traffic[i][j];
+      if (bytes <= 0.0) continue;
+      const bool i_b = static_cast<int>(i) < fg.num_ispb_pops;
+      const bool j_b = static_cast<int>(j) < fg.num_ispb_pops;
+      if (!i_b && !j_b) {
+        acc.ext_ext += bytes;
+      } else if (!i_b) {
+        acc.ext_to_b += bytes;
+      } else if (!j_b) {
+        acc.b_to_ext += bytes;
+      } else {
+        acc.b_b += bytes;
+        const auto mi = fg.graph.node(static_cast<net::NodeId>(i)).metro;
+        const auto mj = fg.graph.node(static_cast<net::NodeId>(j)).metro;
+        if (mi == mj) {
+          acc.b_same_metro += bytes;
+        } else {
+          acc.b_cross_metro += bytes;
+        }
+        if (i != j) {
+          byte_hops += bytes * routing.hop_count(static_cast<net::NodeId>(i),
+                                                 static_cast<net::NodeId>(j));
+        }
+      }
+    }
+  }
+  acc.unit_bdp = acc.b_b > 0 ? byte_hops / acc.b_b : 0.0;
+  return acc;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Figure 12 + Tables 2/3: Pando field test on ISP-B (20 MB clip)");
+
+  FieldGraph fg = BuildFieldGraph();
+  const net::RoutingTable routing(fg.graph);
+
+  // ---- population ----
+  std::mt19937_64 rng(12);
+  const double horizon = 2.0 * 3600;
+
+  sim::FieldTestConfig bcfg;
+  bcfg.num_peers = bench::Scaled(450);
+  // Uniform placement across PoPs: ISP-B's subscribers are spread over its
+  // whole footprint, so random internal pairs rarely share a metro.
+  for (net::NodeId n = 0; n < fg.num_ispb_pops; ++n) bcfg.pops.push_back(n);
+  bcfg.as_number = 1;
+  // A flash crowd: both populations pile in within five minutes (the
+  // release of a popular clip), so the swarm genuinely contends for upload
+  // and peering capacity — the regime of the real deployment.
+  bcfg.horizon = 300.0;
+  bcfg.fttp_fraction = 0.3;
+  bcfg.cable_fraction = 0.4;
+  // Clients leave shortly after finishing rather than seeding forever, so
+  // upload capacity stays scarce (the regime of the real deployment).
+  bcfg.mean_dwell = 240.0;
+  auto peers = MakeFieldTestPopulation(bcfg, rng);
+
+  sim::FieldTestConfig ecfg = bcfg;
+  ecfg.num_peers = bench::Scaled(800);
+  ecfg.pops.assign(fg.external.begin(), fg.external.end());
+  ecfg.pop_weights.clear();
+  ecfg.as_number = 2;
+  auto external_peers = MakeFieldTestPopulation(ecfg, rng);
+  peers.insert(peers.end(), external_peers.begin(), external_peers.end());
+
+  // Content origin: one well-provisioned external seed.
+  sim::PeerSpec origin;
+  origin.node = fg.external[0];
+  origin.as_number = 2;
+  origin.up_bps = 20e6;
+  origin.down_bps = 20e6;
+  origin.seed = true;
+  peers.push_back(origin);
+
+  // ---- simulators ----
+  sim::BitTorrentConfig bt;
+  bt.file_bytes = 20.0 * 1024 * 1024;
+  bt.block_bytes = 256.0 * 1024;
+  bt.dt = 4.0;
+  bt.horizon = horizon;
+  bt.rng_seed = 1212;
+  bt.max_neighbors = 16;
+  // Era-typical TCP stacks: 64 KiB receive windows make long (external)
+  // paths substantially slower than nearby intradomain ones.
+  bt.tcp_window_bytes = 64.0 * 1024;
+
+  // Peering links already carry substantial background transit traffic.
+  const auto background = [&fg](net::LinkId e, double) {
+    return fg.graph.link(e).type == net::LinkType::kInterdomain
+               ? 0.5 * fg.graph.link(e).capacity_bps
+               : 0.15 * fg.graph.link(e).capacity_bps;
+  };
+
+  auto run = [&](bool p4p_mode) {
+    sim::BitTorrentConfig cfg = bt;
+    if (p4p_mode) cfg.selector_refresh_interval = 300.0;
+    sim::BitTorrentSimulator simulator(fg.graph, routing, cfg);
+    simulator.set_background(background);
+
+    core::ITracker tracker(fg.graph, routing);
+    for (net::LinkId e : fg.peering) {
+      tracker.DeclareInterdomainLink(e, 0.1 * fg.graph.link(e).capacity_bps);
+    }
+    core::NativeRandomSelector native;
+    // At this scaled-down swarm size each PoP holds only ~8 clients, so a
+    // 70% intra-PID quota would build tiny cliques with no piece diversity;
+    // the real deployment had hundreds of clients per PID. Shift the quota
+    // toward inter-PID selection, which the matching weights drive anyway.
+    core::P4PSelectorConfig p4p_cfg;
+    p4p_cfg.upper_bound_intra_pid = 0.4;
+    p4p_cfg.upper_bound_inter_pid = 0.9;
+    core::P4PSelector p4p(p4p_cfg);
+    if (p4p_mode) {
+      p4p.RegisterITracker(1, &tracker);
+      // The appTracker applies each client's AS view — external clients are
+      // steered too ("the appTracker uses the p-distances from AS-n's
+      // view"), which keeps them from draining ISP-B uploads through the
+      // peering links.
+      p4p.RegisterITracker(2, &tracker);
+      // The appTracker Optimization Service: aggregate ISP-B per-PID
+      // capacities, solve the matching LP against current p-distances,
+      // apply the robustness transform, hand the weights to the selector.
+      core::MatchingInput min;
+      min.upload_bps.assign(fg.graph.node_count(), 0.0);
+      min.download_bps.assign(fg.graph.node_count(), 0.0);
+      for (const auto& p : peers) {
+        if (p.as_number != 1) continue;
+        min.upload_bps[static_cast<std::size_t>(p.node)] += p.up_bps;
+        min.download_bps[static_cast<std::size_t>(p.node)] += p.down_bps;
+      }
+      const auto view = tracker.external_view();
+      min.distances = &view;
+      min.beta = 0.75;
+      auto matched = core::SolveMatching(min);
+      if (matched.status == lp::SolveStatus::kOptimal) {
+        core::ApplyConcaveTransform(matched.weights, 0.7);
+        p4p.SetMatchingWeights(1, matched.weights);
+      } else {
+        std::printf("(matching LP: %s — falling back to 1/p weights)\n",
+                    lp::ToString(matched.status));
+      }
+      simulator.set_on_epoch([&tracker](double, std::span<const double> rates) {
+        tracker.Update(rates);
+      });
+    }
+    sim::PeerSelector* sel = p4p_mode ? static_cast<sim::PeerSelector*>(&p4p)
+                                      : static_cast<sim::PeerSelector*>(&native);
+    return simulator.Run(peers, *sel);
+  };
+
+  std::printf("population: %zu ISP-B + %zu external clients\n",
+              peers.size() - external_peers.size() - 1, external_peers.size());
+  const auto native_result = run(false);
+  const auto p4p_result = run(true);
+  const auto native_acc = Account(native_result, fg, routing);
+  const auto p4p_acc = Account(p4p_result, fg, routing);
+
+  // ---- Table 2 ----
+  bench::PrintSubHeader("Table 2: overall traffic statistics (bytes)");
+  auto row2 = [](const char* label, double nat, double p4p) {
+    std::printf("%-22s %18.0f %18.0f %8.2f\n", label, nat, p4p,
+                p4p > 0 ? nat / p4p : 0.0);
+  };
+  std::printf("%-22s %18s %18s %8s\n", "flow", "Native", "P4P", "N:P");
+  row2("External <-> External", native_acc.ext_ext, p4p_acc.ext_ext);
+  row2("External -> ISP-B", native_acc.ext_to_b, p4p_acc.ext_to_b);
+  row2("ISP-B -> External", native_acc.b_to_ext, p4p_acc.b_to_ext);
+  row2("ISP-B <-> ISP-B", native_acc.b_b, p4p_acc.b_b);
+  const double native_total = native_acc.ext_ext + native_acc.ext_to_b +
+                              native_acc.b_to_ext + native_acc.b_b;
+  const double p4p_total =
+      p4p_acc.ext_ext + p4p_acc.ext_to_b + p4p_acc.b_to_ext + p4p_acc.b_b;
+  row2("Total", native_total, p4p_total);
+
+  // ---- Table 3 ----
+  bench::PrintSubHeader("Table 3: ISP-B internal traffic statistics");
+  const double native_local_pct =
+      100.0 * native_acc.b_same_metro / std::max(1.0, native_acc.b_b);
+  const double p4p_local_pct =
+      100.0 * p4p_acc.b_same_metro / std::max(1.0, p4p_acc.b_b);
+  std::printf("%-10s %16s %16s %16s %12s\n", "", "total", "cross-metro",
+              "same-metro", "%local");
+  std::printf("%-10s %16.0f %16.0f %16.0f %11.2f%%\n", "Native", native_acc.b_b,
+              native_acc.b_cross_metro, native_acc.b_same_metro, native_local_pct);
+  std::printf("%-10s %16.0f %16.0f %16.0f %11.2f%%\n", "P4P", p4p_acc.b_b,
+              p4p_acc.b_cross_metro, p4p_acc.b_same_metro, p4p_local_pct);
+
+  // ---- Fig 12a ----
+  bench::PrintSubHeader("Fig 12(a): unit BDP of ISP-B internal transfers");
+  double pair_hops = 0.0;
+  int pairs = 0;
+  for (net::NodeId i = 0; i < fg.num_ispb_pops; ++i) {
+    for (net::NodeId j = 0; j < fg.num_ispb_pops; ++j) {
+      if (i == j) continue;
+      pair_hops += routing.hop_count(i, j);
+      ++pairs;
+    }
+  }
+  std::printf("  mean backbone distance between ISP-B PIDs: %.1f links\n",
+              pair_hops / pairs);
+  std::printf("  unit BDP: Native %.2f, P4P %.2f\n", native_acc.unit_bdp,
+              p4p_acc.unit_bdp);
+
+  // ---- Fig 12b / 12c ----
+  auto split = [&](const sim::BitTorrentResult& r) {
+    std::vector<double> all_b;
+    std::vector<double> fttp;
+    for (std::size_t i = 0; i < peers.size(); ++i) {
+      const double t = r.per_peer_completion[i];
+      if (t < 0 || peers[i].as_number != 1) continue;
+      all_b.push_back(t);
+      if (peers[i].access == sim::AccessClass::kFttp) fttp.push_back(t);
+    }
+    return std::make_pair(all_b, fttp);
+  };
+  const auto [native_b, native_fttp] = split(native_result);
+  const auto [p4p_b, p4p_fttp] = split(p4p_result);
+
+  bench::PrintSubHeader("Fig 12(b): completion time, all ISP-B clients (s)");
+  bench::PrintCdf("Native", native_b);
+  bench::PrintCdf("P4P", p4p_b);
+  const double nb_mean = native_b.empty() ? 0 : sim::Mean(native_b);
+  const double pb_mean = p4p_b.empty() ? 0 : sim::Mean(p4p_b);
+  std::printf("  mean: Native %.0f s, P4P %.0f s\n", nb_mean, pb_mean);
+
+  bench::PrintSubHeader("Fig 12(c): completion time, FTTP clients (s)");
+  bench::PrintCdf("Native FTTP", native_fttp);
+  bench::PrintCdf("P4P FTTP", p4p_fttp);
+  const double nf_mean = native_fttp.empty() ? 0 : sim::Mean(native_fttp);
+  const double pf_mean = p4p_fttp.empty() ? 0 : sim::Mean(p4p_fttp);
+  std::printf("  mean: Native %.0f s, P4P %.0f s\n", nf_mean, pf_mean);
+
+  bench::PrintComparisons({
+      {"Table 2 ext<->ext ratio (N:P)", "0.99 (unchanged)",
+       bench::Fmt("%.2f", native_acc.ext_ext / std::max(1.0, p4p_acc.ext_ext)),
+       std::abs(native_acc.ext_ext / std::max(1.0, p4p_acc.ext_ext) - 1.0) < 0.35},
+      {"Table 2 ext->B ratio (N:P)", "1.53 (P4P pulls less transit)",
+       bench::Fmt("%.2f", native_acc.ext_to_b / std::max(1.0, p4p_acc.ext_to_b)),
+       native_acc.ext_to_b > p4p_acc.ext_to_b},
+      {"Table 2 B->ext ratio (N:P)", "1.70",
+       bench::Fmt("%.2f", native_acc.b_to_ext / std::max(1.0, p4p_acc.b_to_ext)),
+       native_acc.b_to_ext > p4p_acc.b_to_ext},
+      {"Table 2 B<->B ratio (N:P)", "0.15 (P4P keeps traffic inside)",
+       bench::Fmt("%.2f", native_acc.b_b / std::max(1.0, p4p_acc.b_b)),
+       native_acc.b_b < 0.8 * p4p_acc.b_b},
+      {"Table 3 same-metro share", "6.27% -> 57.98%",
+       bench::Fmt("%.2f%% -> %.2f%%", native_local_pct, p4p_local_pct),
+       p4p_local_pct > 3.0 * native_local_pct},
+      {"Fig 12a unit BDP", "5.5 -> 0.89 (mean PID distance 6.2)",
+       bench::Fmt("%.2f -> %.2f (mean PID distance %.1f)", native_acc.unit_bdp,
+                  p4p_acc.unit_bdp, pair_hops / pairs),
+       // Our synthetic ISP-B is better-connected than the real one (mean
+       // PID distance 3.7 vs the paper's 6.2), so the achievable reduction
+       // is structurally smaller; require a substantial drop.
+       p4p_acc.unit_bdp < 0.7 * native_acc.unit_bdp},
+      {"Fig 12b mean completion (ISP-B)", "9460 -> 7312 s (23% better)",
+       bench::Fmt("%.0f -> %.0f s (%+.0f%%)", nb_mean, pb_mean,
+                  100.0 * (nb_mean - pb_mean) / std::max(1.0, nb_mean)),
+       pb_mean < nb_mean},
+      {"Fig 12c mean completion (FTTP)", "4164 -> 2481 s (Native 68% higher)",
+       bench::Fmt("%.0f -> %.0f s", nf_mean, pf_mean), pf_mean < nf_mean},
+  });
+  return 0;
+}

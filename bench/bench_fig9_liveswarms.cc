@@ -1,0 +1,77 @@
+// Figure 9: integrating P4P with Liveswarms (P2P video streaming).
+//
+// Paper setup: 53 PlanetLab clients stream a 90-minute video for 20
+// minutes. Paper shapes: P4P keeps application throughput at the same
+// level while cutting average backbone link traffic volume from ~50 MB
+// (Native) to ~20 MB (~60% reduction).
+#include "common.h"
+
+#include "sim/streaming.h"
+
+int main() {
+  using namespace p4p;
+  bench::PrintHeader("Figure 9: Liveswarms streaming, Native vs P4P (Abilene)");
+
+  const net::Graph graph = net::MakeAbilene();
+  const net::RoutingTable routing(graph);
+
+  // 53 viewers concentrated like the PlanetLab population, plus the source.
+  std::mt19937_64 rng(9);
+  sim::PopulationConfig pcfg;
+  pcfg.num_peers = bench::Scaled(53);
+  pcfg.pops = {net::kNewYork,   net::kWashingtonDC, net::kChicago, net::kAtlanta,
+               net::kIndianapolis, net::kKansasCity, net::kDenver, net::kSeattle,
+               net::kSunnyvale, net::kLosAngeles,   net::kHouston};
+  pcfg.pop_weights = {5, 5, 3, 2, 2, 1, 1, 1, 1, 1, 1};
+  pcfg.join_window = 0.0;
+  auto peers = MakePopulation(pcfg, rng);
+  sim::PeerSpec source;
+  source.node = net::kChicago;
+  source.up_bps = 20e6;
+  source.down_bps = 20e6;
+  source.seed = true;
+  peers.push_back(source);
+
+  sim::StreamingConfig scfg;
+  scfg.stream_rate_bps = 400e3;
+  scfg.duration = 20.0 * 60;  // the paper's 20-minute runs
+  scfg.rng_seed = 99;
+
+  sim::StreamingSimulator simulator(graph, routing, scfg);
+
+  core::NativeRandomSelector native;
+  const auto native_result = simulator.Run(peers, native);
+
+  core::ITracker tracker(graph, routing);
+  // Streaming neighborhoods are static, so selection leans fully on the
+  // p-distance weights (no concave flattening needed: the windowed block
+  // exchange provides diversity on its own).
+  core::P4PSelectorConfig scfg_sel;
+  scfg_sel.concave_gamma = 1.0;
+  core::P4PSelector p4p(scfg_sel);
+  p4p.RegisterITracker(1, &tracker);
+  const auto p4p_result = simulator.Run(peers, p4p);
+
+  bench::PrintSubHeader("Traffic volumes on backbone links (average, MB)");
+  const double native_mb = native_result.mean_backbone_volume_bytes(graph) / 1e6;
+  const double p4p_mb = p4p_result.mean_backbone_volume_bytes(graph) / 1e6;
+  std::printf("  %-8s %10.1f MB  (throughput %.0f kbps, continuity %.2f)\n",
+              "Native", native_mb, native_result.mean_throughput_bps() / 1e3,
+              native_result.mean_continuity());
+  std::printf("  %-8s %10.1f MB  (throughput %.0f kbps, continuity %.2f)\n", "P4P",
+              p4p_mb, p4p_result.mean_throughput_bps() / 1e3,
+              p4p_result.mean_continuity());
+
+  const double reduction = 100.0 * (native_mb - p4p_mb) / std::max(1e-9, native_mb);
+  const double tput_ratio = p4p_result.mean_throughput_bps() /
+                            std::max(1.0, native_result.mean_throughput_bps());
+  bench::PrintComparisons({
+      {"backbone volume reduction", "~60% (50 MB -> 20 MB)",
+       bench::Fmt("%.0f%% (%.1f MB -> %.1f MB)", reduction, native_mb, p4p_mb),
+       reduction > 30.0},
+      {"application throughput", "approximately unchanged",
+       bench::Fmt("P4P/Native = %.2f", tput_ratio),
+       tput_ratio > 0.85},
+  });
+  return 0;
+}

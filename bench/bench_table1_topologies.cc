@@ -1,0 +1,60 @@
+// Table 1: "Summary of networks evaluated."
+// Rebuilds each evaluation network and prints the same columns the paper
+// reports (region, aggregation level, #nodes, #links, usage).
+#include "common.h"
+
+#include "net/routing.h"
+
+namespace {
+
+struct Row {
+  const char* name;
+  const char* region;
+  const char* level;
+  p4p::net::Graph graph;
+  const char* usage;
+  int paper_nodes;
+  int paper_links;  // -1 where the paper leaves the cell blank
+};
+
+}  // namespace
+
+int main() {
+  using namespace p4p;
+  bench::PrintHeader("Table 1: Summary of networks evaluated");
+
+  std::vector<Row> rows;
+  rows.push_back({"Abilene", "US", "router-level", net::MakeAbilene(),
+                  "Internet experiments, simulation", 11, 28});
+  rows.push_back({"ISP-A", "US", "PoP-level", net::MakeIspA(), "simulation", 20, -1});
+  rows.push_back({"ISP-B", "US", "PoP-level", net::MakeIspB(), "Internet experiments",
+                  52, -1});
+  rows.push_back({"ISP-C", "International", "PoP-level", net::MakeIspC(),
+                  "Internet experiments", 37, -1});
+
+  std::printf("%-8s %-14s %-13s %7s %7s   %s\n", "Network", "Region",
+              "Aggregation", "#Nodes", "#Links", "Usage");
+  std::vector<bench::Comparison> cmp;
+  for (const auto& r : rows) {
+    std::printf("%-8s %-14s %-13s %7zu %7zu   %s\n", r.name, r.region, r.level,
+                r.graph.node_count(), r.graph.link_count(), r.usage);
+    // Structural sanity: every topology must be strongly connected.
+    const net::RoutingTable routing(r.graph);
+    bool connected = true;
+    for (net::NodeId s = 0; s < static_cast<net::NodeId>(r.graph.node_count()); ++s) {
+      for (net::NodeId t = 0; t < static_cast<net::NodeId>(r.graph.node_count()); ++t) {
+        connected = connected && routing.reachable(s, t);
+      }
+    }
+    const bool nodes_ok = static_cast<int>(r.graph.node_count()) == r.paper_nodes;
+    const bool links_ok =
+        r.paper_links < 0 || static_cast<int>(r.graph.link_count()) == r.paper_links;
+    cmp.push_back({std::string(r.name) + " node count",
+                   bench::Fmt("%d nodes", r.paper_nodes),
+                   bench::Fmt("%zu nodes (connected=%s)", r.graph.node_count(),
+                              connected ? "yes" : "NO"),
+                   nodes_ok && links_ok && connected});
+  }
+  bench::PrintComparisons(cmp);
+  return 0;
+}

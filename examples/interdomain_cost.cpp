@@ -1,0 +1,70 @@
+// Interdomain multihoming cost control, end to end:
+//
+//  1. Feed a month of synthetic diurnal 5-minute volumes into the paper's
+//     sliding-window percentile predictor.
+//  2. Derive the virtual capacity v_e available to P4P traffic on an
+//     interdomain link.
+//  3. Declare the link on the iTracker and watch the interdomain dual q_e
+//     rise while P4P traffic violates v_e — and the p-distance across the
+//     link rise with it.
+//
+// Build & run:  ./interdomain_cost
+#include <cmath>
+#include <cstdio>
+
+#include "core/charging.h"
+#include "core/itracker.h"
+#include "net/topology.h"
+
+int main() {
+  using namespace p4p;
+
+  // --- charging-volume prediction ---
+  core::ChargingPredictorConfig cfg;
+  cfg.intervals_per_period = 8640;  // a 30-day month of 5-minute samples
+  cfg.bootstrap_intervals = 288;    // one day
+  cfg.q = 95.0;
+  cfg.ma_window = 12;               // one hour
+  core::VirtualCapacityEstimator estimator(cfg);
+
+  // Synthetic diurnal background on the interdomain link: 2-9 Gbps.
+  const double interval_sec = 300.0;
+  for (int i = 0; i < 8640; ++i) {
+    const double t = i * interval_sec;
+    const double s = std::sin(3.14159 * t / 86400.0);
+    const double bps = 2e9 + 7e9 * s * s;
+    estimator.AddSample(bps * interval_sec / 8.0);  // bytes per interval
+  }
+  const double charging = estimator.PredictChargingVolume();
+  const double current = estimator.PredictTraffic();
+  const double v_bytes = estimator.VirtualCapacity();
+  const double v_bps = v_bytes * 8.0 / interval_sec;
+  std::printf("predicted charging volume : %10.1f MB/interval\n", charging / 1e6);
+  std::printf("predicted current traffic : %10.1f MB/interval\n", current / 1e6);
+  std::printf("virtual capacity v_e      : %10.1f MB/interval (%.2f Gbps)\n\n",
+              v_bytes / 1e6, v_bps / 1e9);
+
+  // --- the interdomain dual in action ---
+  const net::Graph graph = net::MakeAbilene();
+  const net::RoutingTable routing(graph);
+  core::ITracker tracker(graph, routing);
+  const net::LinkId link = graph.find_link(net::kChicago, net::kKansasCity);
+  tracker.DeclareInterdomainLink(link, v_bps);
+
+  std::printf("%6s %14s %16s %18s\n", "iter", "P4P traffic", "dual price q_e",
+              "pdist Chi->KC");
+  std::vector<double> traffic(graph.link_count(), 0.0);
+  for (int iter = 0; iter < 12; ++iter) {
+    // P4P traffic ramps up to 2x the virtual capacity, then backs off as
+    // the application reacts to the rising price.
+    const double load = iter < 8 ? v_bps * (0.5 + 0.25 * iter) : v_bps * 0.5;
+    traffic[static_cast<std::size_t>(link)] = load;
+    tracker.Update(traffic);
+    std::printf("%6d %11.2f Gb %16.3e %18.3e\n", iter, load / 1e9,
+                tracker.interdomain_price(link),
+                tracker.pdistance(net::kChicago, net::kKansasCity));
+  }
+  std::printf("\nThe dual rises while traffic exceeds v_e and decays once the "
+              "application backs off — equation (16) in closed loop.\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+#include "core/apptracker.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace p4p::core {
+
+AppTracker::AppTracker(std::unique_ptr<sim::PeerSelector> selector, PidMap pid_map,
+                       std::uint64_t rng_seed)
+    : selector_(std::move(selector)), pid_map_(std::move(pid_map)), rng_(rng_seed) {
+  if (!selector_) {
+    throw std::invalid_argument("AppTracker: null selector");
+  }
+}
+
+AnnounceResponse AppTracker::Announce(const AnnounceRequest& request) {
+  const auto mapping = pid_map_.lookup(request.client_ip);
+  if (!mapping) {
+    throw std::invalid_argument("AppTracker: client IP '" + request.client_ip +
+                                "' does not resolve to a PID");
+  }
+  auto& swarm = swarms_[request.content_id];
+
+  sim::PeerInfo info;
+  info.id = next_id_++;
+  info.node = mapping->pid;  // PoP-level aggregation: PID == node id
+  info.as_number = mapping->as_number;
+  info.up_bps = request.up_bps;
+  info.down_bps = request.down_bps;
+  info.seed = request.seed;
+
+  AnnounceResponse response;
+  response.assigned_id = info.id;
+  response.pid = mapping->pid;
+  response.as_number = mapping->as_number;
+  response.peers = selector_->SelectPeers(
+      info, std::span<const sim::PeerInfo>(swarm.peers), request.want, rng_);
+
+  swarm.peers.push_back(info);
+  return response;
+}
+
+void AppTracker::Depart(const std::string& content_id, sim::PeerId peer) {
+  const auto it = swarms_.find(content_id);
+  if (it == swarms_.end()) return;
+  auto& peers = it->second.peers;
+  peers.erase(std::remove_if(peers.begin(), peers.end(),
+                             [peer](const sim::PeerInfo& p) { return p.id == peer; }),
+              peers.end());
+  if (peers.empty()) swarms_.erase(it);
+}
+
+std::size_t AppTracker::swarm_size(const std::string& content_id) const {
+  const auto it = swarms_.find(content_id);
+  return it == swarms_.end() ? 0 : it->second.peers.size();
+}
+
+}  // namespace p4p::core

@@ -1,0 +1,68 @@
+// The appTracker: the application-side control-plane entity of P4P.
+//
+// Tracks swarm membership per content item, resolves client IPs to PIDs
+// through the provider's PidMap, and answers announce requests with a peer
+// set chosen by the configured selection policy. This is the facade used by
+// the examples and by the wire-protocol service; the simulators drive the
+// PeerSelector policies directly.
+#pragma once
+
+#include <memory>
+#include <random>
+#include <string>
+#include <unordered_map>
+
+#include "core/pidmap.h"
+#include "core/selectors.h"
+
+namespace p4p::core {
+
+struct AnnounceRequest {
+  std::string content_id;
+  std::string client_ip;  ///< dotted quad; resolved via the PidMap
+  double up_bps = 0.0;
+  double down_bps = 0.0;
+  bool seed = false;
+  /// Number of peers the client wants.
+  int want = 20;
+};
+
+struct AnnounceResponse {
+  sim::PeerId assigned_id = -1;
+  Pid pid = kInvalidPid;
+  std::int32_t as_number = 0;
+  std::vector<sim::PeerId> peers;
+};
+
+class AppTracker {
+ public:
+  /// `pid_map` maps client IPs to (PID, AS); both it and the selector are
+  /// required. The selector is shared across swarms.
+  AppTracker(std::unique_ptr<sim::PeerSelector> selector, PidMap pid_map,
+             std::uint64_t rng_seed = 1);
+
+  /// Registers the client in the content's swarm and returns its assigned
+  /// peer id plus a peer set. Throws std::invalid_argument if the client IP
+  /// does not resolve to a PID.
+  AnnounceResponse Announce(const AnnounceRequest& request);
+
+  /// Removes a peer from a swarm (no-op if absent).
+  void Depart(const std::string& content_id, sim::PeerId peer);
+
+  std::size_t swarm_size(const std::string& content_id) const;
+  std::size_t swarm_count() const { return swarms_.size(); }
+
+  sim::PeerSelector& selector() { return *selector_; }
+
+ private:
+  struct Swarm {
+    std::vector<sim::PeerInfo> peers;
+  };
+  std::unique_ptr<sim::PeerSelector> selector_;
+  PidMap pid_map_;
+  std::unordered_map<std::string, Swarm> swarms_;
+  std::mt19937_64 rng_;
+  sim::PeerId next_id_ = 0;
+};
+
+}  // namespace p4p::core

@@ -1,0 +1,35 @@
+#include "core/capability.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace p4p::core {
+
+void CapabilityRegistry::Add(Capability capability) {
+  if (capability.pid < 0) {
+    throw std::invalid_argument("CapabilityRegistry: capability needs a PID");
+  }
+  if (capability.capacity_bps < 0) {
+    throw std::invalid_argument("CapabilityRegistry: negative capacity");
+  }
+  capabilities_.push_back(std::move(capability));
+}
+
+void CapabilityRegistry::DenyContent(std::string content_id) {
+  denied_.push_back(std::move(content_id));
+}
+
+std::vector<Capability> CapabilityRegistry::Query(CapabilityType type,
+                                                  const std::string& content_id) const {
+  if (!content_id.empty() &&
+      std::find(denied_.begin(), denied_.end(), content_id) != denied_.end()) {
+    return {};
+  }
+  std::vector<Capability> out;
+  for (const auto& c : capabilities_) {
+    if (c.type == type) out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace p4p::core

@@ -1,0 +1,52 @@
+// The `capability` interface of the iTracker: in-network services a
+// provider offers to accelerate content distribution (on-demand servers,
+// caches, service classes). An appTracker "may query iTrackers in popular
+// domains for on-demand servers or caches".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/pid.h"
+
+namespace p4p::core {
+
+enum class CapabilityType : std::uint8_t {
+  kCache,
+  kOnDemandServer,
+  kServiceClass,
+};
+
+struct Capability {
+  CapabilityType type = CapabilityType::kCache;
+  /// PID where the capability is attached.
+  Pid pid = kInvalidPid;
+  /// Serving capacity in bps (caches/servers) or 0 (service classes).
+  double capacity_bps = 0.0;
+  std::string description;
+};
+
+/// Registry backing the capability interface, with the access-control hook
+/// the paper describes ("a provider may also conduct access control for
+/// some contents ... to avoid being involved in the distribution of certain
+/// content").
+class CapabilityRegistry {
+ public:
+  void Add(Capability capability);
+
+  /// Capabilities visible for `content_id`. Content ids on the deny list
+  /// get an empty answer.
+  std::vector<Capability> Query(CapabilityType type,
+                                const std::string& content_id = {}) const;
+
+  void DenyContent(std::string content_id);
+
+  std::size_t size() const { return capabilities_.size(); }
+
+ private:
+  std::vector<Capability> capabilities_;
+  std::vector<std::string> denied_;
+};
+
+}  // namespace p4p::core

@@ -1,0 +1,74 @@
+#include "core/charging.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace p4p::core {
+
+double ChargingVolume(std::span<const double> volumes, double q) {
+  if (volumes.empty()) {
+    throw std::invalid_argument("ChargingVolume: empty volume vector");
+  }
+  if (!(q > 0.0) || q > 100.0) {
+    throw std::invalid_argument("ChargingVolume: q must be in (0, 100]");
+  }
+  std::vector<double> sorted(volumes.begin(), volumes.end());
+  std::sort(sorted.begin(), sorted.end());
+  // 1-based rank ceil(q/100 * n), clamped to [1, n].
+  const auto n = sorted.size();
+  auto rank = static_cast<std::size_t>(std::ceil(q / 100.0 * static_cast<double>(n)));
+  rank = std::clamp<std::size_t>(rank, 1, n);
+  return sorted[rank - 1];
+}
+
+VirtualCapacityEstimator::VirtualCapacityEstimator(ChargingPredictorConfig config)
+    : config_(config) {
+  if (config_.intervals_per_period <= 0 || config_.bootstrap_intervals < 0 ||
+      config_.ma_window <= 0) {
+    throw std::invalid_argument("VirtualCapacityEstimator: bad config");
+  }
+}
+
+void VirtualCapacityEstimator::AddSample(double volume) {
+  if (volume < 0.0 || std::isnan(volume)) {
+    throw std::invalid_argument("VirtualCapacityEstimator: bad volume sample");
+  }
+  samples_.push_back(volume);
+}
+
+double VirtualCapacityEstimator::PredictChargingVolume() const {
+  if (samples_.empty()) return 0.0;
+  const auto i = samples_.size();  // index of the interval being predicted
+  const auto period = static_cast<std::size_t>(config_.intervals_per_period);
+  const std::size_t s = (i / period) * period;  // first interval of period
+  const auto m = static_cast<std::size_t>(config_.bootstrap_intervals);
+
+  std::span<const double> window;
+  if (i - s <= m || s == 0) {
+    // Early in the period (or in the very first period): trailing I samples.
+    const std::size_t start = i > period ? i - period : 0;
+    window = std::span<const double>(samples_).subspan(start, i - start);
+  } else {
+    // Enough current-period history: use only this period's samples.
+    window = std::span<const double>(samples_).subspan(s, i - s);
+  }
+  return ChargingVolume(window, config_.q);
+}
+
+double VirtualCapacityEstimator::PredictTraffic() const {
+  if (samples_.empty()) return 0.0;
+  const auto w = std::min<std::size_t>(samples_.size(),
+                                       static_cast<std::size_t>(config_.ma_window));
+  double sum = 0.0;
+  for (std::size_t k = samples_.size() - w; k < samples_.size(); ++k) {
+    sum += samples_[k];
+  }
+  return sum / static_cast<double>(w);
+}
+
+double VirtualCapacityEstimator::VirtualCapacity() const {
+  return std::max(0.0, PredictChargingVolume() - PredictTraffic());
+}
+
+}  // namespace p4p::core

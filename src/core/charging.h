@@ -1,0 +1,67 @@
+// Percentile-based interdomain charging (Section 5 "Interdomain Multihoming
+// Cost Control" and Section 6.1 of the paper).
+//
+// Providers are billed on the q-th percentile (typically 95th) of 5-minute
+// traffic volumes in a charging period. The iTracker predicts the charging
+// volume of the current period with the paper's sliding-window percentile
+// scheme, predicts current background traffic with a moving average, and
+// derives the virtual capacity v_e available to P4P-controlled traffic as
+// the difference.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace p4p::core {
+
+/// q-th percentile as used by billing: sort ascending, take the volume at
+/// sorted index ceil(q/100 * n) (1-based), i.e. the paper's "8208-th sorted
+/// interval" convention. Throws std::invalid_argument on empty input or q
+/// outside (0, 100].
+double ChargingVolume(std::span<const double> volumes, double q);
+
+struct ChargingPredictorConfig {
+  /// Intervals per charging period (I). A month of 5-minute samples is
+  /// 8640; tests and simulations use smaller periods.
+  int intervals_per_period = 8640;
+  /// Bootstrap length (M): for the first M intervals of a period the
+  /// predictor uses the trailing I samples; afterwards, only the current
+  /// period's samples.
+  int bootstrap_intervals = 288;
+  /// Billing percentile q.
+  double q = 95.0;
+  /// Moving-average window (samples) for predicting current traffic.
+  int ma_window = 12;
+};
+
+/// Online estimator fed one volume sample per interval.
+class VirtualCapacityEstimator {
+ public:
+  explicit VirtualCapacityEstimator(ChargingPredictorConfig config);
+
+  /// Records the (background) traffic volume observed in the most recent
+  /// interval. Throws on negative volumes.
+  void AddSample(double volume);
+
+  /// Predicted charging volume for the upcoming interval, per the paper's
+  /// two-regime sliding-window percentile formula. Returns 0 before any
+  /// samples exist.
+  double PredictChargingVolume() const;
+
+  /// Predicted traffic volume for the upcoming interval (moving average of
+  /// the last `ma_window` samples).
+  double PredictTraffic() const;
+
+  /// Virtual capacity v_e = max(0, predicted charging volume - predicted
+  /// traffic): how much P4P traffic fits in the interval without raising
+  /// the bill.
+  double VirtualCapacity() const;
+
+  std::size_t sample_count() const { return samples_.size(); }
+
+ private:
+  ChargingPredictorConfig config_;
+  std::vector<double> samples_;
+};
+
+}  // namespace p4p::core

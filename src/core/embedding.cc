@@ -1,0 +1,139 @@
+#include "core/embedding.h"
+
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+namespace p4p::core {
+
+namespace {
+
+double Norm(const double* a, const double* b, int dims) {
+  double s = 0.0;
+  for (int d = 0; d < dims; ++d) {
+    const double diff = a[d] - b[d];
+    s += diff * diff;
+  }
+  return std::sqrt(s);
+}
+
+}  // namespace
+
+CoordinateEmbedding CoordinateEmbedding::Fit(const PDistanceMatrix& distances,
+                                             const EmbeddingConfig& config) {
+  const int n = distances.size();
+  if (n <= 0) {
+    throw std::invalid_argument("CoordinateEmbedding: empty matrix");
+  }
+  if (config.dimensions < 1 || config.iterations < 0 || config.learning_rate <= 0) {
+    throw std::invalid_argument("CoordinateEmbedding: bad config");
+  }
+  const int dims = config.dimensions;
+
+  // Symmetrize and find the scale.
+  std::vector<double> target(static_cast<std::size_t>(n) * static_cast<std::size_t>(n), 0.0);
+  double scale = 0.0;
+  for (Pid i = 0; i < n; ++i) {
+    for (Pid j = 0; j < n; ++j) {
+      const double d = 0.5 * (distances.at(i, j) + distances.at(j, i));
+      target[static_cast<std::size_t>(i) * static_cast<std::size_t>(n) +
+             static_cast<std::size_t>(j)] = d;
+      scale = std::max(scale, d);
+    }
+  }
+  if (scale <= 0) scale = 1.0;  // all-zero matrix: trivial embedding
+
+  std::mt19937_64 rng(config.seed);
+  std::uniform_real_distribution<double> init(-0.5, 0.5);
+  std::vector<double> coords(static_cast<std::size_t>(n) * static_cast<std::size_t>(dims));
+  for (auto& c : coords) c = init(rng) * scale;
+  std::vector<double> heights(static_cast<std::size_t>(n), 0.0);
+
+  // Spring relaxation on random pairs, with a decaying step (Vivaldi-style,
+  // but centralized since the provider has the full matrix).
+  std::uniform_int_distribution<int> pick(0, n - 1);
+  const int total_steps = config.iterations * std::max(1, n);
+  for (int step = 0; step < total_steps; ++step) {
+    const int i = pick(rng);
+    int j = pick(rng);
+    if (i == j) continue;
+    double* xi = &coords[static_cast<std::size_t>(i) * static_cast<std::size_t>(dims)];
+    double* xj = &coords[static_cast<std::size_t>(j) * static_cast<std::size_t>(dims)];
+    const double geo = Norm(xi, xj, dims);
+    const double approx = geo + heights[static_cast<std::size_t>(i)] +
+                          heights[static_cast<std::size_t>(j)];
+    const double want = target[static_cast<std::size_t>(i) * static_cast<std::size_t>(n) +
+                               static_cast<std::size_t>(j)];
+    const double err = approx - want;  // positive: too far apart in embedding
+    const double lr = config.learning_rate *
+                      (1.0 - static_cast<double>(step) / total_steps + 0.05);
+    // Move i toward/away from j along the connecting direction.
+    if (geo > 1e-12) {
+      for (int d = 0; d < dims; ++d) {
+        const double dir = (xi[d] - xj[d]) / geo;
+        xi[d] -= lr * err * dir * 0.5;
+        xj[d] += lr * err * dir * 0.5;
+      }
+    } else if (err < 0) {
+      // Coincident points that should be apart: nudge randomly.
+      for (int d = 0; d < dims; ++d) xi[d] += init(rng) * 1e-3 * scale;
+    }
+    // Heights absorb the residual symmetric part, clamped non-negative.
+    heights[static_cast<std::size_t>(i)] =
+        std::max(0.0, heights[static_cast<std::size_t>(i)] - lr * err * 0.25);
+    heights[static_cast<std::size_t>(j)] =
+        std::max(0.0, heights[static_cast<std::size_t>(j)] - lr * err * 0.25);
+  }
+
+  return CoordinateEmbedding(dims, std::move(coords), std::move(heights));
+}
+
+double CoordinateEmbedding::Distance(Pid i, Pid j) const {
+  const int n = num_pids();
+  if (i < 0 || j < 0 || i >= n || j >= n) {
+    throw std::out_of_range("CoordinateEmbedding: PID out of range");
+  }
+  if (i == j) return 0.0;
+  const double* xi = &coords_[static_cast<std::size_t>(i) * static_cast<std::size_t>(dims_)];
+  const double* xj = &coords_[static_cast<std::size_t>(j) * static_cast<std::size_t>(dims_)];
+  return Norm(xi, xj, dims_) + heights_[static_cast<std::size_t>(i)] +
+         heights_[static_cast<std::size_t>(j)];
+}
+
+std::vector<double> CoordinateEmbedding::coordinates(Pid i) const {
+  if (i < 0 || i >= num_pids()) {
+    throw std::out_of_range("CoordinateEmbedding: PID out of range");
+  }
+  const auto start = static_cast<std::size_t>(i) * static_cast<std::size_t>(dims_);
+  return std::vector<double>(coords_.begin() + static_cast<std::ptrdiff_t>(start),
+                             coords_.begin() + static_cast<std::ptrdiff_t>(start + static_cast<std::size_t>(dims_)));
+}
+
+double CoordinateEmbedding::height(Pid i) const {
+  if (i < 0 || i >= num_pids()) {
+    throw std::out_of_range("CoordinateEmbedding: PID out of range");
+  }
+  return heights_[static_cast<std::size_t>(i)];
+}
+
+double CoordinateEmbedding::Stress(const PDistanceMatrix& reference) const {
+  const int n = num_pids();
+  if (reference.size() != n) {
+    throw std::invalid_argument("CoordinateEmbedding: reference size mismatch");
+  }
+  double err2 = 0.0;
+  double ref2 = 0.0;
+  for (Pid i = 0; i < n; ++i) {
+    for (Pid j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const double want = 0.5 * (reference.at(i, j) + reference.at(j, i));
+      const double got = Distance(i, j);
+      err2 += (got - want) * (got - want);
+      ref2 += want * want;
+    }
+  }
+  if (ref2 <= 0) return err2 > 0 ? 1.0 : 0.0;
+  return std::sqrt(err2 / ref2);
+}
+
+}  // namespace p4p::core

@@ -1,0 +1,57 @@
+// Virtual coordinate embedding of the p-distance space.
+//
+// Section 10 lists "improving scalability using virtual coordinate
+// embedding" as ongoing work: instead of shipping O(|PID|^2) distances, the
+// provider embeds PIDs into a low-dimensional space and ships one
+// coordinate vector per PID; applications reconstruct approximate distances
+// locally. This implements that extension: a Vivaldi-style spring-relaxation
+// fit of symmetric coordinates (plus a per-PID "height" absorbing the
+// non-metric access component), with the normalized stress of the fit
+// reported so callers can judge the approximation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/pdistance.h"
+
+namespace p4p::core {
+
+struct EmbeddingConfig {
+  int dimensions = 4;
+  int iterations = 3000;
+  double learning_rate = 0.1;
+  std::uint64_t seed = 1;
+};
+
+class CoordinateEmbedding {
+ public:
+  /// Fits coordinates to the symmetrized matrix (d_ij + d_ji)/2.
+  /// Throws std::invalid_argument for empty matrices or bad config.
+  static CoordinateEmbedding Fit(const PDistanceMatrix& distances,
+                                 const EmbeddingConfig& config = {});
+
+  int num_pids() const { return static_cast<int>(heights_.size()); }
+  int dimensions() const { return dims_; }
+
+  /// Approximate p-distance: ||x_i - x_j|| + h_i + h_j (0 when i == j).
+  double Distance(Pid i, Pid j) const;
+
+  /// Coordinates of PID i (length dimensions()).
+  std::vector<double> coordinates(Pid i) const;
+  double height(Pid i) const;
+
+  /// Normalized stress of the fit against `reference`:
+  /// sqrt(sum (approx - true)^2 / sum true^2) over off-diagonal pairs.
+  double Stress(const PDistanceMatrix& reference) const;
+
+ private:
+  CoordinateEmbedding(int dims, std::vector<double> coords, std::vector<double> heights)
+      : dims_(dims), coords_(std::move(coords)), heights_(std::move(heights)) {}
+
+  int dims_ = 0;
+  std::vector<double> coords_;   // row-major [pid][dim]
+  std::vector<double> heights_;  // per-pid non-metric component
+};
+
+}  // namespace p4p::core

@@ -1,0 +1,65 @@
+#include "core/hierarchy.h"
+
+#include <stdexcept>
+
+namespace p4p::core {
+
+TopLevelTracker::TopLevelTracker(PidMap pid_map) : pid_map_(std::move(pid_map)) {}
+
+void TopLevelTracker::AddShard(std::int32_t as_number,
+                               std::unique_ptr<sim::PeerSelector> selector) {
+  if (shards_.count(as_number) != 0) {
+    throw std::invalid_argument("TopLevelTracker: shard already exists for AS " +
+                                std::to_string(as_number));
+  }
+  shards_.emplace(as_number,
+                  std::make_unique<AppTracker>(std::move(selector), pid_map_));
+}
+
+void TopLevelTracker::SetDefaultShard(std::unique_ptr<sim::PeerSelector> selector) {
+  default_shard_ = std::make_unique<AppTracker>(std::move(selector), pid_map_);
+}
+
+std::int32_t TopLevelTracker::ShardFor(std::int32_t as_number) const {
+  if (shards_.count(as_number) != 0) return as_number;
+  if (default_shard_) return -1;
+  throw std::runtime_error("TopLevelTracker: no shard for AS " +
+                           std::to_string(as_number));
+}
+
+AppTracker* TopLevelTracker::ResolveShard(std::int32_t as_number) {
+  const auto it = shards_.find(as_number);
+  if (it != shards_.end()) return it->second.get();
+  if (default_shard_) return default_shard_.get();
+  return nullptr;
+}
+
+AnnounceResponse TopLevelTracker::Announce(const AnnounceRequest& request) {
+  const auto mapping = pid_map_.lookup(request.client_ip);
+  if (!mapping) {
+    throw std::invalid_argument("TopLevelTracker: client IP '" + request.client_ip +
+                                "' does not resolve");
+  }
+  AppTracker* shard = ResolveShard(mapping->as_number);
+  if (shard == nullptr) {
+    throw std::runtime_error("TopLevelTracker: no shard for AS " +
+                             std::to_string(mapping->as_number));
+  }
+  return shard->Announce(request);
+}
+
+void TopLevelTracker::Depart(std::int32_t as_number, const std::string& content_id,
+                             sim::PeerId peer) {
+  AppTracker* shard = ResolveShard(as_number);
+  if (shard != nullptr) shard->Depart(content_id, peer);
+}
+
+std::size_t TopLevelTracker::shard_swarm_size(std::int32_t as_number,
+                                              const std::string& content_id) const {
+  const auto it = shards_.find(as_number);
+  if (it != shards_.end()) return it->second->swarm_size(content_id);
+  if (default_shard_) return default_shard_->swarm_size(content_id);
+  return 0;
+}
+
+}  // namespace p4p::core

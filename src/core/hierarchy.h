@@ -1,0 +1,58 @@
+// Two-level appTracker hierarchy — the paper's answer to the scalability
+// question (Section 8): "For large swarms spanning many ASes, we could
+// replicate the appTracker and further organize the appTrackers into a
+// two-level hierarchy. The top-level server directs clients to the
+// second-level appTrackers according to the network of the querying
+// client."
+//
+// TopLevelTracker owns one AppTracker shard per AS (plus a default shard
+// for unknown networks) and routes Announce/Depart by the client's resolved
+// AS number.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "core/apptracker.h"
+
+namespace p4p::core {
+
+class TopLevelTracker {
+ public:
+  /// `pid_map` resolves client IPs to (PID, AS) for routing; each shard
+  /// receives its own copy so shards remain independently operable.
+  explicit TopLevelTracker(PidMap pid_map);
+
+  /// Creates the shard responsible for `as_number` with the given selector.
+  /// Throws if the shard already exists or selector is null.
+  void AddShard(std::int32_t as_number, std::unique_ptr<sim::PeerSelector> selector);
+
+  /// Shard used for clients whose AS has no dedicated shard.
+  void SetDefaultShard(std::unique_ptr<sim::PeerSelector> selector);
+
+  /// Routes the announce to the client's shard. Throws std::invalid_argument
+  /// for unresolvable IPs, std::runtime_error when no shard applies.
+  AnnounceResponse Announce(const AnnounceRequest& request);
+
+  /// Departs must go to the same shard that served the announce.
+  void Depart(std::int32_t as_number, const std::string& content_id,
+              sim::PeerId peer);
+
+  /// Which shard serves this AS? (-1 means the default shard; throws when
+  /// neither exists.)
+  std::int32_t ShardFor(std::int32_t as_number) const;
+
+  std::size_t shard_count() const { return shards_.size() + (default_shard_ ? 1 : 0); }
+  /// Swarm size within one shard (0 if the shard does not exist).
+  std::size_t shard_swarm_size(std::int32_t as_number,
+                               const std::string& content_id) const;
+
+ private:
+  AppTracker* ResolveShard(std::int32_t as_number);
+
+  PidMap pid_map_;
+  std::map<std::int32_t, std::unique_ptr<AppTracker>> shards_;
+  std::unique_ptr<AppTracker> default_shard_;
+};
+
+}  // namespace p4p::core

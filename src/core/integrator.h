@@ -1,0 +1,63 @@
+// Information integrator — "there also can be an integrator that aggregates
+// the information from multiple iTrackers to interact with applications"
+// (Section 3). The integrator holds one view per provider network plus
+// coarse inter-network costs, and answers distance queries between
+// (AS, PID) locations anywhere in the federation, caching merged views per
+// price version so repeated application queries are cheap.
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "core/itracker.h"
+
+namespace p4p::core {
+
+/// A peer location in the federation: which provider network, which PID.
+struct NetworkLocation {
+  std::int32_t as_number = 0;
+  Pid pid = kInvalidPid;
+
+  friend bool operator==(const NetworkLocation&, const NetworkLocation&) = default;
+  friend auto operator<=>(const NetworkLocation&, const NetworkLocation&) = default;
+};
+
+class Integrator {
+ public:
+  /// Registers a provider's iTracker. The tracker must outlive the
+  /// integrator. Re-registering an AS replaces its view.
+  void RegisterNetwork(std::int32_t as_number, const ITracker* tracker);
+
+  /// Sets the symmetric inter-network cost between two ASes (e.g. derived
+  /// from transit pricing); used for the cross-network component of
+  /// distances. Throws std::invalid_argument for negative costs or equal
+  /// AS numbers.
+  void SetInterAsCost(std::int32_t as_a, std::int32_t as_b, double cost);
+
+  bool knows(std::int32_t as_number) const { return trackers_.count(as_number) != 0; }
+  std::size_t network_count() const { return trackers_.size(); }
+
+  /// Distance between two locations:
+  ///  * same AS: that provider's p-distance;
+  ///  * different ASes: the configured inter-AS cost (plus each side's mean
+  ///    egress distance as the intradomain legs).
+  /// Returns std::nullopt when a referenced AS is unknown or a PID is out
+  /// of range for its network, or when no inter-AS cost was configured.
+  std::optional<double> Distance(NetworkLocation from, NetworkLocation to) const;
+
+  /// Ranks candidate locations by ascending distance from `from`; unknown
+  /// candidates rank last (stable). This is the integrator-side analogue of
+  /// PDistanceMatrix::RankFrom across networks.
+  std::vector<NetworkLocation> Rank(NetworkLocation from,
+                                    std::vector<NetworkLocation> candidates) const;
+
+ private:
+  /// Mean p-distance from `pid` to the other PIDs of its network — the
+  /// coarse "how far from the border" proxy used for cross-network legs.
+  std::optional<double> MeanEgress(std::int32_t as_number, Pid pid) const;
+
+  std::map<std::int32_t, const ITracker*> trackers_;
+  std::map<std::pair<std::int32_t, std::int32_t>, double> inter_as_cost_;
+};
+
+}  // namespace p4p::core

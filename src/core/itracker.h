@@ -1,0 +1,151 @@
+// The iTracker: the provider portal of P4P.
+//
+// Internal view: the provider's topology graph with per-link capacities,
+// background traffic b_e and dual prices p_e. External view: a full mesh of
+// p-distances between externally visible PIDs (PoPs), computed by summing
+// link prices along routed paths, optionally perturbed for privacy.
+//
+// Price dynamics implement Section 5 of the paper: the ISP objective is
+// dualized per link and the iTracker runs a projected super-gradient ascent
+// on the dual. Supported objectives:
+//   * kMinMlu                  — minimize maximum link utilization (eq. 8-14);
+//                                prices live on {sum c_e p_e = 1, p_e >= 0}.
+//   * kBandwidthDistanceProduct— minimize sum d_e t_e (eq. 15); revealed
+//                                distances are p_e + d_e with p_e >= 0.
+//   * kPeakBandwidth           — MLU computed against the running peak of
+//                                background traffic instead of its current
+//                                value ("optimize for the cases when
+//                                underlying traffic reaches its peak").
+// Interdomain multihoming cost control (eq. 16) composes with any of the
+// above: declared interdomain links get an extra dual q_e >= 0 driven by
+// the virtual-capacity constraint t_e <= v_e.
+//
+// Alternatively the tracker runs in one of two non-dual modes the paper's
+// experiments use: static prices (from OSPF weights, uniform, or explicit),
+// or protected-link mode (Fig. 6: start all-zero and raise the price of
+// designated links as observed utilization approaches a threshold).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/charging.h"
+#include "core/pdistance.h"
+#include "core/pid.h"
+#include "net/graph.h"
+#include "net/routing.h"
+
+namespace p4p::core {
+
+enum class IspObjective : std::uint8_t {
+  kMinMlu,
+  kBandwidthDistanceProduct,
+  kPeakBandwidth,
+};
+
+enum class PriceMode : std::uint8_t {
+  kStatic,         ///< prices set explicitly; Update() ignores intradomain
+  kSuperGradient,  ///< projected super-gradient on the dual (default)
+  kProtectedLink,  ///< Fig. 6 mode: react only on designated links
+};
+
+struct ITrackerConfig {
+  IspObjective objective = IspObjective::kMinMlu;
+  PriceMode mode = PriceMode::kSuperGradient;
+  /// Relative step size of the super-gradient update (dimensionless; the
+  /// tracker scales it internally to the price magnitude).
+  double step_size = 0.3;
+  /// Step size of the interdomain virtual-capacity dual.
+  double interdomain_step = 0.5;
+  /// Relative multiplicative perturbation of revealed distances (privacy);
+  /// 0.05 means each pair is consistently skewed by up to +-5 %.
+  double privacy_noise = 0.0;
+  std::uint64_t noise_seed = 0x9E3779B97F4A7C15ULL;
+  /// p-distance reported for an intra-PID pair.
+  double intra_pid_distance = 0.0;
+};
+
+struct ProtectedLinkRule {
+  double threshold_utilization = 0.7;
+  double step = 1.0;   ///< price increment per unit of excess utilization
+  double decay = 0.1;  ///< relative price decay per update when below
+};
+
+class ITracker {
+ public:
+  /// `graph` and `routing` must outlive the tracker.
+  ITracker(const net::Graph& graph, const net::RoutingTable& routing,
+           ITrackerConfig config = {});
+
+  int num_pids() const { return static_cast<int>(graph_.node_count()); }
+  const net::Graph& graph() const { return graph_; }
+  const ITrackerConfig& config() const { return config_; }
+
+  // --- management plane: network status ---
+  /// Sets current background (non-P4P) traffic per link, in bps. Also feeds
+  /// the running peak used by kPeakBandwidth.
+  void set_background_bps(std::span<const double> bps);
+  const std::vector<double>& background_bps() const { return background_; }
+
+  // --- static price configuration ---
+  void SetUniformPrices();
+  /// p_e proportional to OSPF weights, normalized onto the dual simplex.
+  void SetPricesFromOspf();
+  void SetStaticPrices(std::span<const double> prices);
+
+  // --- protected-link mode (Fig. 6) ---
+  void ProtectLink(net::LinkId link, ProtectedLinkRule rule);
+
+  // --- interdomain multihoming ---
+  /// Declares `link` an interdomain link with the given virtual capacity
+  /// for P4P traffic. The link gains a dual price q_e updated by Update().
+  void DeclareInterdomainLink(net::LinkId link, double virtual_capacity_bps);
+  void set_virtual_capacity(net::LinkId link, double bps);
+  double virtual_capacity(net::LinkId link) const;
+  double interdomain_price(net::LinkId link) const;
+
+  // --- dynamic update ---
+  /// One price iteration given measured P4P traffic per link (bps). This is
+  /// the iTracker half of Figure 5's interaction loop.
+  void Update(std::span<const double> p4p_bps);
+
+  /// Maximum link utilization of background + given P4P traffic.
+  double Mlu(std::span<const double> p4p_bps) const;
+
+  // --- external view ---
+  double link_price(net::LinkId link) const {
+    return prices_.at(static_cast<std::size_t>(link));
+  }
+  /// p-distance between two PIDs, including BDP distance terms, interdomain
+  /// duals, and privacy perturbation.
+  double pdistance(Pid i, Pid j) const;
+  /// One row of the external view (distances from `i` to every PID).
+  std::vector<double> GetPDistances(Pid i) const;
+  /// Full-mesh snapshot.
+  PDistanceMatrix external_view() const;
+
+  std::uint64_t version() const { return version_; }
+
+ private:
+  double price_unit() const;
+  double perturb(Pid i, Pid j, double value) const;
+
+  const net::Graph& graph_;
+  const net::RoutingTable& routing_;
+  ITrackerConfig config_;
+  std::vector<double> prices_;      // intradomain duals p_e
+  std::vector<double> background_;  // b_e (bps)
+  std::vector<double> peak_background_;
+  std::unordered_map<net::LinkId, ProtectedLinkRule> protected_;
+  struct InterdomainState {
+    double virtual_capacity_bps = 0.0;
+    double price = 0.0;  // q_e
+  };
+  std::unordered_map<net::LinkId, InterdomainState> interdomain_;
+  std::uint64_t version_ = 0;
+};
+
+}  // namespace p4p::core

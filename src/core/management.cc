@@ -1,0 +1,78 @@
+#include "core/management.h"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace p4p::core {
+
+ManagementMonitor::ManagementMonitor(ManagementConfig config) : config_(config) {
+  if (config_.window < 2 || config_.oscillation_threshold <= 0 ||
+      config_.high_utilization_threshold <= 0) {
+    throw std::invalid_argument("ManagementMonitor: bad config");
+  }
+}
+
+void ManagementMonitor::Observe(const ITracker& tracker,
+                                std::span<const double> p4p_bps, double now) {
+  const double mlu = tracker.Mlu(p4p_bps);
+  mlu_history_.push_back(mlu);
+  if (static_cast<int>(mlu_history_.size()) > config_.window) {
+    mlu_history_.pop_front();
+  }
+
+  std::vector<double> prices(tracker.graph().link_count());
+  for (std::size_t e = 0; e < prices.size(); ++e) {
+    prices[e] = tracker.link_price(static_cast<net::LinkId>(e));
+  }
+  if (!last_prices_.empty() && last_prices_.size() == prices.size()) {
+    double delta = 0.0;
+    double base = 0.0;
+    for (std::size_t e = 0; e < prices.size(); ++e) {
+      delta += std::abs(prices[e] - last_prices_[e]);
+      base += std::abs(last_prices_[e]);
+    }
+    const double churn = base > 0 ? delta / base : (delta > 0 ? 1.0 : 0.0);
+    churn_history_.push_back(churn);
+    if (static_cast<int>(churn_history_.size()) > config_.window) {
+      churn_history_.pop_front();
+    }
+    if (churn > config_.oscillation_threshold) {
+      alerts_.push_back({Alert::Type::kPriceOscillation, churn, now});
+    }
+  }
+  last_prices_ = std::move(prices);
+
+  if (mlu > config_.high_utilization_threshold) {
+    alerts_.push_back({Alert::Type::kHighUtilization, mlu, now});
+  }
+}
+
+double ManagementMonitor::CurrentMlu() const {
+  return mlu_history_.empty() ? 0.0 : mlu_history_.back();
+}
+
+double ManagementMonitor::MeanMlu() const {
+  if (mlu_history_.empty()) return 0.0;
+  const double sum = std::accumulate(mlu_history_.begin(), mlu_history_.end(), 0.0);
+  return sum / static_cast<double>(mlu_history_.size());
+}
+
+double ManagementMonitor::PriceChurn() const {
+  if (churn_history_.empty()) return 0.0;
+  const double sum =
+      std::accumulate(churn_history_.begin(), churn_history_.end(), 0.0);
+  return sum / static_cast<double>(churn_history_.size());
+}
+
+bool ManagementMonitor::PricesConverged(double tolerance, int min_samples) const {
+  if (static_cast<int>(churn_history_.size()) < min_samples) return false;
+  for (int k = 0; k < min_samples; ++k) {
+    const double churn =
+        churn_history_[churn_history_.size() - 1 - static_cast<std::size_t>(k)];
+    if (churn >= tolerance) return false;
+  }
+  return true;
+}
+
+}  // namespace p4p::core

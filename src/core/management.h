@@ -1,0 +1,78 @@
+// The management plane — "the objective of the management plane is to
+// monitor the behavior in the control plane" (Section 3).
+//
+// ManagementMonitor observes the iTracker's dual prices and the network's
+// utilization over time and answers the questions an operator asks of the
+// control loop: is utilization within policy, have prices converged, are
+// they oscillating (the theory requires diminishing steps for convergence;
+// practice uses constant steps, so oscillation must be watched)?
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "core/itracker.h"
+#include "core/policy.h"
+
+namespace p4p::core {
+
+struct ManagementConfig {
+  /// Number of recent observations kept for trend/churn statistics.
+  int window = 32;
+  /// Relative per-observation price churn above which prices count as
+  /// oscillating.
+  double oscillation_threshold = 0.2;
+  /// MLU above which a high-utilization alert is raised.
+  double high_utilization_threshold = 0.9;
+};
+
+struct Alert {
+  enum class Type {
+    kHighUtilization,
+    kPriceOscillation,
+  };
+  Type type;
+  double value = 0.0;   ///< the measured quantity that tripped the alert
+  double at_time = 0.0;
+};
+
+class ManagementMonitor {
+ public:
+  explicit ManagementMonitor(ManagementConfig config = {});
+
+  /// Records one control-plane observation: the tracker's current prices
+  /// and the measured P4P traffic. `now` is the observation timestamp.
+  void Observe(const ITracker& tracker, std::span<const double> p4p_bps, double now);
+
+  std::size_t observation_count() const { return mlu_history_.size(); }
+
+  /// Latest MLU (0 when nothing observed).
+  double CurrentMlu() const;
+  /// Mean MLU over the window.
+  double MeanMlu() const;
+
+  /// Mean relative L1 change of the price vector between consecutive
+  /// observations in the window; 0 when fewer than two observations.
+  double PriceChurn() const;
+
+  /// True once at least `min_samples` consecutive observations changed
+  /// prices by less than `tolerance` (relative L1).
+  bool PricesConverged(double tolerance = 1e-3, int min_samples = 3) const;
+
+  /// Alerts raised so far (new alerts appended by Observe).
+  const std::vector<Alert>& alerts() const { return alerts_; }
+
+  /// MLU history (oldest first), for dashboards.
+  std::vector<double> mlu_history() const {
+    return {mlu_history_.begin(), mlu_history_.end()};
+  }
+
+ private:
+  ManagementConfig config_;
+  std::deque<double> mlu_history_;
+  std::deque<double> churn_history_;  // relative L1 between snapshots
+  std::vector<double> last_prices_;
+  std::vector<Alert> alerts_;
+};
+
+}  // namespace p4p::core

@@ -1,0 +1,38 @@
+// The external view of the p4p-distance interface: a full mesh of
+// p-distances between externally visible PIDs.
+#pragma once
+
+#include <vector>
+
+#include "core/pid.h"
+
+namespace p4p::core {
+
+/// Dense |PID| x |PID| matrix of p-distances. Distances are unit-free
+/// "application costs"; only relative magnitude is meaningful to
+/// applications.
+class PDistanceMatrix {
+ public:
+  explicit PDistanceMatrix(int num_pids, double initial = 0.0);
+
+  double at(Pid i, Pid j) const;
+  void set(Pid i, Pid j, double value);
+
+  int size() const { return n_; }
+
+  /// The coarsest usage in the paper's ISP use cases: given PID i, rank all
+  /// PIDs by ascending distance (most preferred first, i itself first).
+  /// Deterministic: equal distances rank by PID.
+  std::vector<Pid> RankFrom(Pid i) const;
+
+  /// Scales all entries so the maximum is 1 (no-op on an all-zero matrix).
+  /// Providers may normalize before export to hide absolute internals.
+  void Normalize();
+
+ private:
+  void check(Pid i, Pid j) const;
+  int n_;
+  std::vector<double> values_;
+};
+
+}  // namespace p4p::core

@@ -1,0 +1,36 @@
+// PID (opaque ID) types — the aggregation unit of the p4p-distance
+// interface. In this implementation an externally visible PID corresponds
+// to a PoP node of the provider's internal-view graph (the paper's
+// "aggregation PID represents a PoP and is static" simplification); core
+// and external-domain PIDs exist in the internal view only.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/graph.h"
+
+namespace p4p::core {
+
+/// Externally visible PID. For PoP-level aggregation, PID values coincide
+/// with the internal-view node ids, but applications must treat them as
+/// opaque.
+using Pid = std::int32_t;
+
+inline constexpr Pid kInvalidPid = -1;
+
+enum class PidType : std::uint8_t {
+  kAggregation,  ///< externally visible: a set of clients (e.g. one PoP)
+  kCore,         ///< internal only: core router
+  kExternal,     ///< internal only: external-domain attachment
+};
+
+/// Result of the IP -> PID mapping a client performs when it obtains its
+/// address ("A client queries the network to map its IP address to its PID
+/// and AS number").
+struct PidMapping {
+  Pid pid = kInvalidPid;
+  std::int32_t as_number = 0;
+};
+
+}  // namespace p4p::core

@@ -1,0 +1,112 @@
+#include "core/pidmap.h"
+
+#include <charconv>
+
+namespace p4p::core {
+
+std::optional<Ipv4> Ipv4::Parse(std::string_view text) {
+  std::uint32_t addr = 0;
+  int octets = 0;
+  const char* p = text.data();
+  const char* end = text.data() + text.size();
+  while (octets < 4) {
+    unsigned value = 0;
+    const auto [next, ec] = std::from_chars(p, end, value);
+    if (ec != std::errc{} || value > 255 || next == p || next - p > 3) {
+      return std::nullopt;
+    }
+    addr = (addr << 8) | value;
+    ++octets;
+    p = next;
+    if (octets < 4) {
+      if (p == end || *p != '.') return std::nullopt;
+      ++p;
+    }
+  }
+  if (p != end) return std::nullopt;
+  return Ipv4{addr};
+}
+
+std::string Ipv4::ToString() const {
+  std::string out;
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    out += std::to_string((addr >> shift) & 0xFF);
+    if (shift != 0) out += '.';
+  }
+  return out;
+}
+
+std::optional<Prefix> Prefix::Parse(std::string_view text) {
+  const auto slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  const auto ip = Ipv4::Parse(text.substr(0, slash));
+  if (!ip) return std::nullopt;
+  int length = -1;
+  const auto len_text = text.substr(slash + 1);
+  const auto [next, ec] =
+      std::from_chars(len_text.data(), len_text.data() + len_text.size(), length);
+  if (ec != std::errc{} || next != len_text.data() + len_text.size() || length < 0 ||
+      length > 32) {
+    return std::nullopt;
+  }
+  Prefix p;
+  p.addr = ip->addr;
+  p.length = length;
+  if (length < 32) p.addr &= ~((1U << (32 - length)) - 1U);  // canonicalize
+  return p;
+}
+
+bool Prefix::contains(std::uint32_t ip) const {
+  if (length == 0) return true;
+  const std::uint32_t mask = length == 32 ? ~0U : ~((1U << (32 - length)) - 1U);
+  return (ip & mask) == addr;
+}
+
+std::string Prefix::ToString() const {
+  return Ipv4{addr}.ToString() + "/" + std::to_string(length);
+}
+
+PidMap::PidMap() { nodes_.emplace_back(); }
+
+void PidMap::add(Prefix prefix, PidMapping mapping) {
+  if (prefix.length < 0 || prefix.length > 32) {
+    throw std::invalid_argument("PidMap: prefix length out of range");
+  }
+  std::int32_t cur = 0;
+  for (int bit = 0; bit < prefix.length; ++bit) {
+    const int b = (prefix.addr >> (31 - bit)) & 1;
+    if (nodes_[static_cast<std::size_t>(cur)].child[b] < 0) {
+      nodes_[static_cast<std::size_t>(cur)].child[b] =
+          static_cast<std::int32_t>(nodes_.size());
+      nodes_.emplace_back();
+    }
+    cur = nodes_[static_cast<std::size_t>(cur)].child[b];
+  }
+  auto& node = nodes_[static_cast<std::size_t>(cur)];
+  if (!node.terminal) ++prefix_count_;
+  node.terminal = true;
+  node.mapping = mapping;
+}
+
+std::optional<PidMapping> PidMap::lookup(std::uint32_t ip) const {
+  std::optional<PidMapping> best;
+  std::int32_t cur = 0;
+  if (nodes_[0].terminal) best = nodes_[0].mapping;
+  for (int bit = 0; bit < 32; ++bit) {
+    const int b = (ip >> (31 - bit)) & 1;
+    cur = nodes_[static_cast<std::size_t>(cur)].child[b];
+    if (cur < 0) break;
+    if (nodes_[static_cast<std::size_t>(cur)].terminal) {
+      best = nodes_[static_cast<std::size_t>(cur)].mapping;
+    }
+  }
+  return best;
+}
+
+std::optional<PidMapping> PidMap::lookup(std::string_view dotted_quad) const {
+  const auto ip = Ipv4::Parse(dotted_quad);
+  if (!ip) return std::nullopt;
+  return lookup(ip->addr);
+}
+
+}  // namespace p4p::core

@@ -1,0 +1,68 @@
+// IP address -> PID mapping via longest-prefix match.
+//
+// The provisioning-system side of the p4p-distance interface: providers
+// publish prefix-to-PID assignments; clients resolve their own address once
+// (and refresh if assignments are dynamic). Backed by a binary trie, so
+// lookups cost at most 32 bit-tests.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/pid.h"
+
+namespace p4p::core {
+
+/// Dotted-quad IPv4 handling. Parse errors are reported via std::nullopt to
+/// keep address handling exception-free on hot paths.
+struct Ipv4 {
+  std::uint32_t addr = 0;  // host byte order
+
+  static std::optional<Ipv4> Parse(std::string_view text);
+  std::string ToString() const;
+
+  friend bool operator==(Ipv4 a, Ipv4 b) { return a.addr == b.addr; }
+};
+
+/// An IPv4 prefix such as 10.1.0.0/16.
+struct Prefix {
+  std::uint32_t addr = 0;
+  int length = 0;  // 0..32
+
+  /// Parses "a.b.c.d/len". Returns std::nullopt on malformed input.
+  static std::optional<Prefix> Parse(std::string_view text);
+  /// True if `ip` falls inside the prefix.
+  bool contains(std::uint32_t ip) const;
+  std::string ToString() const;
+};
+
+/// Longest-prefix-match table from prefixes to (PID, AS).
+class PidMap {
+ public:
+  PidMap();
+
+  /// Registers a prefix. Re-adding an identical prefix overwrites its
+  /// mapping. Throws std::invalid_argument for invalid prefix lengths.
+  void add(Prefix prefix, PidMapping mapping);
+
+  /// Longest-prefix-match lookup; std::nullopt when no prefix covers `ip`.
+  std::optional<PidMapping> lookup(std::uint32_t ip) const;
+  std::optional<PidMapping> lookup(std::string_view dotted_quad) const;
+
+  std::size_t prefix_count() const { return prefix_count_; }
+
+ private:
+  struct TrieNode {
+    std::int32_t child[2] = {-1, -1};
+    bool terminal = false;
+    PidMapping mapping;
+  };
+  std::vector<TrieNode> nodes_;
+  std::size_t prefix_count_ = 0;
+};
+
+}  // namespace p4p::core

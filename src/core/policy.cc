@@ -1,0 +1,40 @@
+#include "core/policy.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace p4p::core {
+
+void PolicyRegistry::AddTimeOfDayPolicy(TimeOfDayPolicy policy) {
+  if (policy.start_hour < 0 || policy.start_hour > 23 || policy.end_hour < 1 ||
+      policy.end_hour > 24) {
+    throw std::invalid_argument("PolicyRegistry: hours out of range");
+  }
+  if (policy.max_utilization < 0.0 || policy.max_utilization > 1.0) {
+    throw std::invalid_argument("PolicyRegistry: utilization cap out of [0,1]");
+  }
+  policies_.push_back(policy);
+}
+
+bool PolicyRegistry::InWindow(const TimeOfDayPolicy& policy, int hour) {
+  if (policy.start_hour < policy.end_hour) {
+    return hour >= policy.start_hour && hour < policy.end_hour;
+  }
+  // Wraps midnight, e.g. 22..6.
+  return hour >= policy.start_hour || hour < policy.end_hour;
+}
+
+double PolicyRegistry::UtilizationCap(net::LinkId link, int hour) const {
+  if (hour < 0 || hour > 23) {
+    throw std::invalid_argument("PolicyRegistry: hour out of range");
+  }
+  double cap = 1.0;
+  for (const auto& p : policies_) {
+    if (p.link == link && InWindow(p, hour)) {
+      cap = std::min(cap, p.max_utilization);
+    }
+  }
+  return cap;
+}
+
+}  // namespace p4p::core

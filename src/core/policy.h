@@ -1,0 +1,54 @@
+// The `policy` interface of the iTracker: static network usage policies an
+// application can query. The paper names two examples, both modeled here:
+// coarse-grained time-of-day link usage policies, and near-congestion /
+// heavy-usage thresholds (the Comcast field-test style).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/graph.h"
+
+namespace p4p::core {
+
+/// Desired usage pattern of a link during a daily time window.
+struct TimeOfDayPolicy {
+  net::LinkId link = net::kInvalidLink;
+  /// Window [start_hour, end_hour) in local hours, may wrap midnight.
+  int start_hour = 0;
+  int end_hour = 24;
+  /// Target cap on utilization during the window (e.g. "avoid using links
+  /// that are congested during peak times" => low cap at peak).
+  double max_utilization = 1.0;
+};
+
+/// Network-wide usage thresholds, as in the Comcast field test.
+struct UsageThresholds {
+  double near_congestion_utilization = 0.7;
+  double heavy_usage_utilization = 0.85;
+};
+
+/// Registry backing the policy interface.
+class PolicyRegistry {
+ public:
+  void AddTimeOfDayPolicy(TimeOfDayPolicy policy);
+  void SetThresholds(UsageThresholds thresholds) { thresholds_ = thresholds; }
+
+  const UsageThresholds& thresholds() const { return thresholds_; }
+  const std::vector<TimeOfDayPolicy>& time_of_day_policies() const { return policies_; }
+
+  /// Utilization cap in force for `link` at local hour `hour` (the tightest
+  /// applicable policy; 1.0 when none applies).
+  double UtilizationCap(net::LinkId link, int hour) const;
+
+  /// True if `hour` falls inside the policy window (handles wrap).
+  static bool InWindow(const TimeOfDayPolicy& policy, int hour);
+
+ private:
+  std::vector<TimeOfDayPolicy> policies_;
+  UsageThresholds thresholds_;
+};
+
+}  // namespace p4p::core

@@ -1,0 +1,68 @@
+#include "core/projection.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace p4p::core {
+
+std::vector<double> ProjectWeightedSimplex(std::span<const double> p,
+                                           std::span<const double> weights) {
+  const std::size_t n = p.size();
+  if (weights.size() != n) {
+    throw std::invalid_argument("ProjectWeightedSimplex: size mismatch");
+  }
+  if (n == 0) {
+    throw std::invalid_argument("ProjectWeightedSimplex: empty input");
+  }
+  for (double c : weights) {
+    if (!(c > 0.0) || !std::isfinite(c)) {
+      throw std::invalid_argument("ProjectWeightedSimplex: weights must be positive");
+    }
+  }
+
+  // Minimize ||p' - p||^2 s.t. sum c p' = 1, p' >= 0. KKT gives
+  // p'_e = max(0, p_e - lambda c_e). The active set is determined by the
+  // order of the breakpoints r_e = p_e / c_e: entries with r_e > lambda stay
+  // positive.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return p[a] / weights[a] > p[b] / weights[b];
+  });
+
+  // With the top-k entries active: lambda = (sum_k c p - 1) / sum_k c^2.
+  double sum_cp = 0.0;
+  double sum_c2 = 0.0;
+  double lambda = 0.0;
+  std::size_t active = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t e = order[k];
+    sum_cp += weights[e] * p[e];
+    sum_c2 += weights[e] * weights[e];
+    const double candidate = (sum_cp - 1.0) / sum_c2;
+    // The candidate is valid while the k-th breakpoint remains active.
+    if (p[e] / weights[e] > candidate) {
+      lambda = candidate;
+      active = k + 1;
+    }
+  }
+  if (active == 0) {
+    // All mass below threshold (can only happen if p sums to < 1 with the
+    // largest ratio non-positive); fall back to putting all weight on the
+    // largest-ratio coordinate.
+    std::vector<double> out(n, 0.0);
+    const std::size_t e = order[0];
+    out[e] = 1.0 / weights[e];
+    return out;
+  }
+
+  std::vector<double> out(n, 0.0);
+  for (std::size_t e = 0; e < n; ++e) {
+    out[e] = std::max(0.0, p[e] - lambda * weights[e]);
+  }
+  return out;
+}
+
+}  // namespace p4p::core

@@ -1,0 +1,20 @@
+// Euclidean projection onto the weighted simplex
+//     S = { p : sum_e c_e p_e = 1, p_e >= 0 },
+// the feasible set of the dual variables in the paper's projected
+// super-gradient update (equation (14)). Solved exactly via the Lagrangian
+// threshold method: p'_e = max(0, p_e - lambda c_e) with lambda chosen so
+// the equality holds, found by sorting breakpoints p_e / c_e.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace p4p::core {
+
+/// Projects `p` onto {sum c_e p_e = 1, p >= 0}. All weights must be
+/// strictly positive; throws std::invalid_argument otherwise or on size
+/// mismatch. Exact up to floating-point rounding.
+std::vector<double> ProjectWeightedSimplex(std::span<const double> p,
+                                           std::span<const double> weights);
+
+}  // namespace p4p::core

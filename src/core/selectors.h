@@ -1,0 +1,128 @@
+// Peer-selection policies: the three appTracker variants the paper
+// evaluates, plus the black-box wrapper of Section 4.
+//
+//  * NativeRandomSelector  — "the native BitTorrent appTracker chooses
+//                            peers randomly".
+//  * DelayLocalizedSelector— "delay-localized BitTorrent, in which a client
+//                            chooses peers with lower latency".
+//  * P4PSelector           — the paper's three-stage P4P selection
+//                            (intra-PID, inter-PID, inter-AS) driven by
+//                            per-AS iTracker p-distances, with 1/p_ij
+//                            weighting, the concave robustness transform,
+//                            and optional Pando-style matching weights.
+//  * BlackBoxSelector      — runs an inner selector several times and keeps
+//                            the candidate set with the lowest total
+//                            p-distance ("Black-box Peer Selection").
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "core/itracker.h"
+#include "core/matching.h"
+#include "sim/bittorrent.h"
+
+namespace p4p::core {
+
+class NativeRandomSelector final : public sim::PeerSelector {
+ public:
+  std::vector<sim::PeerId> SelectPeers(const sim::PeerInfo& client,
+                                       std::span<const sim::PeerInfo> candidates,
+                                       int m, std::mt19937_64& rng) override;
+  std::string name() const override { return "Native"; }
+};
+
+class DelayLocalizedSelector final : public sim::PeerSelector {
+ public:
+  /// Latency between attachment PoPs comes from the routing table, plus a
+  /// fixed per-endpoint access (last-mile) delay — co-located clients are
+  /// *not* at zero RTT, which is why nearby metros (e.g. NY and DC) look
+  /// equally "local" to a latency probe. `jitter` models RTT measurement
+  /// noise (fractional, e.g. 0.1 = 10 %).
+  /// `random_fraction` of the returned peers are drawn uniformly instead of
+  /// by latency — real localized clients keep a random component for piece
+  /// diversity (cf. Bindal et al.'s biased neighbor selection).
+  /// `subset_size` models the tracker handing the client a random subset to
+  /// localize within (a real tracker does not expose the whole swarm);
+  /// 0 means rank all candidates.
+  explicit DelayLocalizedSelector(const net::RoutingTable& routing,
+                                  double jitter = 0.1, double access_ms = 5.0,
+                                  double random_fraction = 0.15,
+                                  int subset_size = 50)
+      : routing_(routing),
+        jitter_(jitter),
+        access_ms_(access_ms),
+        random_fraction_(random_fraction),
+        subset_size_(subset_size) {}
+
+  std::vector<sim::PeerId> SelectPeers(const sim::PeerInfo& client,
+                                       std::span<const sim::PeerInfo> candidates,
+                                       int m, std::mt19937_64& rng) override;
+  std::string name() const override { return "Localized"; }
+
+ private:
+  const net::RoutingTable& routing_;
+  double jitter_;
+  double access_ms_;
+  double random_fraction_;
+  int subset_size_;
+};
+
+struct P4PSelectorConfig {
+  /// Upper-Bound-IntraPID: at most this fraction of m from the client's PID.
+  double upper_bound_intra_pid = 0.7;
+  /// Upper-Bound-InterPID: at most this fraction of m from the client's AS.
+  double upper_bound_inter_pid = 0.8;
+  /// Exponent of the concave robustness transform on the PID weights.
+  double concave_gamma = 0.5;
+  /// A PID at p_ij == 0 is weighted as if its distance were the smallest
+  /// positive distance divided by this factor ("sets w_ij to be a large
+  /// value") — relative, because dual prices can live at any scale.
+  double zero_distance_factor = 10.0;
+};
+
+class P4PSelector final : public sim::PeerSelector {
+ public:
+  explicit P4PSelector(P4PSelectorConfig config = {}) : config_(config) {}
+
+  /// Registers the iTracker serving AS `as_number`. When a client of AS-n
+  /// joins, selection uses AS-n's view (the paper's resolution of
+  /// conflicting inter-AS preferences). Trackers must outlive the selector.
+  void RegisterITracker(std::int32_t as_number, const ITracker* tracker);
+
+  /// Pando mode: inter-PID selection follows matching weights w_ij from
+  /// SolveMatching instead of 1/p_ij.
+  void SetMatchingWeights(std::int32_t as_number,
+                          std::vector<std::vector<double>> weights);
+  void ClearMatchingWeights(std::int32_t as_number);
+
+  std::vector<sim::PeerId> SelectPeers(const sim::PeerInfo& client,
+                                       std::span<const sim::PeerInfo> candidates,
+                                       int m, std::mt19937_64& rng) override;
+  std::string name() const override { return "P4P"; }
+
+ private:
+  P4PSelectorConfig config_;
+  std::map<std::int32_t, const ITracker*> trackers_;
+  std::map<std::int32_t, std::vector<std::vector<double>>> matching_weights_;
+};
+
+class BlackBoxSelector final : public sim::PeerSelector {
+ public:
+  /// Runs `inner` `attempts` times and keeps the set minimizing the total
+  /// p-distance from the client under `tracker`.
+  BlackBoxSelector(std::unique_ptr<sim::PeerSelector> inner, const ITracker& tracker,
+                   int attempts = 4);
+
+  std::vector<sim::PeerId> SelectPeers(const sim::PeerInfo& client,
+                                       std::span<const sim::PeerInfo> candidates,
+                                       int m, std::mt19937_64& rng) override;
+  std::string name() const override;
+
+ private:
+  std::unique_ptr<sim::PeerSelector> inner_;
+  const ITracker& tracker_;
+  int attempts_;
+};
+
+}  // namespace p4p::core

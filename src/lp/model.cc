@@ -1,0 +1,56 @@
+#include "lp/model.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace p4p::lp {
+
+VarId Model::add_variable(std::string name, double lower, double upper) {
+  if (std::isnan(lower) || std::isnan(upper)) {
+    throw std::invalid_argument("Model: variable bounds must not be NaN");
+  }
+  if (lower > upper) {
+    throw std::invalid_argument("Model: lower bound exceeds upper bound for '" +
+                                name + "'");
+  }
+  lower_.push_back(lower);
+  upper_.push_back(upper);
+  obj_.push_back(0.0);
+  names_.push_back(std::move(name));
+  return static_cast<VarId>(lower_.size() - 1);
+}
+
+void Model::check_var(VarId v) const {
+  if (v < 0 || static_cast<std::size_t>(v) >= lower_.size()) {
+    throw std::invalid_argument("Model: unknown variable id " + std::to_string(v));
+  }
+}
+
+void Model::add_constraint(std::vector<Term> terms, Sense sense, double rhs,
+                           std::string name) {
+  for (const Term& t : terms) {
+    check_var(t.var);
+    if (std::isnan(t.coeff)) {
+      throw std::invalid_argument("Model: NaN coefficient in constraint '" + name + "'");
+    }
+  }
+  if (std::isnan(rhs)) {
+    throw std::invalid_argument("Model: NaN rhs in constraint '" + name + "'");
+  }
+  Constraint c;
+  c.terms = std::move(terms);
+  c.sense = sense;
+  c.rhs = rhs;
+  c.name = std::move(name);
+  constraints_.push_back(std::move(c));
+}
+
+void Model::set_objective_coeff(VarId var, double coeff) {
+  check_var(var);
+  if (std::isnan(coeff)) {
+    throw std::invalid_argument("Model: NaN objective coefficient");
+  }
+  obj_[static_cast<std::size_t>(var)] = coeff;
+}
+
+}  // namespace p4p::lp

@@ -1,0 +1,78 @@
+// Linear-program model builder.
+//
+// The appTracker's upload/download matching optimization — equations (1)-(7)
+// of the paper — is a linear program. This is the model half of a small,
+// self-contained LP toolkit; SimplexSolver (simplex.h) is the algorithm half.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace p4p::lp {
+
+using VarId = std::int32_t;
+
+enum class Sense : std::uint8_t { kLessEqual, kGreaterEqual, kEqual };
+enum class Direction : std::uint8_t { kMinimize, kMaximize };
+
+inline constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+/// One linear term: coefficient * variable.
+struct Term {
+  VarId var;
+  double coeff;
+};
+
+struct Constraint {
+  std::vector<Term> terms;
+  Sense sense = Sense::kLessEqual;
+  double rhs = 0.0;
+  std::string name;
+};
+
+/// A linear program: variables with [lower, upper] bounds, linear
+/// constraints, and a linear objective. Build incrementally, then hand to
+/// SimplexSolver::Solve.
+class Model {
+ public:
+  /// Adds a variable and returns its id. Bounds default to [0, +inf).
+  /// Throws std::invalid_argument if lower > upper or either bound is NaN.
+  VarId add_variable(std::string name = {}, double lower = 0.0,
+                     double upper = kInfinity);
+
+  /// Adds a constraint over existing variables. Duplicate variables within
+  /// one constraint are summed. Throws on unknown variable ids.
+  void add_constraint(std::vector<Term> terms, Sense sense, double rhs,
+                      std::string name = {});
+
+  /// Sets the objective coefficient of a variable (default 0).
+  void set_objective_coeff(VarId var, double coeff);
+  void set_direction(Direction d) { direction_ = d; }
+
+  std::size_t num_variables() const { return lower_.size(); }
+  std::size_t num_constraints() const { return constraints_.size(); }
+  Direction direction() const { return direction_; }
+
+  double lower_bound(VarId v) const { return lower_.at(static_cast<std::size_t>(v)); }
+  double upper_bound(VarId v) const { return upper_.at(static_cast<std::size_t>(v)); }
+  double objective_coeff(VarId v) const { return obj_.at(static_cast<std::size_t>(v)); }
+  const std::string& variable_name(VarId v) const {
+    return names_.at(static_cast<std::size_t>(v));
+  }
+  const std::vector<Constraint>& constraints() const { return constraints_; }
+
+ private:
+  void check_var(VarId v) const;
+
+  Direction direction_ = Direction::kMinimize;
+  std::vector<double> lower_;
+  std::vector<double> upper_;
+  std::vector<double> obj_;
+  std::vector<std::string> names_;
+  std::vector<Constraint> constraints_;
+};
+
+}  // namespace p4p::lp

@@ -1,0 +1,359 @@
+#include "lp/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace p4p::lp {
+
+const char* ToString(SolveStatus status) {
+  switch (status) {
+    case SolveStatus::kOptimal: return "optimal";
+    case SolveStatus::kInfeasible: return "infeasible";
+    case SolveStatus::kUnbounded: return "unbounded";
+    case SolveStatus::kIterationLimit: return "iteration-limit";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Internal standard form: min c.y  s.t. A.y = b, y >= 0, b >= 0.
+// Model variables are mapped onto standard-form columns as follows:
+//  - bounded-below variable x in [lb, ub]: column y with x = y + lb
+//    (finite ub adds a row y + slack = ub - lb);
+//  - free variable: two columns, x = y+ - y-.
+struct StandardForm {
+  std::size_t num_cols = 0;          // structural + slack + artificial
+  std::size_t num_struct = 0;        // structural columns
+  std::vector<double> cost;          // phase-2 cost, length num_struct
+  std::vector<std::vector<double>> rows;  // each length num_struct
+  std::vector<double> rhs;
+  std::vector<int> row_sense;  // -1 for <=, +1 for >=, 0 for =  (pre-slack)
+  // Mapping back: per model variable, (pos column, neg column or -1, shift).
+  struct VarMap {
+    int pos = -1;
+    int neg = -1;
+    double shift = 0.0;
+  };
+  std::vector<VarMap> var_map;
+  double obj_offset = 0.0;  // constant from bound shifting
+  bool maximize = false;
+};
+
+StandardForm BuildStandardForm(const Model& model) {
+  StandardForm sf;
+  sf.maximize = model.direction() == Direction::kMaximize;
+  const std::size_t nv = model.num_variables();
+  sf.var_map.resize(nv);
+
+  // Assign structural columns.
+  std::size_t col = 0;
+  for (std::size_t v = 0; v < nv; ++v) {
+    const double lb = model.lower_bound(static_cast<VarId>(v));
+    if (std::isinf(lb) && lb < 0) {
+      sf.var_map[v].pos = static_cast<int>(col++);
+      sf.var_map[v].neg = static_cast<int>(col++);
+    } else {
+      sf.var_map[v].pos = static_cast<int>(col++);
+      sf.var_map[v].shift = lb;
+    }
+  }
+  sf.num_struct = col;
+
+  // Phase-2 cost over structural columns (sign-normalized to minimize).
+  sf.cost.assign(sf.num_struct, 0.0);
+  for (std::size_t v = 0; v < nv; ++v) {
+    double c = model.objective_coeff(static_cast<VarId>(v));
+    if (sf.maximize) c = -c;
+    const auto& m = sf.var_map[v];
+    sf.cost[static_cast<std::size_t>(m.pos)] += c;
+    if (m.neg >= 0) sf.cost[static_cast<std::size_t>(m.neg)] -= c;
+    sf.obj_offset += c * m.shift;
+  }
+
+  auto add_row = [&sf](std::vector<double> row, int sense, double rhs) {
+    sf.rows.push_back(std::move(row));
+    sf.row_sense.push_back(sense);
+    sf.rhs.push_back(rhs);
+  };
+
+  // Model constraints, with bound shifts folded into the rhs.
+  for (const Constraint& c : model.constraints()) {
+    std::vector<double> row(sf.num_struct, 0.0);
+    double rhs = c.rhs;
+    for (const Term& t : c.terms) {
+      const auto& m = sf.var_map[static_cast<std::size_t>(t.var)];
+      row[static_cast<std::size_t>(m.pos)] += t.coeff;
+      if (m.neg >= 0) row[static_cast<std::size_t>(m.neg)] -= t.coeff;
+      rhs -= t.coeff * m.shift;
+    }
+    const int sense = c.sense == Sense::kLessEqual      ? -1
+                      : c.sense == Sense::kGreaterEqual ? +1
+                                                        : 0;
+    add_row(std::move(row), sense, rhs);
+  }
+
+  // Finite upper bounds become rows.
+  for (std::size_t v = 0; v < nv; ++v) {
+    const double ub = model.upper_bound(static_cast<VarId>(v));
+    if (std::isinf(ub)) continue;
+    const auto& m = sf.var_map[v];
+    std::vector<double> row(sf.num_struct, 0.0);
+    row[static_cast<std::size_t>(m.pos)] = 1.0;
+    if (m.neg >= 0) row[static_cast<std::size_t>(m.neg)] = -1.0;
+    add_row(std::move(row), -1, ub - m.shift);
+  }
+
+  return sf;
+}
+
+// Dense tableau with an explicit basis. Row 0..m-1 are constraints; the
+// objective is kept as a separate reduced-cost row.
+class Tableau {
+ public:
+  Tableau(const StandardForm& sf, double tol) : tol_(tol) {
+    const std::size_t m = sf.rows.size();
+    num_struct_ = sf.num_struct;
+    // Columns: structural | slack/surplus (one per inequality) | artificial.
+    std::size_t num_slack = 0;
+    for (int s : sf.row_sense) {
+      if (s != 0) ++num_slack;
+    }
+    // Normalize rhs >= 0 first to decide which rows need artificials.
+    std::vector<std::vector<double>> rows = sf.rows;
+    std::vector<double> rhs = sf.rhs;
+    std::vector<int> sense = sf.row_sense;
+    for (std::size_t i = 0; i < m; ++i) {
+      if (rhs[i] < 0) {
+        for (double& a : rows[i]) a = -a;
+        rhs[i] = -rhs[i];
+        sense[i] = -sense[i];
+      }
+    }
+    // After normalization: '<=' rows get a slack that can serve as the
+    // initial basis; '>=' rows get surplus + artificial; '=' rows get
+    // artificial.
+    std::size_t num_art = 0;
+    for (int s : sense) {
+      if (s >= 0) ++num_art;
+    }
+    n_ = num_struct_ + num_slack + num_art;
+    a_.assign(m, std::vector<double>(n_ + 1, 0.0));
+    basis_.assign(m, -1);
+    art_start_ = num_struct_ + num_slack;
+
+    std::size_t slack_col = num_struct_;
+    std::size_t art_col = art_start_;
+    for (std::size_t i = 0; i < m; ++i) {
+      std::copy(rows[i].begin(), rows[i].end(), a_[i].begin());
+      a_[i][n_] = rhs[i];
+      if (sense[i] == -1) {
+        a_[i][slack_col] = 1.0;
+        basis_[i] = static_cast<int>(slack_col);
+        ++slack_col;
+      } else if (sense[i] == +1) {
+        a_[i][slack_col] = -1.0;
+        ++slack_col;
+        a_[i][art_col] = 1.0;
+        basis_[i] = static_cast<int>(art_col);
+        ++art_col;
+      } else {
+        a_[i][art_col] = 1.0;
+        basis_[i] = static_cast<int>(art_col);
+        ++art_col;
+      }
+    }
+  }
+
+  std::size_t rows() const { return a_.size(); }
+  std::size_t cols() const { return n_; }
+  std::size_t art_start() const { return art_start_; }
+  int basis(std::size_t i) const { return basis_[i]; }
+  double rhs(std::size_t i) const { return a_[i][n_]; }
+
+  // Runs simplex to optimality for the given cost vector (length n_,
+  // minimize). Returns false on unbounded. `allow` filters entering columns.
+  enum class RunResult { kOptimal, kUnbounded, kIterLimit };
+
+  template <typename Allow>
+  RunResult Run(const std::vector<double>& cost, int max_iters, int bland_threshold,
+                Allow allow) {
+    const std::size_t m = rows();
+    // Reduced cost row: z_j - c_j bookkeeping via explicit recomputation of
+    // the objective row (dense, but m and n are modest).
+    std::vector<double> obj(n_ + 1, 0.0);
+    for (std::size_t j = 0; j < n_; ++j) obj[j] = cost[j];
+    // Price out the initial basis.
+    for (std::size_t i = 0; i < m; ++i) {
+      const auto b = static_cast<std::size_t>(basis_[i]);
+      const double cb = cost[b];
+      if (cb == 0.0) continue;
+      for (std::size_t j = 0; j <= n_; ++j) obj[j] -= cb * a_[i][j];
+    }
+
+    int degenerate_run = 0;
+    for (int iter = 0; iter < max_iters; ++iter) {
+      const bool bland = degenerate_run >= bland_threshold;
+      // Entering column.
+      int enter = -1;
+      double best = -tol_;
+      for (std::size_t j = 0; j < n_; ++j) {
+        if (!allow(j)) continue;
+        if (obj[j] < best) {
+          if (bland) {
+            enter = static_cast<int>(j);
+            break;
+          }
+          best = obj[j];
+          enter = static_cast<int>(j);
+        }
+      }
+      if (enter < 0) return RunResult::kOptimal;
+
+      // Ratio test.
+      int leave = -1;
+      double best_ratio = 0.0;
+      for (std::size_t i = 0; i < m; ++i) {
+        const double aij = a_[i][static_cast<std::size_t>(enter)];
+        if (aij <= tol_) continue;
+        const double ratio = a_[i][n_] / aij;
+        if (leave < 0 || ratio < best_ratio - tol_ ||
+            (std::abs(ratio - best_ratio) <= tol_ &&
+             basis_[i] < basis_[static_cast<std::size_t>(leave)])) {
+          leave = static_cast<int>(i);
+          best_ratio = ratio;
+        }
+      }
+      if (leave < 0) return RunResult::kUnbounded;
+      degenerate_run = best_ratio <= tol_ ? degenerate_run + 1 : 0;
+
+      Pivot(static_cast<std::size_t>(leave), static_cast<std::size_t>(enter), obj);
+    }
+    return RunResult::kIterLimit;
+  }
+
+  // Pivots artificial variables out of the basis where possible (after
+  // phase 1). Rows whose artificial cannot leave are redundant.
+  void DriveOutArtificials() {
+    std::vector<double> dummy;  // no objective row to maintain
+    for (std::size_t i = 0; i < rows(); ++i) {
+      if (static_cast<std::size_t>(basis_[i]) < art_start_) continue;
+      // Find any non-artificial column with a nonzero coefficient.
+      for (std::size_t j = 0; j < art_start_; ++j) {
+        if (std::abs(a_[i][j]) > tol_) {
+          Pivot(i, j, dummy);
+          break;
+        }
+      }
+    }
+  }
+
+  // Extracts the value of structural column j.
+  double value(std::size_t j) const {
+    for (std::size_t i = 0; i < rows(); ++i) {
+      if (static_cast<std::size_t>(basis_[i]) == j) return a_[i][n_];
+    }
+    return 0.0;
+  }
+
+ private:
+  void Pivot(std::size_t leave, std::size_t enter, std::vector<double>& obj) {
+    const double piv = a_[leave][enter];
+    for (double& v : a_[leave]) v /= piv;
+    a_[leave][enter] = 1.0;  // cancel rounding
+    for (std::size_t i = 0; i < rows(); ++i) {
+      if (i == leave) continue;
+      const double f = a_[i][enter];
+      if (f == 0.0) continue;
+      for (std::size_t j = 0; j <= n_; ++j) a_[i][j] -= f * a_[leave][j];
+      a_[i][enter] = 0.0;
+    }
+    if (!obj.empty()) {
+      const double f = obj[enter];
+      if (f != 0.0) {
+        for (std::size_t j = 0; j <= n_; ++j) obj[j] -= f * a_[leave][j];
+        obj[enter] = 0.0;
+      }
+    }
+    basis_[leave] = static_cast<int>(enter);
+  }
+
+  double tol_;
+  std::size_t n_ = 0;
+  std::size_t num_struct_ = 0;
+  std::size_t art_start_ = 0;
+  std::vector<std::vector<double>> a_;  // m x (n_+1); last column is rhs
+  std::vector<int> basis_;
+};
+
+}  // namespace
+
+Solution SimplexSolver::Solve(const Model& model) const {
+  const StandardForm sf = BuildStandardForm(model);
+  Tableau tab(sf, options_.tolerance);
+  const std::size_t n = tab.cols();
+
+  Solution sol;
+
+  // Phase 1: minimize the sum of artificials.
+  bool has_artificials = tab.art_start() < n;
+  if (has_artificials) {
+    std::vector<double> phase1_cost(n, 0.0);
+    for (std::size_t j = tab.art_start(); j < n; ++j) phase1_cost[j] = 1.0;
+    const auto r1 = tab.Run(phase1_cost, options_.max_iterations,
+                            options_.bland_threshold, [](std::size_t) { return true; });
+    if (r1 == Tableau::RunResult::kIterLimit) {
+      sol.status = SolveStatus::kIterationLimit;
+      return sol;
+    }
+    double art_sum = 0.0;
+    for (std::size_t i = 0; i < tab.rows(); ++i) {
+      if (static_cast<std::size_t>(tab.basis(i)) >= tab.art_start()) {
+        art_sum += tab.rhs(i);
+      }
+    }
+    if (art_sum > 1e-6) {
+      sol.status = SolveStatus::kInfeasible;
+      return sol;
+    }
+    tab.DriveOutArtificials();
+  }
+
+  // Phase 2: original objective; artificial columns are barred from entering.
+  std::vector<double> phase2_cost(n, 0.0);
+  std::copy(sf.cost.begin(), sf.cost.end(), phase2_cost.begin());
+  const std::size_t art_start = tab.art_start();
+  const auto r2 =
+      tab.Run(phase2_cost, options_.max_iterations, options_.bland_threshold,
+              [art_start](std::size_t j) { return j < art_start; });
+  if (r2 == Tableau::RunResult::kUnbounded) {
+    sol.status = SolveStatus::kUnbounded;
+    return sol;
+  }
+  if (r2 == Tableau::RunResult::kIterLimit) {
+    sol.status = SolveStatus::kIterationLimit;
+    return sol;
+  }
+
+  // Recover model-variable values.
+  sol.values.assign(model.num_variables(), 0.0);
+  double obj = sf.obj_offset;
+  for (std::size_t v = 0; v < model.num_variables(); ++v) {
+    const auto& m = sf.var_map[v];
+    double y = tab.value(static_cast<std::size_t>(m.pos));
+    if (m.neg >= 0) y -= tab.value(static_cast<std::size_t>(m.neg));
+    sol.values[v] = y + m.shift;
+    // Recompute the objective from primal values for numerical cleanliness.
+  }
+  for (std::size_t v = 0; v < model.num_variables(); ++v) {
+    double c = model.objective_coeff(static_cast<VarId>(v));
+    if (sf.maximize) c = -c;
+    obj += c * (sol.values[v] - sf.var_map[v].shift);
+  }
+  sol.objective = sf.maximize ? -obj : obj;
+  sol.status = SolveStatus::kOptimal;
+  return sol;
+}
+
+}  // namespace p4p::lp

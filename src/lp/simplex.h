@@ -1,0 +1,54 @@
+// Two-phase dense primal simplex.
+//
+// Sized for the LPs this project generates: the matching LP over PID pairs
+// has O(|PID|^2) variables and O(|PID|) rows, i.e. a few thousand columns by
+// ~100 rows at most, which a dense tableau handles comfortably. Uses the
+// Dantzig entering rule with an automatic switch to Bland's rule after a run
+// of degenerate pivots, so it terminates on degenerate inputs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lp/model.h"
+
+namespace p4p::lp {
+
+enum class SolveStatus : std::uint8_t {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterationLimit,
+};
+
+struct Solution {
+  SolveStatus status = SolveStatus::kIterationLimit;
+  /// Objective value in the model's own direction (max problems report max).
+  double objective = 0.0;
+  /// Value of each model variable at the optimum (empty unless kOptimal).
+  std::vector<double> values;
+};
+
+const char* ToString(SolveStatus status);
+
+class SimplexSolver {
+ public:
+  struct Options {
+    int max_iterations = 50'000;
+    double tolerance = 1e-9;
+    /// Consecutive degenerate pivots before switching to Bland's rule.
+    int bland_threshold = 64;
+  };
+
+  SimplexSolver() = default;
+  explicit SimplexSolver(Options options) : options_(options) {}
+
+  /// Solves the model. Never throws for numerically valid models; reports
+  /// infeasibility/unboundedness in the returned status.
+  Solution Solve(const Model& model) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace p4p::lp

@@ -1,0 +1,122 @@
+#include "net/graph.h"
+
+#include <cmath>
+
+namespace p4p::net {
+
+namespace {
+constexpr double kEarthRadiusMiles = 3958.8;
+constexpr double kPi = 3.14159265358979323846;
+
+double Radians(double deg) { return deg * kPi / 180.0; }
+}  // namespace
+
+NodeId Graph::add_node(Node node) {
+  nodes_.push_back(std::move(node));
+  out_links_.emplace_back();
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+NodeId Graph::add_node(std::string_view name, NodeType type, std::int32_t metro,
+                       double lat, double lon) {
+  Node n;
+  n.name = std::string(name);
+  n.type = type;
+  n.metro = metro;
+  n.latitude = lat;
+  n.longitude = lon;
+  return add_node(std::move(n));
+}
+
+void Graph::check_node(NodeId id) const {
+  if (id < 0 || static_cast<std::size_t>(id) >= nodes_.size()) {
+    throw std::invalid_argument("Graph: node id out of range: " + std::to_string(id));
+  }
+}
+
+LinkId Graph::add_link(Link link) {
+  check_node(link.src);
+  check_node(link.dst);
+  if (link.src == link.dst) {
+    throw std::invalid_argument("Graph: self-loop links are not allowed");
+  }
+  if (!(link.capacity_bps > 0.0) || !std::isfinite(link.capacity_bps)) {
+    throw std::invalid_argument("Graph: link capacity must be positive and finite");
+  }
+  if (!(link.ospf_weight > 0.0) || !std::isfinite(link.ospf_weight)) {
+    throw std::invalid_argument("Graph: OSPF weight must be positive and finite");
+  }
+  if (link.distance < 0.0 || !std::isfinite(link.distance)) {
+    throw std::invalid_argument("Graph: link distance must be non-negative and finite");
+  }
+  if (link.loss_rate < 0.0 || link.loss_rate >= 1.0 || std::isnan(link.loss_rate)) {
+    throw std::invalid_argument("Graph: loss rate must be in [0, 1)");
+  }
+  links_.push_back(link);
+  const auto id = static_cast<LinkId>(links_.size() - 1);
+  out_links_[static_cast<std::size_t>(link.src)].push_back(id);
+  return id;
+}
+
+LinkId Graph::add_link(NodeId src, NodeId dst, double capacity_bps,
+                       double ospf_weight, double distance, LinkType type) {
+  Link l;
+  l.src = src;
+  l.dst = dst;
+  l.capacity_bps = capacity_bps;
+  l.ospf_weight = ospf_weight;
+  l.distance = distance;
+  l.type = type;
+  return add_link(l);
+}
+
+LinkId Graph::add_duplex_link(NodeId a, NodeId b, double capacity_bps,
+                              double ospf_weight, double distance, LinkType type) {
+  const LinkId forward = add_link(a, b, capacity_bps, ospf_weight, distance, type);
+  add_link(b, a, capacity_bps, ospf_weight, distance, type);
+  return forward;
+}
+
+NodeId Graph::find_node(std::string_view name) const {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].name == name) return static_cast<NodeId>(i);
+  }
+  return kInvalidNode;
+}
+
+LinkId Graph::find_link(NodeId src, NodeId dst) const {
+  if (src < 0 || static_cast<std::size_t>(src) >= nodes_.size()) return kInvalidLink;
+  for (LinkId id : out_links_[static_cast<std::size_t>(src)]) {
+    if (links_[static_cast<std::size_t>(id)].dst == dst) return id;
+  }
+  return kInvalidLink;
+}
+
+std::vector<LinkId> Graph::links_of_type(LinkType type) const {
+  std::vector<LinkId> result;
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    if (links_[i].type == type) result.push_back(static_cast<LinkId>(i));
+  }
+  return result;
+}
+
+double Graph::geo_distance_miles(NodeId a, NodeId b) const {
+  check_node(a);
+  check_node(b);
+  const Node& na = nodes_[static_cast<std::size_t>(a)];
+  const Node& nb = nodes_[static_cast<std::size_t>(b)];
+  return GreatCircleMiles(na.latitude, na.longitude, nb.latitude, nb.longitude);
+}
+
+double GreatCircleMiles(double lat1, double lon1, double lat2, double lon2) {
+  const double phi1 = Radians(lat1);
+  const double phi2 = Radians(lat2);
+  const double dphi = Radians(lat2 - lat1);
+  const double dlambda = Radians(lon2 - lon1);
+  const double a = std::sin(dphi / 2) * std::sin(dphi / 2) +
+                   std::cos(phi1) * std::cos(phi2) * std::sin(dlambda / 2) * std::sin(dlambda / 2);
+  const double c = 2.0 * std::atan2(std::sqrt(a), std::sqrt(1.0 - a));
+  return kEarthRadiusMiles * c;
+}
+
+}  // namespace p4p::net

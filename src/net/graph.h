@@ -1,0 +1,133 @@
+// Directed network graph used as the iTracker's internal view.
+//
+// Nodes model PoPs (or core routers / external-domain attachment points);
+// directed links carry a capacity, an OSPF weight used for routing, a
+// geographic distance (used by the bandwidth-distance-product objective),
+// and a classification (backbone / interdomain / access).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace p4p::net {
+
+using NodeId = std::int32_t;
+using LinkId = std::int32_t;
+
+inline constexpr NodeId kInvalidNode = -1;
+inline constexpr LinkId kInvalidLink = -1;
+
+/// Role a node plays in the iTracker's internal view.
+enum class NodeType : std::uint8_t {
+  kPop,       ///< aggregation PID: a point of presence with attached clients
+  kCore,      ///< core router, not externally visible
+  kExternal,  ///< attachment point of another autonomous system
+};
+
+/// Classification of a directed link.
+enum class LinkType : std::uint8_t {
+  kBackbone,     ///< intradomain backbone link between PoPs/cores
+  kInterdomain,  ///< peering/transit link to another AS
+  kAccess,       ///< last-mile access link (usually modeled in the simulator)
+};
+
+struct Node {
+  std::string name;
+  NodeType type = NodeType::kPop;
+  /// Metro area identifier; PoPs in the same metro exchange "same-metro"
+  /// traffic in the field-test accounting (Table 3 of the paper).
+  std::int32_t metro = 0;
+  /// Geographic coordinates used to synthesize latencies and link distances.
+  double latitude = 0.0;
+  double longitude = 0.0;
+};
+
+struct Link {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  /// Capacity in bits per second.
+  double capacity_bps = 0.0;
+  /// OSPF weight; shortest-path routing minimizes the sum of these.
+  double ospf_weight = 1.0;
+  /// Geographic distance (miles); `d_e` in the BDP objective.
+  double distance = 1.0;
+  /// Steady-state packet loss rate on the link (used by the simulator's
+  /// Mathis TCP-throughput model); 0 for clean links.
+  double loss_rate = 0.0;
+  LinkType type = LinkType::kBackbone;
+};
+
+/// A directed multigraph with stable integer ids.
+///
+/// Invariants: every link references existing nodes; capacities and weights
+/// are positive and finite. Violations throw std::invalid_argument at
+/// insertion time so downstream algorithms can assume a well-formed graph.
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(std::string name) : name_(std::move(name)) {}
+
+  /// Adds a node and returns its id. Ids are dense, starting at 0.
+  NodeId add_node(Node node);
+  NodeId add_node(std::string_view name, NodeType type = NodeType::kPop,
+                  std::int32_t metro = 0, double lat = 0.0, double lon = 0.0);
+
+  /// Adds a directed link and returns its id.
+  LinkId add_link(Link link);
+  LinkId add_link(NodeId src, NodeId dst, double capacity_bps,
+                  double ospf_weight = 1.0, double distance = 1.0,
+                  LinkType type = LinkType::kBackbone);
+
+  /// Adds a pair of opposite directed links with identical attributes.
+  /// Returns the id of the src->dst link; the reverse link is the next id.
+  LinkId add_duplex_link(NodeId a, NodeId b, double capacity_bps,
+                         double ospf_weight = 1.0, double distance = 1.0,
+                         LinkType type = LinkType::kBackbone);
+
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t link_count() const { return links_.size(); }
+
+  const Node& node(NodeId id) const { return nodes_.at(static_cast<std::size_t>(id)); }
+  const Link& link(LinkId id) const { return links_.at(static_cast<std::size_t>(id)); }
+  Link& mutable_link(LinkId id) { return links_.at(static_cast<std::size_t>(id)); }
+
+  const std::vector<Node>& nodes() const { return nodes_; }
+  const std::vector<Link>& links() const { return links_; }
+
+  /// Outgoing link ids of `node`, in insertion order.
+  const std::vector<LinkId>& out_links(NodeId node) const {
+    return out_links_.at(static_cast<std::size_t>(node));
+  }
+
+  /// Returns the id of the first node with the given name, or kInvalidNode.
+  NodeId find_node(std::string_view name) const;
+
+  /// Returns the id of the first link src->dst, or kInvalidLink.
+  LinkId find_link(NodeId src, NodeId dst) const;
+
+  /// Link ids of all links of the given type.
+  std::vector<LinkId> links_of_type(LinkType type) const;
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Great-circle distance in miles between two nodes' coordinates.
+  double geo_distance_miles(NodeId a, NodeId b) const;
+
+ private:
+  void check_node(NodeId id) const;
+
+  std::string name_;
+  std::vector<Node> nodes_;
+  std::vector<Link> links_;
+  std::vector<std::vector<LinkId>> out_links_;
+};
+
+/// Great-circle distance (miles) between two latitude/longitude points.
+double GreatCircleMiles(double lat1, double lon1, double lat2, double lon2);
+
+}  // namespace p4p::net

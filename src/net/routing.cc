@@ -1,0 +1,103 @@
+#include "net/routing.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace p4p::net {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kMilesPerMs = 124.0;   // ~2/3 c in fiber
+constexpr double kPerHopMs = 0.1;
+}  // namespace
+
+RoutingTable::RoutingTable(const Graph& graph, bool include_access)
+    : graph_(graph), include_access_(include_access) {
+  const std::size_t n = graph.node_count();
+  pred_link_.assign(n, std::vector<LinkId>(n, kInvalidLink));
+  dist_.assign(n, std::vector<double>(n, kInf));
+  for (std::size_t s = 0; s < n; ++s) {
+    dijkstra(static_cast<NodeId>(s));
+  }
+}
+
+void RoutingTable::dijkstra(NodeId src) {
+  auto& dist = dist_[static_cast<std::size_t>(src)];
+  auto& pred = pred_link_[static_cast<std::size_t>(src)];
+  dist[static_cast<std::size_t>(src)] = 0.0;
+
+  using Entry = std::pair<double, NodeId>;  // (distance, node)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  heap.emplace(0.0, src);
+
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > dist[static_cast<std::size_t>(u)]) continue;  // stale entry
+    for (LinkId e : graph_.out_links(u)) {
+      const Link& l = graph_.link(e);
+      if (!include_access_ && l.type == LinkType::kAccess) continue;
+      const double nd = d + l.ospf_weight;
+      auto& dv = dist[static_cast<std::size_t>(l.dst)];
+      auto& pv = pred[static_cast<std::size_t>(l.dst)];
+      // Deterministic tie-break: keep the smaller predecessor link id.
+      if (nd < dv || (nd == dv && pv != kInvalidLink && e < pv)) {
+        dv = nd;
+        pv = e;
+        heap.emplace(nd, l.dst);
+      }
+    }
+  }
+}
+
+bool RoutingTable::reachable(NodeId src, NodeId dst) const {
+  return dist_.at(static_cast<std::size_t>(src)).at(static_cast<std::size_t>(dst)) < kInf;
+}
+
+double RoutingTable::route_cost(NodeId src, NodeId dst) const {
+  return dist_.at(static_cast<std::size_t>(src)).at(static_cast<std::size_t>(dst));
+}
+
+std::vector<LinkId> RoutingTable::path(NodeId src, NodeId dst) const {
+  if (!reachable(src, dst)) {
+    throw std::runtime_error("RoutingTable: node " + std::to_string(dst) +
+                             " unreachable from " + std::to_string(src));
+  }
+  std::vector<LinkId> links;
+  NodeId cur = dst;
+  const auto& pred = pred_link_.at(static_cast<std::size_t>(src));
+  while (cur != src) {
+    const LinkId e = pred.at(static_cast<std::size_t>(cur));
+    links.push_back(e);
+    cur = graph_.link(e).src;
+  }
+  std::reverse(links.begin(), links.end());
+  return links;
+}
+
+double RoutingTable::route_distance(NodeId src, NodeId dst) const {
+  double total = 0.0;
+  for (LinkId e : path(src, dst)) total += graph_.link(e).distance;
+  return total;
+}
+
+int RoutingTable::hop_count(NodeId src, NodeId dst) const {
+  return static_cast<int>(path(src, dst).size());
+}
+
+bool RoutingTable::on_route(LinkId e, NodeId i, NodeId j) const {
+  if (i == j || !reachable(i, j)) return false;
+  const auto p = path(i, j);
+  return std::find(p.begin(), p.end(), e) != p.end();
+}
+
+double RoutingTable::latency_ms(NodeId src, NodeId dst) const {
+  if (src == dst) return 0.0;
+  const auto p = path(src, dst);
+  double miles = 0.0;
+  for (LinkId e : p) miles += graph_.link(e).distance;
+  return miles / kMilesPerMs + kPerHopMs * static_cast<double>(p.size());
+}
+
+}  // namespace p4p::net

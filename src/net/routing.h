@@ -1,0 +1,62 @@
+// Shortest-path routing over a Graph.
+//
+// The iTracker computes p-distances between PIDs by summing per-link duals
+// over the routed path, so it needs the route indicator I_e(i,j) of the
+// paper's formulation. RoutingTable precomputes single-source shortest-path
+// trees (Dijkstra on OSPF weights) from every node and answers path queries
+// in O(path length).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "net/graph.h"
+
+namespace p4p::net {
+
+/// All-pairs shortest-path routing with deterministic tie-breaking
+/// (lower link id wins), so routes are stable across runs.
+class RoutingTable {
+ public:
+  /// Builds routes over all links whose type is not kAccess by default;
+  /// pass include_access=true to route over access links too.
+  explicit RoutingTable(const Graph& graph, bool include_access = false);
+
+  /// Link ids on the route from src to dst, in order. Empty when src == dst.
+  /// Throws std::out_of_range for invalid ids, std::runtime_error if dst is
+  /// unreachable from src.
+  std::vector<LinkId> path(NodeId src, NodeId dst) const;
+
+  /// True if dst is reachable from src.
+  bool reachable(NodeId src, NodeId dst) const;
+
+  /// Sum of OSPF weights along the route; infinity when unreachable.
+  double route_cost(NodeId src, NodeId dst) const;
+
+  /// Sum of link geographic distances (miles) along the route.
+  double route_distance(NodeId src, NodeId dst) const;
+
+  /// Number of links on the route (backbone hop count).
+  int hop_count(NodeId src, NodeId dst) const;
+
+  /// Route indicator: true iff link e is on the route from i to j.
+  bool on_route(LinkId e, NodeId i, NodeId j) const;
+
+  /// One-way propagation latency estimate in milliseconds, assuming signals
+  /// travel at ~124 miles/ms (2/3 the speed of light in fiber) plus a fixed
+  /// 0.1 ms per-hop forwarding delay.
+  double latency_ms(NodeId src, NodeId dst) const;
+
+  const Graph& graph() const { return graph_; }
+
+ private:
+  void dijkstra(NodeId src);
+
+  const Graph& graph_;
+  bool include_access_;
+  // pred_link_[src][dst] = last link on the shortest path src->dst.
+  std::vector<std::vector<LinkId>> pred_link_;
+  std::vector<std::vector<double>> dist_;
+};
+
+}  // namespace p4p::net

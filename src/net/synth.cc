@@ -1,0 +1,155 @@
+#include "net/synth.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <random>
+#include <set>
+#include <stdexcept>
+
+namespace p4p::net {
+
+namespace {
+
+struct Region {
+  double lat_min, lat_max, lon_min, lon_max;
+};
+
+constexpr Region kUs = {30.0, 47.5, -122.5, -71.0};
+constexpr Region kEurope = {40.0, 55.0, -5.0, 20.0};
+constexpr Region kAsia = {20.0, 40.0, 100.0, 140.0};
+
+double UniformIn(std::mt19937_64& rng, double lo, double hi) {
+  std::uniform_real_distribution<double> d(lo, hi);
+  return d(rng);
+}
+
+}  // namespace
+
+Graph MakeSynthTopology(const SynthConfig& config) {
+  if (config.num_metros < 1 || config.num_pops < 1) {
+    throw std::invalid_argument("MakeSynthTopology: counts must be >= 1");
+  }
+  if (config.num_pops < config.num_metros) {
+    throw std::invalid_argument("MakeSynthTopology: need at least one PoP per metro");
+  }
+
+  std::mt19937_64 rng(config.seed);
+  Graph g(config.name);
+
+  // Place metro centers. International topologies spread metros over three
+  // regions; domestic ones use the US bounding box.
+  struct Metro {
+    double lat, lon;
+    std::vector<NodeId> pops;
+  };
+  std::vector<Metro> metros(static_cast<std::size_t>(config.num_metros));
+  for (int m = 0; m < config.num_metros; ++m) {
+    Region r = kUs;
+    if (config.international) {
+      const int region = m % 3;
+      r = region == 0 ? kUs : (region == 1 ? kEurope : kAsia);
+    }
+    metros[static_cast<std::size_t>(m)].lat = UniformIn(rng, r.lat_min, r.lat_max);
+    metros[static_cast<std::size_t>(m)].lon = UniformIn(rng, r.lon_min, r.lon_max);
+  }
+
+  // Assign PoPs to metros with a Zipf skew: metro rank k gets weight 1/k.
+  std::vector<double> weights(static_cast<std::size_t>(config.num_metros));
+  for (int m = 0; m < config.num_metros; ++m) {
+    weights[static_cast<std::size_t>(m)] = 1.0 / static_cast<double>(m + 1);
+  }
+  // Every metro gets one PoP (its hub); remaining PoPs are drawn Zipf.
+  std::discrete_distribution<int> metro_pick(weights.begin(), weights.end());
+  std::vector<int> pops_per_metro(static_cast<std::size_t>(config.num_metros), 1);
+  for (int p = config.num_metros; p < config.num_pops; ++p) {
+    ++pops_per_metro[static_cast<std::size_t>(metro_pick(rng))];
+  }
+
+  for (int m = 0; m < config.num_metros; ++m) {
+    auto& metro = metros[static_cast<std::size_t>(m)];
+    for (int k = 0; k < pops_per_metro[static_cast<std::size_t>(m)]; ++k) {
+      // Jitter PoPs around the metro center (within ~0.5 degrees).
+      const double lat = metro.lat + UniformIn(rng, -0.5, 0.5);
+      const double lon = metro.lon + UniformIn(rng, -0.5, 0.5);
+      const std::string name =
+          config.name + "-m" + std::to_string(m) + "-p" + std::to_string(k);
+      metro.pops.push_back(g.add_node(name, NodeType::kPop, m, lat, lon));
+    }
+  }
+
+  auto connect = [&g](NodeId a, NodeId b, double bps) {
+    if (g.find_link(a, b) != kInvalidLink) return;
+    const double miles = std::max(10.0, g.geo_distance_miles(a, b));
+    g.add_duplex_link(a, b, bps, /*ospf_weight=*/miles, /*distance=*/miles,
+                      LinkType::kBackbone);
+  };
+
+  // Intra-metro: star of PoPs to the metro hub (the first PoP of the metro).
+  for (const auto& metro : metros) {
+    for (std::size_t k = 1; k < metro.pops.size(); ++k) {
+      connect(metro.pops[0], metro.pops[k], config.metro_bps);
+    }
+  }
+
+  // Inter-metro ring in longitude order — keeps the backbone connected and
+  // produces the coast-to-coast paths the unit-BDP metric measures.
+  std::vector<int> order(static_cast<std::size_t>(config.num_metros));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&metros](int a, int b) {
+    return metros[static_cast<std::size_t>(a)].lon < metros[static_cast<std::size_t>(b)].lon;
+  });
+  for (int i = 0; i < config.num_metros; ++i) {
+    const int a = order[static_cast<std::size_t>(i)];
+    const int b = order[static_cast<std::size_t>((i + 1) % config.num_metros)];
+    if (config.num_metros == 2 && i == 1) break;  // avoid a duplicate on 2 metros
+    if (a == b) continue;                         // single metro: no ring
+    connect(metros[static_cast<std::size_t>(a)].pops[0],
+            metros[static_cast<std::size_t>(b)].pops[0], config.backbone_bps);
+  }
+
+  // Express chords between random metro hubs.
+  const int num_chords =
+      static_cast<int>(std::lround(config.chord_fraction * config.num_metros));
+  std::uniform_int_distribution<int> pick(0, config.num_metros - 1);
+  for (int c = 0; c < num_chords; ++c) {
+    const int a = pick(rng);
+    const int b = pick(rng);
+    if (a == b) continue;
+    connect(metros[static_cast<std::size_t>(a)].pops[0],
+            metros[static_cast<std::size_t>(b)].pops[0], config.backbone_bps);
+  }
+
+  return g;
+}
+
+Graph MakeIspA() {
+  SynthConfig c;
+  c.name = "ISP-A";
+  c.num_pops = 20;
+  c.num_metros = 8;
+  c.seed = 0xA;
+  return MakeSynthTopology(c);
+}
+
+Graph MakeIspB() {
+  SynthConfig c;
+  c.name = "ISP-B";
+  c.num_pops = 52;
+  c.num_metros = 20;
+  c.chord_fraction = 0.6;
+  c.seed = 0xB;
+  return MakeSynthTopology(c);
+}
+
+Graph MakeIspC() {
+  SynthConfig c;
+  c.name = "ISP-C";
+  c.num_pops = 37;
+  c.num_metros = 14;
+  c.international = true;
+  c.seed = 0xC;
+  return MakeSynthTopology(c);
+}
+
+}  // namespace p4p::net

@@ -1,0 +1,44 @@
+// Synthetic PoP-level topology generator.
+//
+// The paper evaluates on PoP-level maps of major tier-1 ISPs (Table 1:
+// ISP-A 20 PoPs, ISP-B 52 PoPs, ISP-C 37 international PoPs). Those maps
+// are proprietary, so we synthesize topologies with the same node counts
+// using a metro-ring-with-express-links model: metros are placed in a
+// geographic region, PoPs are assigned to metros with a Zipf skew (client
+// and PoP concentration in a few large metros, as in the paper's
+// northeastern-US motivation), metros are connected in a longitude-ordered
+// ring plus random express chords, and PoPs within a metro star to the
+// metro hub. Generation is fully deterministic given the seed.
+#pragma once
+
+#include <cstdint>
+
+#include "net/graph.h"
+
+namespace p4p::net {
+
+struct SynthConfig {
+  std::string name = "synth";
+  int num_pops = 20;
+  int num_metros = 8;
+  /// Extra express links beyond the metro ring, as a fraction of metros.
+  double chord_fraction = 0.5;
+  /// Inter-metro backbone capacity (bps).
+  double backbone_bps = 10e9;
+  /// Intra-metro capacity (bps).
+  double metro_bps = 40e9;
+  /// If true, metros are spread over three continents (long-haul links).
+  bool international = false;
+  std::uint64_t seed = 1;
+};
+
+/// Generates a connected PoP-level topology per the config.
+/// Throws std::invalid_argument if num_pops < num_metros or counts are < 1.
+Graph MakeSynthTopology(const SynthConfig& config);
+
+/// Canonical instances matching Table 1 of the paper.
+Graph MakeIspA();  ///< 20 PoPs, US.
+Graph MakeIspB();  ///< 52 PoPs, US, many metros (field-test network).
+Graph MakeIspC();  ///< 37 PoPs, international.
+
+}  // namespace p4p::net

@@ -1,0 +1,50 @@
+#include "net/topology.h"
+
+namespace p4p::net {
+
+namespace {
+constexpr double kOc192Bps = 10e9;  // Abilene backbone links were OC-192.
+
+struct PopSpec {
+  const char* name;
+  double lat;
+  double lon;
+};
+
+// Latitude/longitude of the 11 Abilene PoPs.
+constexpr PopSpec kAbilenePops[] = {
+    {"Seattle", 47.61, -122.33},     {"Sunnyvale", 37.37, -122.04},
+    {"LosAngeles", 34.05, -118.24},  {"Denver", 39.74, -104.99},
+    {"KansasCity", 39.10, -94.58},   {"Houston", 29.76, -95.37},
+    {"Chicago", 41.88, -87.63},      {"Indianapolis", 39.77, -86.16},
+    {"Atlanta", 33.75, -84.39},      {"WashingtonDC", 38.91, -77.04},
+    {"NewYork", 40.71, -74.01},
+};
+
+// The 14 duplex backbone circuits of the Abilene map.
+constexpr std::pair<AbileneNode, AbileneNode> kAbileneLinks[] = {
+    {kSeattle, kSunnyvale},     {kSeattle, kDenver},
+    {kSunnyvale, kLosAngeles},  {kSunnyvale, kDenver},
+    {kLosAngeles, kHouston},    {kDenver, kKansasCity},
+    {kKansasCity, kHouston},    {kKansasCity, kChicago},
+    {kHouston, kAtlanta},       {kChicago, kIndianapolis},
+    {kIndianapolis, kAtlanta},  {kChicago, kNewYork},
+    {kAtlanta, kWashingtonDC},  {kNewYork, kWashingtonDC},
+};
+}  // namespace
+
+Graph MakeAbilene() {
+  Graph g("Abilene");
+  std::int32_t metro = 0;
+  for (const auto& pop : kAbilenePops) {
+    g.add_node(pop.name, NodeType::kPop, metro++, pop.lat, pop.lon);
+  }
+  for (const auto& [a, b] : kAbileneLinks) {
+    const double miles = g.geo_distance_miles(a, b);
+    g.add_duplex_link(a, b, kOc192Bps, /*ospf_weight=*/miles, /*distance=*/miles,
+                      LinkType::kBackbone);
+  }
+  return g;
+}
+
+}  // namespace p4p::net

@@ -1,0 +1,33 @@
+// Built-in real topologies.
+//
+// Abilene is reconstructed at router level (11 PoPs / 28 directed links,
+// matching Table 1 of the paper) from its public PoP map. Link distances
+// and OSPF weights are derived from great-circle distances between PoPs,
+// which matches Abilene practice of distance-proportional IGP weights.
+#pragma once
+
+#include "net/graph.h"
+
+namespace p4p::net {
+
+/// Abilene backbone circa 2008: 11 nodes, 14 duplex OC-192 (10 Gbps) links.
+/// Node names: Seattle, Sunnyvale, LosAngeles, Denver, KansasCity, Houston,
+/// Chicago, Indianapolis, Atlanta, WashingtonDC, NewYork.
+Graph MakeAbilene();
+
+/// Indices of the Abilene nodes, in insertion order of MakeAbilene().
+enum AbileneNode : NodeId {
+  kSeattle = 0,
+  kSunnyvale,
+  kLosAngeles,
+  kDenver,
+  kKansasCity,
+  kHouston,
+  kChicago,
+  kIndianapolis,
+  kAtlanta,
+  kWashingtonDC,
+  kNewYork,
+};
+
+}  // namespace p4p::net

@@ -1,0 +1,45 @@
+#include "proto/caching_client.h"
+
+#include <stdexcept>
+
+namespace p4p::proto {
+
+CachingPortalClient::CachingPortalClient(std::unique_ptr<Transport> transport,
+                                         std::function<double()> clock,
+                                         double ttl_seconds)
+    : client_(std::move(transport)), clock_(std::move(clock)), ttl_(ttl_seconds) {
+  if (!clock_) {
+    throw std::invalid_argument("CachingPortalClient: null clock");
+  }
+  if (!(ttl_seconds > 0)) {
+    throw std::invalid_argument("CachingPortalClient: ttl must be positive");
+  }
+}
+
+const core::PDistanceMatrix& CachingPortalClient::GetExternalView() {
+  const double now = clock_();
+  if (view_ && now - view_->fetched_at <= ttl_) {
+    ++hit_count_;
+    return view_->view;
+  }
+  auto [view, version] = client_.GetExternalViewWithVersion();
+  ++fetch_count_;
+  view_ = CachedView{std::move(view), version, now};
+  return view_->view;
+}
+
+std::vector<double> CachingPortalClient::GetPDistances(core::Pid from) {
+  const auto& view = GetExternalView();
+  if (from < 0 || from >= view.size()) {
+    throw std::out_of_range("CachingPortalClient: PID out of range");
+  }
+  std::vector<double> row(static_cast<std::size_t>(view.size()));
+  for (core::Pid j = 0; j < view.size(); ++j) {
+    row[static_cast<std::size_t>(j)] = view.at(from, j);
+  }
+  return row;
+}
+
+void CachingPortalClient::Invalidate() { view_.reset(); }
+
+}  // namespace p4p::proto

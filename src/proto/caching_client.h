@@ -1,0 +1,52 @@
+// Version-aware caching wrapper over PortalClient.
+//
+// The interface is designed so that "network information should be
+// aggregated and allow caching to avoid handling per client query to
+// networks" (Section 4): responses carry the iTracker's price version, so
+// an appTracker can serve thousands of peer selections from one fetched
+// view, refreshing on a TTL and keeping the old data when the version has
+// not moved.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "proto/service.h"
+
+namespace p4p::proto {
+
+class CachingPortalClient {
+ public:
+  /// `clock` returns the current time in seconds (monotonic); injectable
+  /// for tests and simulations. Rows/views older than `ttl_seconds` are
+  /// refetched on access.
+  CachingPortalClient(std::unique_ptr<Transport> transport,
+                      std::function<double()> clock, double ttl_seconds = 60.0);
+
+  /// Cached row of p-distances from `from`.
+  std::vector<double> GetPDistances(core::Pid from);
+  /// Cached full-mesh view.
+  const core::PDistanceMatrix& GetExternalView();
+
+  /// Forces the next access to refetch.
+  void Invalidate();
+
+  std::size_t fetch_count() const { return fetch_count_; }
+  std::size_t hit_count() const { return hit_count_; }
+
+ private:
+  struct CachedView {
+    core::PDistanceMatrix view{0};
+    std::uint64_t version = 0;
+    double fetched_at = 0.0;
+  };
+
+  PortalClient client_;
+  std::function<double()> clock_;
+  double ttl_;
+  std::optional<CachedView> view_;
+  std::size_t fetch_count_ = 0;
+  std::size_t hit_count_ = 0;
+};
+
+}  // namespace p4p::proto

@@ -1,0 +1,61 @@
+#include "proto/directory.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace p4p::proto {
+
+std::string P4pServiceName(const std::string& domain) {
+  return "_p4p._tcp." + domain;
+}
+
+void PortalDirectory::AddRecord(const std::string& domain, SrvRecord record) {
+  if (domain.empty() || record.target.empty()) {
+    throw std::invalid_argument("PortalDirectory: empty domain or target");
+  }
+  if (record.port == 0) {
+    throw std::invalid_argument("PortalDirectory: port must be nonzero");
+  }
+  if (record.priority < 0 || record.weight < 0) {
+    throw std::invalid_argument("PortalDirectory: negative priority or weight");
+  }
+  records_[domain].push_back(std::move(record));
+}
+
+std::optional<SrvRecord> PortalDirectory::Resolve(const std::string& domain,
+                                                  std::mt19937_64& rng) const {
+  const auto it = records_.find(domain);
+  if (it == records_.end() || it->second.empty()) return std::nullopt;
+
+  // Lowest priority class.
+  int best_priority = it->second.front().priority;
+  for (const auto& r : it->second) best_priority = std::min(best_priority, r.priority);
+
+  // Weighted random among that class (all-zero weights: uniform).
+  std::vector<const SrvRecord*> candidates;
+  double total_weight = 0.0;
+  for (const auto& r : it->second) {
+    if (r.priority == best_priority) {
+      candidates.push_back(&r);
+      total_weight += r.weight;
+    }
+  }
+  if (candidates.size() == 1 || total_weight <= 0) {
+    std::uniform_int_distribution<std::size_t> pick(0, candidates.size() - 1);
+    return *candidates[total_weight <= 0 && candidates.size() > 1 ? pick(rng) : 0];
+  }
+  std::uniform_real_distribution<double> u(0.0, total_weight);
+  double x = u(rng);
+  for (const auto* r : candidates) {
+    x -= r->weight;
+    if (x <= 0) return *r;
+  }
+  return *candidates.back();
+}
+
+std::vector<SrvRecord> PortalDirectory::Records(const std::string& domain) const {
+  const auto it = records_.find(domain);
+  return it == records_.end() ? std::vector<SrvRecord>{} : it->second;
+}
+
+}  // namespace p4p::proto

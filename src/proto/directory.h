@@ -1,0 +1,48 @@
+// Portal discovery — "there are various ways to obtain the IP address of
+// the iTracker of a network; one possibility is through DNS query (using
+// DNS SRV with symbolic name p4p)" (Section 3).
+//
+// PortalDirectory is the resolver-side substitute: SRV-style records
+// (priority, weight, target, port) registered under a domain, resolved with
+// standard SRV semantics — lowest priority wins, ties broken by weighted
+// random selection. The symbolic service name is "_p4p._tcp.<domain>".
+#pragma once
+
+#include <map>
+#include <optional>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace p4p::proto {
+
+struct SrvRecord {
+  std::string target;       ///< host of the portal
+  std::uint16_t port = 0;
+  int priority = 0;         ///< lower is preferred
+  int weight = 1;           ///< tie-break weight within a priority class
+};
+
+/// The symbolic SRV name for a domain's portal, e.g. "_p4p._tcp.isp-b.net".
+std::string P4pServiceName(const std::string& domain);
+
+class PortalDirectory {
+ public:
+  /// Registers a record for `domain`. Throws std::invalid_argument for
+  /// empty domain/target, zero port, or negative priority/weight.
+  void AddRecord(const std::string& domain, SrvRecord record);
+
+  /// Resolves per SRV semantics. Returns std::nullopt for unknown domains.
+  std::optional<SrvRecord> Resolve(const std::string& domain,
+                                   std::mt19937_64& rng) const;
+
+  /// All records for a domain, in registration order.
+  std::vector<SrvRecord> Records(const std::string& domain) const;
+
+  std::size_t domain_count() const { return records_.size(); }
+
+ private:
+  std::map<std::string, std::vector<SrvRecord>> records_;
+};
+
+}  // namespace p4p::proto

@@ -1,0 +1,237 @@
+#include "proto/messages.h"
+
+namespace p4p::proto {
+
+namespace {
+
+void EncodeBody(const ErrorMsg& m, Writer& w) { w.str(m.message); }
+
+void EncodeBody(const GetPDistancesReq& m, Writer& w) { w.i32(m.from); }
+
+void EncodeBody(const GetPDistancesResp& m, Writer& w) {
+  w.i32(m.from);
+  w.u64(m.version);
+  w.f64_vec(m.distances);
+}
+
+void EncodeBody(const GetExternalViewReq&, Writer&) {}
+
+void EncodeBody(const GetExternalViewResp& m, Writer& w) {
+  w.i32(m.num_pids);
+  w.u64(m.version);
+  w.f64_vec(m.distances);
+}
+
+void EncodeBody(const GetPolicyReq&, Writer&) {}
+
+void EncodeBody(const GetPolicyResp& m, Writer& w) {
+  w.f64(m.thresholds.near_congestion_utilization);
+  w.f64(m.thresholds.heavy_usage_utilization);
+  w.u32(static_cast<std::uint32_t>(m.time_of_day.size()));
+  for (const auto& p : m.time_of_day) {
+    w.i32(p.link);
+    w.u8(static_cast<std::uint8_t>(p.start_hour));
+    w.u8(static_cast<std::uint8_t>(p.end_hour));
+    w.f64(p.max_utilization);
+  }
+}
+
+void EncodeBody(const GetCapabilityReq& m, Writer& w) {
+  w.u8(static_cast<std::uint8_t>(m.type));
+  w.str(m.content_id);
+}
+
+void EncodeBody(const GetCapabilityResp& m, Writer& w) {
+  w.u32(static_cast<std::uint32_t>(m.capabilities.size()));
+  for (const auto& c : m.capabilities) {
+    w.u8(static_cast<std::uint8_t>(c.type));
+    w.i32(c.pid);
+    w.f64(c.capacity_bps);
+    w.str(c.description);
+  }
+}
+
+void EncodeBody(const GetPidMapReq& m, Writer& w) { w.str(m.client_ip); }
+
+void EncodeBody(const GetPidMapResp& m, Writer& w) {
+  w.u8(m.found ? 1 : 0);
+  w.i32(m.pid);
+  w.i32(m.as_number);
+}
+
+template <typename T>
+std::optional<Message> DecodeAs(Reader& r);
+
+template <>
+std::optional<Message> DecodeAs<ErrorMsg>(Reader& r) {
+  ErrorMsg m;
+  m.message = r.str();
+  if (!r.done()) return std::nullopt;
+  return m;
+}
+
+template <>
+std::optional<Message> DecodeAs<GetPDistancesReq>(Reader& r) {
+  GetPDistancesReq m;
+  m.from = r.i32();
+  if (!r.done()) return std::nullopt;
+  return m;
+}
+
+template <>
+std::optional<Message> DecodeAs<GetPDistancesResp>(Reader& r) {
+  GetPDistancesResp m;
+  m.from = r.i32();
+  m.version = r.u64();
+  m.distances = r.f64_vec();
+  if (!r.done()) return std::nullopt;
+  return m;
+}
+
+template <>
+std::optional<Message> DecodeAs<GetExternalViewReq>(Reader& r) {
+  if (!r.done()) return std::nullopt;
+  return GetExternalViewReq{};
+}
+
+template <>
+std::optional<Message> DecodeAs<GetExternalViewResp>(Reader& r) {
+  GetExternalViewResp m;
+  m.num_pids = r.i32();
+  m.version = r.u64();
+  m.distances = r.f64_vec();
+  if (!r.done()) return std::nullopt;
+  if (m.num_pids < 0 ||
+      m.distances.size() !=
+          static_cast<std::size_t>(m.num_pids) * static_cast<std::size_t>(m.num_pids)) {
+    return std::nullopt;
+  }
+  return m;
+}
+
+template <>
+std::optional<Message> DecodeAs<GetPolicyReq>(Reader& r) {
+  if (!r.done()) return std::nullopt;
+  return GetPolicyReq{};
+}
+
+template <>
+std::optional<Message> DecodeAs<GetPolicyResp>(Reader& r) {
+  GetPolicyResp m;
+  m.thresholds.near_congestion_utilization = r.f64();
+  m.thresholds.heavy_usage_utilization = r.f64();
+  const std::uint32_t n = r.u32();
+  for (std::uint32_t i = 0; i < n && r.ok(); ++i) {
+    core::TimeOfDayPolicy p;
+    p.link = r.i32();
+    p.start_hour = r.u8();
+    p.end_hour = r.u8();
+    p.max_utilization = r.f64();
+    m.time_of_day.push_back(p);
+  }
+  if (!r.done()) return std::nullopt;
+  return m;
+}
+
+template <>
+std::optional<Message> DecodeAs<GetCapabilityReq>(Reader& r) {
+  GetCapabilityReq m;
+  const std::uint8_t type = r.u8();
+  if (type > static_cast<std::uint8_t>(core::CapabilityType::kServiceClass)) {
+    return std::nullopt;
+  }
+  m.type = static_cast<core::CapabilityType>(type);
+  m.content_id = r.str();
+  if (!r.done()) return std::nullopt;
+  return m;
+}
+
+template <>
+std::optional<Message> DecodeAs<GetCapabilityResp>(Reader& r) {
+  GetCapabilityResp m;
+  const std::uint32_t n = r.u32();
+  for (std::uint32_t i = 0; i < n && r.ok(); ++i) {
+    core::Capability c;
+    const std::uint8_t type = r.u8();
+    if (type > static_cast<std::uint8_t>(core::CapabilityType::kServiceClass)) {
+      return std::nullopt;
+    }
+    c.type = static_cast<core::CapabilityType>(type);
+    c.pid = r.i32();
+    c.capacity_bps = r.f64();
+    c.description = r.str();
+    m.capabilities.push_back(std::move(c));
+  }
+  if (!r.done()) return std::nullopt;
+  return m;
+}
+
+template <>
+std::optional<Message> DecodeAs<GetPidMapReq>(Reader& r) {
+  GetPidMapReq m;
+  m.client_ip = r.str();
+  if (!r.done()) return std::nullopt;
+  return m;
+}
+
+template <>
+std::optional<Message> DecodeAs<GetPidMapResp>(Reader& r) {
+  GetPidMapResp m;
+  m.found = r.u8() != 0;
+  m.pid = r.i32();
+  m.as_number = r.i32();
+  if (!r.done()) return std::nullopt;
+  return m;
+}
+
+}  // namespace
+
+MsgType TypeOf(const Message& message) {
+  return std::visit(
+      [](const auto& m) -> MsgType {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, ErrorMsg>) return MsgType::kError;
+        if constexpr (std::is_same_v<T, GetPDistancesReq>) return MsgType::kGetPDistancesReq;
+        if constexpr (std::is_same_v<T, GetPDistancesResp>) return MsgType::kGetPDistancesResp;
+        if constexpr (std::is_same_v<T, GetExternalViewReq>) return MsgType::kGetExternalViewReq;
+        if constexpr (std::is_same_v<T, GetExternalViewResp>) return MsgType::kGetExternalViewResp;
+        if constexpr (std::is_same_v<T, GetPolicyReq>) return MsgType::kGetPolicyReq;
+        if constexpr (std::is_same_v<T, GetPolicyResp>) return MsgType::kGetPolicyResp;
+        if constexpr (std::is_same_v<T, GetCapabilityReq>) return MsgType::kGetCapabilityReq;
+        if constexpr (std::is_same_v<T, GetCapabilityResp>) return MsgType::kGetCapabilityResp;
+        if constexpr (std::is_same_v<T, GetPidMapReq>) return MsgType::kGetPidMapReq;
+        if constexpr (std::is_same_v<T, GetPidMapResp>) return MsgType::kGetPidMapResp;
+      },
+      message);
+}
+
+std::vector<std::uint8_t> Encode(const Message& message) {
+  Writer w;
+  w.u8(kProtocolVersion);
+  w.u8(static_cast<std::uint8_t>(TypeOf(message)));
+  std::visit([&w](const auto& m) { EncodeBody(m, w); }, message);
+  return w.take();
+}
+
+std::optional<Message> Decode(std::span<const std::uint8_t> bytes) {
+  Reader r(bytes);
+  const std::uint8_t version = r.u8();
+  const std::uint8_t type = r.u8();
+  if (!r.ok() || version != kProtocolVersion) return std::nullopt;
+  switch (static_cast<MsgType>(type)) {
+    case MsgType::kError: return DecodeAs<ErrorMsg>(r);
+    case MsgType::kGetPDistancesReq: return DecodeAs<GetPDistancesReq>(r);
+    case MsgType::kGetPDistancesResp: return DecodeAs<GetPDistancesResp>(r);
+    case MsgType::kGetExternalViewReq: return DecodeAs<GetExternalViewReq>(r);
+    case MsgType::kGetExternalViewResp: return DecodeAs<GetExternalViewResp>(r);
+    case MsgType::kGetPolicyReq: return DecodeAs<GetPolicyReq>(r);
+    case MsgType::kGetPolicyResp: return DecodeAs<GetPolicyResp>(r);
+    case MsgType::kGetCapabilityReq: return DecodeAs<GetCapabilityReq>(r);
+    case MsgType::kGetCapabilityResp: return DecodeAs<GetCapabilityResp>(r);
+    case MsgType::kGetPidMapReq: return DecodeAs<GetPidMapReq>(r);
+    case MsgType::kGetPidMapResp: return DecodeAs<GetPidMapResp>(r);
+  }
+  return std::nullopt;
+}
+
+}  // namespace p4p::proto

@@ -1,0 +1,98 @@
+// Message schema of the P4P portal protocol: the three iTracker interfaces
+// (p4p-distance, policy, capability) plus the IP -> PID mapping query.
+//
+// Every message is framed as: u8 version | u8 type | payload. Transports
+// add an outer u32 length prefix. Decoding is total: malformed bytes decode
+// to std::nullopt, never UB or exceptions.
+#pragma once
+
+#include <optional>
+#include <variant>
+
+#include "core/capability.h"
+#include "core/pid.h"
+#include "core/policy.h"
+#include "proto/wire.h"
+
+namespace p4p::proto {
+
+inline constexpr std::uint8_t kProtocolVersion = 1;
+
+enum class MsgType : std::uint8_t {
+  kError = 0,
+  kGetPDistancesReq = 1,
+  kGetPDistancesResp = 2,
+  kGetExternalViewReq = 3,
+  kGetExternalViewResp = 4,
+  kGetPolicyReq = 5,
+  kGetPolicyResp = 6,
+  kGetCapabilityReq = 7,
+  kGetCapabilityResp = 8,
+  kGetPidMapReq = 9,
+  kGetPidMapResp = 10,
+};
+
+struct ErrorMsg {
+  std::string message;
+};
+
+/// p4p-distance: one row of the external view.
+struct GetPDistancesReq {
+  core::Pid from = core::kInvalidPid;
+};
+struct GetPDistancesResp {
+  core::Pid from = core::kInvalidPid;
+  std::uint64_t version = 0;  ///< iTracker price version, for caching
+  std::vector<double> distances;
+};
+
+/// p4p-distance: full-mesh snapshot.
+struct GetExternalViewReq {};
+struct GetExternalViewResp {
+  std::int32_t num_pids = 0;
+  std::uint64_t version = 0;
+  /// Row-major distances, num_pids^2 entries.
+  std::vector<double> distances;
+};
+
+/// policy interface.
+struct GetPolicyReq {};
+struct GetPolicyResp {
+  core::UsageThresholds thresholds;
+  std::vector<core::TimeOfDayPolicy> time_of_day;
+};
+
+/// capability interface.
+struct GetCapabilityReq {
+  core::CapabilityType type = core::CapabilityType::kCache;
+  std::string content_id;
+};
+struct GetCapabilityResp {
+  std::vector<core::Capability> capabilities;
+};
+
+/// IP -> PID mapping.
+struct GetPidMapReq {
+  std::string client_ip;
+};
+struct GetPidMapResp {
+  bool found = false;
+  core::Pid pid = core::kInvalidPid;
+  std::int32_t as_number = 0;
+};
+
+using Message =
+    std::variant<ErrorMsg, GetPDistancesReq, GetPDistancesResp, GetExternalViewReq,
+                 GetExternalViewResp, GetPolicyReq, GetPolicyResp, GetCapabilityReq,
+                 GetCapabilityResp, GetPidMapReq, GetPidMapResp>;
+
+/// Serializes a message (version byte + type byte + payload).
+std::vector<std::uint8_t> Encode(const Message& message);
+
+/// Parses a message; std::nullopt on malformed input, unknown type, or
+/// version mismatch.
+std::optional<Message> Decode(std::span<const std::uint8_t> bytes);
+
+MsgType TypeOf(const Message& message);
+
+}  // namespace p4p::proto

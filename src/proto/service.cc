@@ -1,0 +1,148 @@
+#include "proto/service.h"
+
+#include <stdexcept>
+
+namespace p4p::proto {
+
+ITrackerService::ITrackerService(const core::ITracker* tracker,
+                                 const core::PolicyRegistry* policy,
+                                 const core::CapabilityRegistry* capabilities,
+                                 const core::PidMap* pid_map)
+    : tracker_(tracker), policy_(policy), capabilities_(capabilities),
+      pid_map_(pid_map) {
+  if (tracker_ == nullptr) {
+    throw std::invalid_argument("ITrackerService: null tracker");
+  }
+}
+
+Message ITrackerService::Dispatch(const Message& request) const {
+  if (const auto* req = std::get_if<GetPDistancesReq>(&request)) {
+    if (req->from < 0 || req->from >= tracker_->num_pids()) {
+      return ErrorMsg{"unknown PID"};
+    }
+    GetPDistancesResp resp;
+    resp.from = req->from;
+    resp.version = tracker_->version();
+    resp.distances = tracker_->GetPDistances(req->from);
+    return resp;
+  }
+  if (std::get_if<GetExternalViewReq>(&request) != nullptr) {
+    GetExternalViewResp resp;
+    resp.num_pids = tracker_->num_pids();
+    resp.version = tracker_->version();
+    resp.distances.reserve(static_cast<std::size_t>(resp.num_pids) *
+                           static_cast<std::size_t>(resp.num_pids));
+    for (core::Pid i = 0; i < resp.num_pids; ++i) {
+      for (core::Pid j = 0; j < resp.num_pids; ++j) {
+        resp.distances.push_back(tracker_->pdistance(i, j));
+      }
+    }
+    return resp;
+  }
+  if (std::get_if<GetPolicyReq>(&request) != nullptr) {
+    if (policy_ == nullptr) return ErrorMsg{"policy interface not offered"};
+    GetPolicyResp resp;
+    resp.thresholds = policy_->thresholds();
+    resp.time_of_day = policy_->time_of_day_policies();
+    return resp;
+  }
+  if (const auto* req = std::get_if<GetCapabilityReq>(&request)) {
+    if (capabilities_ == nullptr) return ErrorMsg{"capability interface not offered"};
+    GetCapabilityResp resp;
+    resp.capabilities = capabilities_->Query(req->type, req->content_id);
+    return resp;
+  }
+  if (const auto* req = std::get_if<GetPidMapReq>(&request)) {
+    if (pid_map_ == nullptr) return ErrorMsg{"pid-map interface not offered"};
+    GetPidMapResp resp;
+    if (const auto mapping = pid_map_->lookup(req->client_ip)) {
+      resp.found = true;
+      resp.pid = mapping->pid;
+      resp.as_number = mapping->as_number;
+    }
+    return resp;
+  }
+  return ErrorMsg{"unexpected message type"};
+}
+
+std::vector<std::uint8_t> ITrackerService::Handle(
+    std::span<const std::uint8_t> request) const {
+  const auto decoded = Decode(request);
+  if (!decoded) {
+    return Encode(ErrorMsg{"malformed request"});
+  }
+  return Encode(Dispatch(*decoded));
+}
+
+PortalClient::PortalClient(std::unique_ptr<Transport> transport)
+    : transport_(std::move(transport)) {
+  if (!transport_) {
+    throw std::invalid_argument("PortalClient: null transport");
+  }
+}
+
+Message PortalClient::Call(const Message& request) {
+  const auto bytes = transport_->Call(Encode(request));
+  auto decoded = Decode(bytes);
+  if (!decoded) {
+    throw std::runtime_error("PortalClient: malformed response");
+  }
+  if (const auto* err = std::get_if<ErrorMsg>(&*decoded)) {
+    throw std::runtime_error("PortalClient: server error: " + err->message);
+  }
+  return std::move(*decoded);
+}
+
+std::vector<double> PortalClient::GetPDistances(core::Pid from) {
+  const auto resp = Call(GetPDistancesReq{from});
+  const auto* r = std::get_if<GetPDistancesResp>(&resp);
+  if (r == nullptr) throw std::runtime_error("PortalClient: wrong response type");
+  return r->distances;
+}
+
+core::PDistanceMatrix PortalClient::GetExternalView() {
+  return GetExternalViewWithVersion().first;
+}
+
+std::pair<core::PDistanceMatrix, std::uint64_t>
+PortalClient::GetExternalViewWithVersion() {
+  const auto resp = Call(GetExternalViewReq{});
+  const auto* r = std::get_if<GetExternalViewResp>(&resp);
+  if (r == nullptr) throw std::runtime_error("PortalClient: wrong response type");
+  core::PDistanceMatrix m(r->num_pids);
+  for (core::Pid i = 0; i < r->num_pids; ++i) {
+    for (core::Pid j = 0; j < r->num_pids; ++j) {
+      m.set(i, j,
+            r->distances[static_cast<std::size_t>(i) *
+                             static_cast<std::size_t>(r->num_pids) +
+                         static_cast<std::size_t>(j)]);
+    }
+  }
+  return {std::move(m), r->version};
+}
+
+GetPolicyResp PortalClient::GetPolicy() {
+  const auto resp = Call(GetPolicyReq{});
+  const auto* r = std::get_if<GetPolicyResp>(&resp);
+  if (r == nullptr) throw std::runtime_error("PortalClient: wrong response type");
+  return *r;
+}
+
+std::vector<core::Capability> PortalClient::GetCapabilities(
+    core::CapabilityType type, const std::string& content_id) {
+  const auto resp = Call(GetCapabilityReq{type, content_id});
+  const auto* r = std::get_if<GetCapabilityResp>(&resp);
+  if (r == nullptr) throw std::runtime_error("PortalClient: wrong response type");
+  return r->capabilities;
+}
+
+std::optional<core::PidMapping> PortalClient::GetPidMapping(
+    const std::string& client_ip) {
+  const auto resp = Call(GetPidMapReq{client_ip});
+  const auto* r = std::get_if<GetPidMapResp>(&resp);
+  if (r == nullptr) throw std::runtime_error("PortalClient: wrong response type");
+  if (!r->found) return std::nullopt;
+  return core::PidMapping{r->pid, r->as_number};
+}
+
+}  // namespace p4p::proto

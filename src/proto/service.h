@@ -1,0 +1,69 @@
+// The portal service: binds an ITracker (plus policy/capability registries
+// and the PID map) to the wire protocol, and a typed client for
+// applications. This realizes Figure 3 of the paper: appTrackers (or peers
+// in trackerless systems) query iTracker portals for policy and
+// p-distances.
+#pragma once
+
+#include <memory>
+
+#include "core/capability.h"
+#include "core/itracker.h"
+#include "core/pidmap.h"
+#include "core/policy.h"
+#include "proto/messages.h"
+#include "proto/transport.h"
+
+namespace p4p::proto {
+
+/// Server-side dispatcher. The referenced components must outlive the
+/// service. Any of policy/capabilities/pid_map may be null, in which case
+/// the corresponding interface answers with an ErrorMsg ("a network
+/// provider may choose to implement a subset of the interfaces").
+class ITrackerService {
+ public:
+  explicit ITrackerService(const core::ITracker* tracker,
+                           const core::PolicyRegistry* policy = nullptr,
+                           const core::CapabilityRegistry* capabilities = nullptr,
+                           const core::PidMap* pid_map = nullptr);
+
+  /// Handles one encoded request, returns the encoded response. Malformed
+  /// requests yield an encoded ErrorMsg.
+  std::vector<std::uint8_t> Handle(std::span<const std::uint8_t> request) const;
+
+  /// Adapter for the transports.
+  Handler handler() const {
+    return [this](std::span<const std::uint8_t> req) { return Handle(req); };
+  }
+
+ private:
+  Message Dispatch(const Message& request) const;
+
+  const core::ITracker* tracker_;
+  const core::PolicyRegistry* policy_;
+  const core::CapabilityRegistry* capabilities_;
+  const core::PidMap* pid_map_;
+};
+
+/// Typed client over any Transport. Methods throw std::runtime_error on
+/// transport or protocol errors (including server-side ErrorMsg).
+class PortalClient {
+ public:
+  explicit PortalClient(std::unique_ptr<Transport> transport);
+
+  std::vector<double> GetPDistances(core::Pid from);
+  core::PDistanceMatrix GetExternalView();
+  /// As GetExternalView, but also returns the iTracker's price version —
+  /// the cache-coherence token of the protocol.
+  std::pair<core::PDistanceMatrix, std::uint64_t> GetExternalViewWithVersion();
+  GetPolicyResp GetPolicy();
+  std::vector<core::Capability> GetCapabilities(core::CapabilityType type,
+                                                const std::string& content_id = {});
+  std::optional<core::PidMapping> GetPidMapping(const std::string& client_ip);
+
+ private:
+  Message Call(const Message& request);
+  std::unique_ptr<Transport> transport_;
+};
+
+}  // namespace p4p::proto

@@ -1,0 +1,206 @@
+#include "proto/transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <mutex>
+
+namespace p4p::proto {
+
+namespace {
+
+[[noreturn]] void ThrowErrno(const char* what) {
+  throw std::runtime_error(std::string(what) + ": " + std::strerror(errno));
+}
+
+bool WriteAll(int fd, const std::uint8_t* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool ReadAll(int fd, std::uint8_t* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::recv(fd, data, len, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;  // peer closed
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool WriteFrame(int fd, std::span<const std::uint8_t> payload) {
+  if (payload.size() > kMaxFrameBytes) return false;
+  std::uint8_t header[4];
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  header[0] = static_cast<std::uint8_t>(len >> 24);
+  header[1] = static_cast<std::uint8_t>(len >> 16);
+  header[2] = static_cast<std::uint8_t>(len >> 8);
+  header[3] = static_cast<std::uint8_t>(len);
+  return WriteAll(fd, header, 4) && WriteAll(fd, payload.data(), payload.size());
+}
+
+bool ReadFrame(int fd, std::vector<std::uint8_t>& out) {
+  std::uint8_t header[4];
+  if (!ReadAll(fd, header, 4)) return false;
+  const std::uint32_t len = (static_cast<std::uint32_t>(header[0]) << 24) |
+                            (static_cast<std::uint32_t>(header[1]) << 16) |
+                            (static_cast<std::uint32_t>(header[2]) << 8) | header[3];
+  if (len > kMaxFrameBytes) return false;
+  out.resize(len);
+  return len == 0 || ReadAll(fd, out.data(), len);
+}
+
+}  // namespace
+
+InProcessTransport::InProcessTransport(Handler handler) : handler_(std::move(handler)) {
+  if (!handler_) {
+    throw std::invalid_argument("InProcessTransport: null handler");
+  }
+}
+
+std::vector<std::uint8_t> InProcessTransport::Call(
+    std::span<const std::uint8_t> request) {
+  return handler_(request);
+}
+
+TcpServer::TcpServer(std::uint16_t port, Handler handler)
+    : handler_(std::move(handler)) {
+  if (!handler_) {
+    throw std::invalid_argument("TcpServer: null handler");
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) ThrowErrno("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(listen_fd_);
+    ThrowErrno("bind");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    ::close(listen_fd_);
+    ThrowErrno("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+  if (::listen(listen_fd_, 16) != 0) {
+    ::close(listen_fd_);
+    ThrowErrno("listen");
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+}
+
+void TcpServer::AcceptLoop() {
+  while (!stopping_.load()) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listen socket closed during Stop()
+    }
+    std::lock_guard<std::mutex> lock(workers_mu_);
+    if (stopping_.load()) {
+      ::close(fd);
+      break;
+    }
+    conn_fds_.push_back(fd);
+    workers_.emplace_back([this, fd] { Serve(fd); });
+  }
+}
+
+void TcpServer::Serve(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  std::vector<std::uint8_t> request;
+  while (!stopping_.load() && ReadFrame(fd, request)) {
+    std::vector<std::uint8_t> response;
+    try {
+      response = handler_(request);
+    } catch (const std::exception&) {
+      break;  // handler failure: drop the connection
+    }
+    if (!WriteFrame(fd, response)) break;
+  }
+  // Deregister before closing so Stop() never touches a reused fd number.
+  {
+    std::lock_guard<std::mutex> lock(workers_mu_);
+    conn_fds_.erase(std::remove(conn_fds_.begin(), conn_fds_.end(), fd),
+                    conn_fds_.end());
+  }
+  ::close(fd);
+}
+
+void TcpServer::Stop() {
+  if (stopping_.exchange(true)) return;
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // Unblock workers stuck in recv() on idle connections.
+  {
+    std::lock_guard<std::mutex> lock(workers_mu_);
+    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard<std::mutex> lock(workers_mu_);
+    workers.swap(workers_);
+  }
+  for (auto& t : workers) {
+    if (t.joinable()) t.join();
+  }
+}
+
+TcpServer::~TcpServer() { Stop(); }
+
+TcpClient::TcpClient(std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) ThrowErrno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    ThrowErrno("connect");
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+TcpClient::~TcpClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::vector<std::uint8_t> TcpClient::Call(std::span<const std::uint8_t> request) {
+  if (!WriteFrame(fd_, request)) {
+    throw std::runtime_error("TcpClient: send failed");
+  }
+  std::vector<std::uint8_t> response;
+  if (!ReadFrame(fd_, response)) {
+    throw std::runtime_error("TcpClient: receive failed");
+  }
+  return response;
+}
+
+}  // namespace p4p::proto

@@ -1,0 +1,91 @@
+// Transports for the portal protocol: a loopback TCP server/client pair
+// with u32 length framing, and a zero-copy in-process transport for tests
+// and single-binary deployments.
+//
+// The server is intentionally simple (blocking sockets, one thread per
+// connection): iTracker queries are coarse-grained and cacheable by design
+// ("network information should be aggregated and allow caching to avoid
+// handling per client query"), so connection counts stay small.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace p4p::proto {
+
+/// Handles one request payload, returns the response payload.
+using Handler = std::function<std::vector<std::uint8_t>(std::span<const std::uint8_t>)>;
+
+/// Largest accepted frame (16 MiB) — guards against hostile length prefixes.
+inline constexpr std::uint32_t kMaxFrameBytes = 16u << 20;
+
+/// Abstract request/response channel.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+  /// Sends a request and blocks for the response. Throws std::runtime_error
+  /// on transport failure.
+  virtual std::vector<std::uint8_t> Call(std::span<const std::uint8_t> request) = 0;
+};
+
+/// Direct function-call transport.
+class InProcessTransport final : public Transport {
+ public:
+  explicit InProcessTransport(Handler handler);
+  std::vector<std::uint8_t> Call(std::span<const std::uint8_t> request) override;
+
+ private:
+  Handler handler_;
+};
+
+/// Loopback TCP server. Starts listening on construction (port 0 picks an
+/// ephemeral port); joins all threads on destruction.
+class TcpServer {
+ public:
+  TcpServer(std::uint16_t port, Handler handler);
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  std::uint16_t port() const { return port_; }
+  void Stop();
+
+ private:
+  void AcceptLoop();
+  void Serve(int fd);
+
+  Handler handler_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+  std::vector<int> conn_fds_;  // open connection sockets, for Stop()
+  std::mutex workers_mu_;
+};
+
+/// Blocking TCP client for the framed protocol.
+class TcpClient final : public Transport {
+ public:
+  /// Connects to 127.0.0.1:port; throws std::runtime_error on failure.
+  explicit TcpClient(std::uint16_t port);
+  ~TcpClient() override;
+
+  TcpClient(const TcpClient&) = delete;
+  TcpClient& operator=(const TcpClient&) = delete;
+
+  std::vector<std::uint8_t> Call(std::span<const std::uint8_t> request) override;
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace p4p::proto

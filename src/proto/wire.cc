@@ -1,0 +1,102 @@
+#include "proto/wire.h"
+
+#include <bit>
+#include <stdexcept>
+
+namespace p4p::proto {
+
+void Writer::u16(std::uint16_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void Writer::u32(std::uint32_t v) {
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+void Writer::u64(std::uint64_t v) {
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+void Writer::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+void Writer::str(std::string_view s) {
+  if (s.size() > 0xFFFF) {
+    throw std::length_error("Writer::str: string too long");
+  }
+  u16(static_cast<std::uint16_t>(s.size()));
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void Writer::f64_vec(std::span<const double> values) {
+  if (values.size() > 0xFFFFFFFFULL) {
+    throw std::length_error("Writer::f64_vec: vector too long");
+  }
+  u32(static_cast<std::uint32_t>(values.size()));
+  for (double v : values) f64(v);
+}
+
+bool Reader::take(std::size_t n, const std::uint8_t** out) {
+  if (!ok_ || data_.size() - pos_ < n) {
+    ok_ = false;
+    return false;
+  }
+  *out = data_.data() + pos_;
+  pos_ += n;
+  return true;
+}
+
+std::uint8_t Reader::u8() {
+  const std::uint8_t* p = nullptr;
+  if (!take(1, &p)) return 0;
+  return p[0];
+}
+
+std::uint16_t Reader::u16() {
+  const std::uint8_t* p = nullptr;
+  if (!take(2, &p)) return 0;
+  return static_cast<std::uint16_t>((p[0] << 8) | p[1]);
+}
+
+std::uint32_t Reader::u32() {
+  const std::uint8_t* p = nullptr;
+  if (!take(4, &p)) return 0;
+  return (static_cast<std::uint32_t>(p[0]) << 24) |
+         (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) | p[3];
+}
+
+std::uint64_t Reader::u64() {
+  std::uint64_t hi = u32();
+  std::uint64_t lo = u32();
+  return (hi << 32) | lo;
+}
+
+double Reader::f64() { return std::bit_cast<double>(u64()); }
+
+std::string Reader::str() {
+  const std::uint16_t len = u16();
+  const std::uint8_t* p = nullptr;
+  if (!take(len, &p)) return {};
+  return std::string(reinterpret_cast<const char*>(p), len);
+}
+
+std::vector<double> Reader::f64_vec() {
+  const std::uint32_t len = u32();
+  // Reject absurd lengths before allocating (8 bytes per element must fit
+  // in the remaining buffer).
+  if (!ok_ || remaining() < static_cast<std::size_t>(len) * 8) {
+    ok_ = false;
+    return {};
+  }
+  std::vector<double> out;
+  out.reserve(len);
+  for (std::uint32_t i = 0; i < len; ++i) out.push_back(f64());
+  return out;
+}
+
+}  // namespace p4p::proto

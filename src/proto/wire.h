@@ -1,0 +1,68 @@
+// Bounds-checked binary encoding primitives.
+//
+// The paper defines the P4P interfaces in WSDL/SOAP; this implementation
+// substitutes a compact big-endian binary encoding (the interface semantics
+// are what matters, not the wire syntax). Writer appends; Reader consumes
+// with explicit error state — decoding never reads past the buffer and
+// never throws on malformed input.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace p4p::proto {
+
+class Writer {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void f64(double v);
+  /// Length-prefixed (u16) UTF-8 string; throws std::length_error if longer
+  /// than 65535 bytes.
+  void str(std::string_view s);
+  /// Length-prefixed (u32) vector of doubles.
+  void f64_vec(std::span<const double> values);
+
+  const std::vector<std::uint8_t>& bytes() const { return buf_; }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Sequential reader over a byte span. After any failed read, ok() is false
+/// and all subsequent reads return zero values.
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  double f64();
+  std::string str();
+  std::vector<double> f64_vec();
+
+  bool ok() const { return ok_; }
+  /// True when the whole buffer was consumed and no error occurred.
+  bool done() const { return ok_ && pos_ == data_.size(); }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  bool take(std::size_t n, const std::uint8_t** out);
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace p4p::proto

@@ -1,0 +1,628 @@
+#include "sim/bittorrent.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace p4p::sim {
+
+namespace {
+
+/// Dense bitset sized for block counts of a few thousand.
+class BlockSet {
+ public:
+  explicit BlockSet(int num_blocks)
+      : num_blocks_(num_blocks), words_(static_cast<std::size_t>((num_blocks + 63) / 64), 0) {}
+
+  bool test(int b) const {
+    return (words_[static_cast<std::size_t>(b >> 6)] >> (b & 63)) & 1ULL;
+  }
+  void set(int b) { words_[static_cast<std::size_t>(b >> 6)] |= 1ULL << (b & 63); }
+  void reset(int b) { words_[static_cast<std::size_t>(b >> 6)] &= ~(1ULL << (b & 63)); }
+  void set_all() {
+    for (auto& w : words_) w = ~0ULL;
+    // Clear padding bits beyond num_blocks_.
+    const int tail = num_blocks_ & 63;
+    if (tail != 0) words_.back() = (1ULL << tail) - 1;
+  }
+  /// True if this set contains a block that `other` lacks.
+  bool has_any_missing_in(const BlockSet& other) const {
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      if (words_[i] & ~other.words_[i]) return true;
+    }
+    return false;
+  }
+  const std::vector<std::uint64_t>& words() const { return words_; }
+  int size() const { return num_blocks_; }
+
+ private:
+  int num_blocks_;
+  std::vector<std::uint64_t> words_;
+};
+
+struct PeerState {
+  PeerSpec spec;
+  bool joined = false;
+  bool departed = false;
+  bool completed = false;
+  double completion_time = -1.0;  // duration from join
+  BlockSet have;
+  BlockSet pending;  // blocks currently being streamed to this peer
+  int have_count = 0;
+  std::vector<PeerId> neighbors;
+  std::vector<PeerId> unchoked;
+  std::unordered_map<PeerId, double> received_from;  // tit-for-tat window
+  int active_downloads = 0;
+
+  explicit PeerState(const PeerSpec& s, int num_blocks)
+      : spec(s), have(num_blocks), pending(num_blocks) {}
+};
+
+struct Stream {
+  PeerId up = -1;
+  PeerId down = -1;
+  int block = -1;
+  double remaining = 0.0;
+  std::vector<int> route;  // all allocator links including virtual access
+  int backbone_hops = 0;   // graph links on the route
+  /// TCP window rate limit (bps); +inf when the window model is off.
+  double rate_cap = std::numeric_limits<double>::infinity();
+};
+
+std::uint64_t PairKey(PeerId a, PeerId b) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a)) << 32) |
+         static_cast<std::uint32_t>(b);
+}
+
+}  // namespace
+
+int BitTorrentResult::busiest_link() const {
+  int best = -1;
+  double best_bytes = -1.0;
+  for (std::size_t l = 0; l < link_bytes.size(); ++l) {
+    if (link_bytes[l] > best_bytes) {
+      best_bytes = link_bytes[l];
+      best = static_cast<int>(l);
+    }
+  }
+  return best;
+}
+
+TimeSeries BitTorrentResult::busiest_link_series() const {
+  TimeSeries ts;
+  const int l = busiest_link();
+  if (l < 0) return ts;
+  ts.times = sample_times;
+  ts.values = link_utilization.at(static_cast<std::size_t>(l));
+  return ts;
+}
+
+BitTorrentSimulator::BitTorrentSimulator(const net::Graph& graph,
+                                         const net::RoutingTable& routing,
+                                         BitTorrentConfig config)
+    : graph_(graph), routing_(routing), config_(config) {
+  if (config_.file_bytes <= 0 || config_.block_bytes <= 0 ||
+      config_.block_bytes > config_.file_bytes) {
+    throw std::invalid_argument("BitTorrentSimulator: bad file/block sizes");
+  }
+  if (config_.dt <= 0 || config_.horizon <= 0) {
+    throw std::invalid_argument("BitTorrentSimulator: bad dt/horizon");
+  }
+}
+
+BitTorrentResult BitTorrentSimulator::Run(std::span<const PeerSpec> peer_specs,
+                                          PeerSelector& selector) {
+  const int num_blocks =
+      static_cast<int>(std::ceil(config_.file_bytes / config_.block_bytes));
+  const auto num_graph_links = graph_.link_count();
+  const auto num_peers = peer_specs.size();
+  std::mt19937_64 rng(config_.rng_seed);
+
+  std::vector<PeerState> peers;
+  peers.reserve(num_peers);
+  for (const PeerSpec& s : peer_specs) {
+    peers.emplace_back(s, num_blocks);
+  }
+
+  // Join order.
+  std::vector<std::size_t> join_order(num_peers);
+  for (std::size_t i = 0; i < num_peers; ++i) join_order[i] = i;
+  std::sort(join_order.begin(), join_order.end(), [&peers](std::size_t a, std::size_t b) {
+    return peers[a].spec.join_time < peers[b].spec.join_time;
+  });
+  std::size_t next_join = 0;
+
+  // Allocator link space: graph links, then per-peer up/down virtual links.
+  auto uplink_of = [num_graph_links](PeerId p) {
+    return static_cast<int>(num_graph_links + 2 * static_cast<std::size_t>(p));
+  };
+  auto downlink_of = [num_graph_links](PeerId p) {
+    return static_cast<int>(num_graph_links + 2 * static_cast<std::size_t>(p) + 1);
+  };
+  std::vector<double> capacities(num_graph_links + 2 * num_peers, 0.0);
+  for (std::size_t p = 0; p < num_peers; ++p) {
+    capacities[static_cast<std::size_t>(uplink_of(static_cast<PeerId>(p)))] =
+        peers[p].spec.up_bps;
+    capacities[static_cast<std::size_t>(downlink_of(static_cast<PeerId>(p)))] =
+        peers[p].spec.down_bps;
+  }
+
+  // Route cache between PoP pairs: links, hop count, and the TCP-window
+  // rate cap for the path (inf when the window model is off).
+  struct RouteInfo {
+    std::vector<int> links;
+    int hops = 0;
+    double rate_cap = std::numeric_limits<double>::infinity();
+  };
+  std::unordered_map<std::uint64_t, RouteInfo> route_cache;
+  auto route_between = [&](net::NodeId a, net::NodeId b) -> const RouteInfo& {
+    const std::uint64_t key = PairKey(a, b);
+    auto it = route_cache.find(key);
+    if (it == route_cache.end()) {
+      RouteInfo info;
+      if (a != b) {
+        for (net::LinkId e : routing_.path(a, b)) {
+          info.links.push_back(static_cast<int>(e));
+          ++info.hops;
+        }
+      }
+      if (config_.tcp_window_bytes > 0) {
+        const double one_way_ms =
+            (a == b ? 0.0 : routing_.latency_ms(a, b)) + 2.0 * config_.access_latency_ms;
+        const double rtt_sec = std::max(1e-4, 2.0 * one_way_ms / 1000.0);
+        // Receive-window bound.
+        info.rate_cap = config_.tcp_window_bytes * 8.0 / rtt_sec;
+        // Loss bound (Mathis et al.): rate <= MSS / (RTT * sqrt(loss)).
+        double path_loss = 0.0;
+        for (int l : info.links) {
+          path_loss += graph_.link(static_cast<net::LinkId>(l)).loss_rate;
+        }
+        if (path_loss > 0) {
+          constexpr double kMssBits = 1460.0 * 8.0;
+          info.rate_cap = std::min(
+              info.rate_cap, kMssBits / (rtt_sec * std::sqrt(std::min(0.5, path_loss))));
+        }
+      }
+      it = route_cache.emplace(key, std::move(info)).first;
+    }
+    return it->second;
+  };
+
+  // Global block availability for rarest-first.
+  std::vector<int> block_avail(static_cast<std::size_t>(num_blocks), 0);
+
+  // Active streams keyed by (up, down).
+  std::unordered_map<std::uint64_t, Stream> streams;
+
+  // Result accumulators.
+  BitTorrentResult result;
+  result.link_bytes.assign(num_graph_links, 0.0);
+  result.pop_traffic.assign(graph_.node_count(),
+                            std::vector<double>(graph_.node_count(), 0.0));
+  result.link_utilization.assign(num_graph_links, {});
+  IntervalVolumeRecorder interval_rec(num_graph_links, config_.charging_interval_sec);
+  std::vector<double> epoch_bytes(num_graph_links, 0.0);
+  std::vector<double> sample_bytes(num_graph_links, 0.0);
+  double last_epoch = 0.0;
+  double last_sample = 0.0;
+  double last_rechoke = -1e18;
+  double last_topup = 0.0;
+  double last_refresh = 0.0;
+
+  int num_leechers = 0;
+  for (const auto& p : peers) {
+    if (!p.spec.seed) ++num_leechers;
+  }
+  int completed_leechers = 0;
+  int finished_or_gone_leechers = 0;
+
+  auto is_active = [&peers](PeerId p) {
+    const auto& st = peers[static_cast<std::size_t>(p)];
+    return st.joined && !st.departed;
+  };
+
+  // Candidate list handed to the selector (active peers only).
+  std::vector<PeerInfo> candidates;
+  auto rebuild_candidates = [&] {
+    candidates.clear();
+    for (std::size_t i = 0; i < num_peers; ++i) {
+      const auto& st = peers[i];
+      if (!st.joined || st.departed) continue;
+      candidates.push_back(PeerInfo{static_cast<PeerId>(i), st.spec.node,
+                                    st.spec.as_number, st.spec.up_bps,
+                                    st.spec.down_bps, st.spec.seed || st.completed});
+    }
+  };
+
+  auto add_neighbor_edge = [&](PeerId a, PeerId b) {
+    auto& na = peers[static_cast<std::size_t>(a)].neighbors;
+    auto& nb = peers[static_cast<std::size_t>(b)].neighbors;
+    if (std::find(na.begin(), na.end(), b) != na.end()) return;
+    // Accept incoming connections up to twice the target degree, as real
+    // clients do.
+    if (static_cast<int>(nb.size()) >= 2 * config_.max_neighbors) return;
+    na.push_back(b);
+    nb.push_back(a);
+  };
+
+  auto request_neighbors = [&](PeerId id, int want) {
+    if (want <= 0) return;
+    const auto& st = peers[static_cast<std::size_t>(id)];
+    PeerInfo self{id, st.spec.node, st.spec.as_number, st.spec.up_bps,
+                  st.spec.down_bps, st.spec.seed};
+    auto chosen = selector.SelectPeers(self, candidates, want, rng);
+    for (PeerId q : chosen) {
+      if (q == id || !is_active(q)) continue;
+      add_neighbor_edge(id, q);
+    }
+  };
+
+  auto cancel_stream = [&](std::unordered_map<std::uint64_t, Stream>::iterator it) {
+    Stream& s = it->second;
+    auto& d = peers[static_cast<std::size_t>(s.down)];
+    d.pending.reset(s.block);
+    --d.active_downloads;
+    streams.erase(it);
+  };
+
+  // Rarest-first: pick the rarest block that `u` has, `d` lacks and is not
+  // already fetching. Ties broken uniformly at random.
+  auto pick_block = [&](const PeerState& u, const PeerState& d) -> int {
+    int best = -1;
+    int best_avail = std::numeric_limits<int>::max();
+    int ties = 0;
+    for (int b = 0; b < num_blocks; ++b) {
+      if (!u.have.test(b) || d.have.test(b) || d.pending.test(b)) continue;
+      const int avail = block_avail[static_cast<std::size_t>(b)];
+      if (avail < best_avail) {
+        best_avail = avail;
+        best = b;
+        ties = 1;
+      } else if (avail == best_avail) {
+        ++ties;
+        std::uniform_int_distribution<int> coin(1, ties);
+        if (coin(rng) == 1) best = b;
+      }
+    }
+    return best;
+  };
+
+  auto start_stream = [&](PeerId up, PeerId down) {
+    auto& u = peers[static_cast<std::size_t>(up)];
+    auto& d = peers[static_cast<std::size_t>(down)];
+    if (d.completed || d.active_downloads >= config_.max_parallel_downloads) return;
+    if (streams.count(PairKey(up, down)) != 0) return;
+    const int block = pick_block(u, d);
+    if (block < 0) return;
+    Stream s;
+    s.up = up;
+    s.down = down;
+    s.block = block;
+    s.remaining = config_.block_bytes;
+    const auto& route_info = route_between(u.spec.node, d.spec.node);
+    s.route.reserve(route_info.links.size() + 2);
+    s.route.push_back(uplink_of(up));
+    s.route.insert(s.route.end(), route_info.links.begin(), route_info.links.end());
+    s.route.push_back(downlink_of(down));
+    s.backbone_hops = route_info.hops;
+    s.rate_cap = route_info.rate_cap;
+    d.pending.set(block);
+    ++d.active_downloads;
+    streams.emplace(PairKey(up, down), std::move(s));
+  };
+
+  auto peer_joins = [&](std::size_t idx) {
+    auto& st = peers[idx];
+    st.joined = true;
+    if (st.spec.seed) {
+      st.have.set_all();
+      st.have_count = num_blocks;
+      st.completed = true;
+      for (auto& a : block_avail) ++a;
+    }
+    rebuild_candidates();
+    request_neighbors(static_cast<PeerId>(idx), config_.max_neighbors);
+  };
+
+  auto peer_departs = [&](std::size_t idx) {
+    auto& st = peers[idx];
+    st.departed = true;
+    for (int b = 0; b < num_blocks; ++b) {
+      if (st.have.test(b)) --block_avail[static_cast<std::size_t>(b)];
+    }
+    // Cancel streams touching this peer.
+    for (auto it = streams.begin(); it != streams.end();) {
+      if (it->second.up == static_cast<PeerId>(idx)) {
+        auto next = std::next(it);
+        cancel_stream(it);
+        it = next;
+      } else if (it->second.down == static_cast<PeerId>(idx)) {
+        it = streams.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (!st.spec.seed && !st.completed) ++finished_or_gone_leechers;
+  };
+
+  auto rechoke_all = [&] {
+    for (std::size_t i = 0; i < num_peers; ++i) {
+      auto& p = peers[i];
+      p.unchoked.clear();
+      if (!p.joined || p.departed || p.have_count == 0) continue;
+      // Interested neighbors: active, incomplete, and missing something we have.
+      std::vector<PeerId> interested;
+      for (PeerId q : p.neighbors) {
+        if (!is_active(q)) continue;
+        const auto& qs = peers[static_cast<std::size_t>(q)];
+        if (qs.completed) continue;
+        if (p.have.has_any_missing_in(qs.have)) interested.push_back(q);
+      }
+      if (interested.empty()) {
+        p.received_from.clear();
+        continue;
+      }
+      const int regular = config_.unchoke_slots;
+      if (p.completed) {
+        // Seeds rotate uploads randomly among interested peers.
+        std::shuffle(interested.begin(), interested.end(), rng);
+        const auto take = std::min<std::size_t>(
+            interested.size(), static_cast<std::size_t>(regular + config_.optimistic_slots));
+        p.unchoked.assign(interested.begin(),
+                          interested.begin() + static_cast<std::ptrdiff_t>(take));
+      } else {
+        // Tit-for-tat: prefer peers that uploaded the most to us recently.
+        std::sort(interested.begin(), interested.end(), [&p](PeerId a, PeerId b) {
+          const auto ita = p.received_from.find(a);
+          const auto itb = p.received_from.find(b);
+          const double ra = ita == p.received_from.end() ? 0.0 : ita->second;
+          const double rb = itb == p.received_from.end() ? 0.0 : itb->second;
+          if (ra != rb) return ra > rb;
+          return a < b;
+        });
+        const auto take =
+            std::min<std::size_t>(interested.size(), static_cast<std::size_t>(regular));
+        p.unchoked.assign(interested.begin(),
+                          interested.begin() + static_cast<std::ptrdiff_t>(take));
+        // Optimistic unchoke from the remainder.
+        std::vector<PeerId> rest(interested.begin() + static_cast<std::ptrdiff_t>(take),
+                                 interested.end());
+        std::shuffle(rest.begin(), rest.end(), rng);
+        for (int k = 0; k < config_.optimistic_slots && k < static_cast<int>(rest.size());
+             ++k) {
+          p.unchoked.push_back(rest[static_cast<std::size_t>(k)]);
+        }
+      }
+      p.received_from.clear();
+    }
+  };
+
+  // ---- main loop ----
+  std::vector<Flow> flows;
+  std::vector<const Stream*> flow_streams;
+  double now = 0.0;
+  bool any_rebuild_needed = false;
+
+  while (now < config_.horizon) {
+    // Joins due by now.
+    bool joined_any = false;
+    while (next_join < num_peers &&
+           peers[join_order[next_join]].spec.join_time <= now) {
+      peer_joins(join_order[next_join]);
+      ++next_join;
+      joined_any = true;
+    }
+    // Departures due by now.
+    for (std::size_t i = 0; i < num_peers; ++i) {
+      auto& p = peers[i];
+      if (p.joined && !p.departed && p.spec.leave_time <= now) {
+        peer_departs(i);
+        any_rebuild_needed = true;
+      }
+    }
+    if (joined_any || any_rebuild_needed) {
+      rebuild_candidates();
+      any_rebuild_needed = false;
+    }
+
+    // Periodic neighbor top-up for under-connected peers.
+    if (now - last_topup >= config_.neighbor_topup_interval) {
+      last_topup = now;
+      for (std::size_t i = 0; i < num_peers; ++i) {
+        auto& p = peers[i];
+        if (!p.joined || p.departed) continue;
+        int live = 0;
+        for (PeerId q : p.neighbors) {
+          if (is_active(q)) ++live;
+        }
+        if (live < config_.min_neighbors) {
+          request_neighbors(static_cast<PeerId>(i), config_.max_neighbors - live);
+        }
+      }
+    }
+
+    // Optional neighbor refresh: re-query the tracker so updated (dynamic)
+    // p-distances steer the live swarm.
+    if (config_.selector_refresh_interval > 0 &&
+        now - last_refresh >= config_.selector_refresh_interval && now > 0) {
+      last_refresh = now;
+      for (std::size_t i = 0; i < num_peers; ++i) {
+        auto& p = peers[i];
+        if (!p.joined || p.departed || p.completed) continue;
+        for (int k = 0; k < config_.refresh_drop && !p.neighbors.empty(); ++k) {
+          std::uniform_int_distribution<std::size_t> pick(0, p.neighbors.size() - 1);
+          const std::size_t victim = pick(rng);
+          const PeerId q = p.neighbors[victim];
+          p.neighbors.erase(p.neighbors.begin() + static_cast<std::ptrdiff_t>(victim));
+          auto& nq = peers[static_cast<std::size_t>(q)].neighbors;
+          nq.erase(std::remove(nq.begin(), nq.end(), static_cast<PeerId>(i)), nq.end());
+          const auto it = streams.find(PairKey(q, static_cast<PeerId>(i)));
+          if (it != streams.end()) cancel_stream(it);
+          const auto it2 = streams.find(PairKey(static_cast<PeerId>(i), q));
+          if (it2 != streams.end()) cancel_stream(it2);
+        }
+        request_neighbors(static_cast<PeerId>(i), config_.refresh_drop);
+      }
+    }
+
+    if (now - last_rechoke >= config_.rechoke_interval) {
+      last_rechoke = now;
+      rechoke_all();
+    }
+
+    // Open streams for unchoked pairs.
+    for (std::size_t i = 0; i < num_peers; ++i) {
+      auto& p = peers[i];
+      if (!p.joined || p.departed) continue;
+      for (PeerId d : p.unchoked) {
+        if (is_active(d)) start_stream(static_cast<PeerId>(i), d);
+      }
+    }
+
+    if (streams.empty() && next_join >= num_peers &&
+        completed_leechers + finished_or_gone_leechers >= num_leechers) {
+      break;  // nothing left to simulate
+    }
+
+    // Refresh graph-link capacities net of background traffic.
+    for (std::size_t l = 0; l < num_graph_links; ++l) {
+      const double bg = background_ ? background_(static_cast<net::LinkId>(l), now) : 0.0;
+      capacities[l] = std::max(0.0, graph_.link(static_cast<net::LinkId>(l)).capacity_bps - bg);
+    }
+
+    // Max-min fair rates.
+    flows.clear();
+    flow_streams.clear();
+    flows.reserve(streams.size());
+    flow_streams.reserve(streams.size());
+    for (const auto& [key, s] : streams) {
+      (void)key;
+      Flow f;
+      f.links = s.route;
+      f.rate_cap = s.rate_cap;
+      flows.push_back(std::move(f));
+      flow_streams.push_back(&s);
+    }
+    const auto rates = MaxMinFairRates(capacities, flows);
+
+    // Advance transfers by dt; a stream may complete several blocks within
+    // one step (it immediately continues with the next rarest block).
+    std::vector<std::uint64_t> to_erase;
+    for (std::size_t fi = 0; fi < flow_streams.size(); ++fi) {
+      // Look the stream up again: cancellations above never run inside this
+      // loop, but completed downloads will erase entries after the loop.
+      auto it = streams.find(PairKey(flow_streams[fi]->up, flow_streams[fi]->down));
+      if (it == streams.end()) continue;
+      Stream& s = it->second;
+      auto& u = peers[static_cast<std::size_t>(s.up)];
+      auto& d = peers[static_cast<std::size_t>(s.down)];
+      double budget = rates[fi] / 8.0 * config_.dt;  // bytes this step
+      while (budget > 0.0) {
+        const double used = std::min(budget, s.remaining);
+        if (used > 0.0) {
+          budget -= used;
+          s.remaining -= used;
+          // Account traffic along the graph portion of the route.
+          for (int l : s.route) {
+            if (static_cast<std::size_t>(l) < num_graph_links) {
+              result.link_bytes[static_cast<std::size_t>(l)] += used;
+              epoch_bytes[static_cast<std::size_t>(l)] += used;
+              sample_bytes[static_cast<std::size_t>(l)] += used;
+              interval_rec.add(l, now, used);
+            }
+          }
+          result.pop_traffic[static_cast<std::size_t>(u.spec.node)]
+                            [static_cast<std::size_t>(d.spec.node)] += used;
+          result.byte_hops += used * s.backbone_hops;
+          result.total_bytes += used;
+          d.received_from[s.up] += used;
+        }
+        if (s.remaining > 1e-6) break;  // budget exhausted mid-block
+        // Block completed.
+        d.pending.reset(s.block);
+        d.have.set(s.block);
+        ++d.have_count;
+        ++block_avail[static_cast<std::size_t>(s.block)];
+        if (d.have_count == num_blocks) {
+          d.completed = true;
+          d.completion_time = now + config_.dt - d.spec.join_time;
+          ++completed_leechers;
+          --d.active_downloads;
+          to_erase.push_back(it->first);
+          break;
+        }
+        const int next_block = pick_block(u, d);
+        if (next_block < 0) {
+          --d.active_downloads;
+          to_erase.push_back(it->first);
+          break;
+        }
+        s.block = next_block;
+        s.remaining = config_.block_bytes;
+        d.pending.set(next_block);
+      }
+    }
+    for (std::uint64_t key : to_erase) streams.erase(key);
+    // A completed downloader's other incoming streams are now useless.
+    for (auto it = streams.begin(); it != streams.end();) {
+      if (peers[static_cast<std::size_t>(it->second.down)].completed) {
+        auto next = std::next(it);
+        cancel_stream(it);
+        it = next;
+      } else {
+        ++it;
+      }
+    }
+
+    now += config_.dt;
+
+    // Utilization sampling.
+    if (now - last_sample >= config_.util_sample_interval) {
+      const double span = now - last_sample;
+      result.sample_times.push_back(now);
+      for (std::size_t l = 0; l < num_graph_links; ++l) {
+        const double bg = background_ ? background_(static_cast<net::LinkId>(l), now) : 0.0;
+        const double p2p_bps = sample_bytes[l] * 8.0 / span;
+        const double cap = graph_.link(static_cast<net::LinkId>(l)).capacity_bps;
+        result.link_utilization[l].push_back((p2p_bps + bg) / cap);
+        sample_bytes[l] = 0.0;
+      }
+      last_sample = now;
+    }
+
+    // iTracker epoch.
+    if (on_epoch_ && now - last_epoch >= config_.epoch_interval) {
+      const double span = now - last_epoch;
+      std::vector<double> rates_bps(num_graph_links, 0.0);
+      for (std::size_t l = 0; l < num_graph_links; ++l) {
+        rates_bps[l] = epoch_bytes[l] * 8.0 / span;
+        epoch_bytes[l] = 0.0;
+      }
+      on_epoch_(now, rates_bps);
+      last_epoch = now;
+    }
+  }
+
+  // Collect results.
+  result.per_peer_completion.assign(num_peers, -1.0);
+  for (std::size_t i = 0; i < num_peers; ++i) {
+    const auto& p = peers[i];
+    if (!p.spec.seed && p.completed) {
+      result.completion_times.push_back(p.completion_time);
+      result.per_peer_completion[i] = p.completion_time;
+    }
+  }
+  result.completed_fraction =
+      num_leechers > 0
+          ? static_cast<double>(completed_leechers) / static_cast<double>(num_leechers)
+          : 1.0;
+  result.interval_volumes.resize(num_graph_links);
+  for (std::size_t l = 0; l < num_graph_links; ++l) {
+    result.interval_volumes[l] = interval_rec.volumes(static_cast<int>(l));
+  }
+  return result;
+}
+
+}  // namespace p4p::sim

@@ -1,0 +1,41 @@
+#include "sim/event_queue.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace p4p::sim {
+
+void EventQueue::schedule_at(SimTime t, Callback cb) {
+  if (!std::isfinite(t)) {
+    throw std::invalid_argument("EventQueue: event time must be finite");
+  }
+  if (t < now_) {
+    throw std::invalid_argument("EventQueue: cannot schedule in the past");
+  }
+  queue_.push(Entry{t, next_seq_++, std::move(cb)});
+}
+
+SimTime EventQueue::next_time() const {
+  if (queue_.empty()) return std::numeric_limits<SimTime>::infinity();
+  return queue_.top().time;
+}
+
+bool EventQueue::step(SimTime horizon) {
+  if (queue_.empty() || queue_.top().time > horizon) return false;
+  // Copy out before pop so the callback may schedule further events.
+  Entry e = std::move(const_cast<Entry&>(queue_.top()));
+  queue_.pop();
+  now_ = e.time;
+  e.cb();
+  return true;
+}
+
+std::size_t EventQueue::run_until(SimTime horizon) {
+  std::size_t n = 0;
+  while (step(horizon)) ++n;
+  if (now_ < horizon && queue_.empty()) now_ = horizon;
+  return n;
+}
+
+}  // namespace p4p::sim

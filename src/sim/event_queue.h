@@ -1,0 +1,61 @@
+// Discrete-event core: a time-ordered queue of callbacks.
+//
+// The swarm simulators are hybrid: a fluid time-stepped loop for bandwidth
+// sharing, driven by this queue for scheduled events (joins, departures,
+// rechokes, iTracker update epochs), which keeps event ordering exact and
+// deterministic (FIFO among equal timestamps).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace p4p::sim {
+
+using SimTime = double;  // seconds
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `cb` at absolute time `t`. Throws std::invalid_argument if
+  /// `t` is before the current time or not finite.
+  void schedule_at(SimTime t, Callback cb);
+
+  /// Schedules `cb` `delay` seconds from now.
+  void schedule_after(SimTime delay, Callback cb) { schedule_at(now_ + delay, std::move(cb)); }
+
+  /// Runs events until the queue is empty or current time exceeds `horizon`.
+  /// Returns the number of events executed.
+  std::size_t run_until(SimTime horizon);
+
+  /// Executes the single next event, if any. Returns false if queue empty
+  /// or the next event is after `horizon`.
+  bool step(SimTime horizon);
+
+  SimTime now() const { return now_; }
+  bool empty() const { return queue_.empty(); }
+  std::size_t size() const { return queue_.size(); }
+
+  /// Next pending event time; +infinity when empty.
+  SimTime next_time() const;
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;  // FIFO tie-break
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      return a.time > b.time || (a.time == b.time && a.seq > b.seq);
+    }
+  };
+
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+};
+
+}  // namespace p4p::sim

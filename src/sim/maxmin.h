@@ -1,0 +1,53 @@
+// Max-min fair bandwidth allocation (progressive filling).
+//
+// The paper simulates TCP at session level, "assuming that TCP capacity
+// sharing achieves maxmin fairness in steady state" (Section 7.1, following
+// Bindal et al.). This allocator is the realization of that model: given
+// link capacities and flows (each a list of links it traverses, plus an
+// optional per-flow rate cap), it computes the unique max-min fair rate
+// vector using progressive filling with a lazy priority queue, i.e.
+// O(F·log L) per recomputation.
+#pragma once
+
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace p4p::sim {
+
+struct Flow {
+  /// Indices into the capacity vector of every link the flow traverses.
+  std::vector<int> links;
+  /// Intrinsic rate limit (e.g., application pacing); +inf when absent.
+  double rate_cap = std::numeric_limits<double>::infinity();
+};
+
+/// Computes max-min fair rates. Capacities must be non-negative; a flow with
+/// no links and no finite cap would get infinite rate, which throws
+/// std::invalid_argument. Returns one rate per flow.
+std::vector<double> MaxMinFairRates(std::span<const double> capacities,
+                                    std::span<const Flow> flows);
+
+/// Incremental allocator used by the simulators: flows are registered once
+/// per step; rates for all flows are produced by allocate().
+class MaxMinAllocator {
+ public:
+  explicit MaxMinAllocator(std::vector<double> capacities)
+      : capacities_(std::move(capacities)) {}
+
+  void set_capacity(int link, double capacity_bps) {
+    capacities_.at(static_cast<std::size_t>(link)) = capacity_bps;
+  }
+  double capacity(int link) const { return capacities_.at(static_cast<std::size_t>(link)); }
+  std::size_t num_links() const { return capacities_.size(); }
+
+  /// Rates for the given flows against the configured capacities.
+  std::vector<double> allocate(std::span<const Flow> flows) const {
+    return MaxMinFairRates(capacities_, flows);
+  }
+
+ private:
+  std::vector<double> capacities_;
+};
+
+}  // namespace p4p::sim

@@ -1,0 +1,70 @@
+// Flow-level swarm streaming simulator (Liveswarms-style).
+//
+// Liveswarms is "a variant of BitTorrent for streaming": same swarming data
+// plane, but blocks are produced live by a source at the stream rate and are
+// only useful within a sliding playback window. Peers fetch the earliest
+// missing in-window block from neighbors; bandwidth sharing uses the same
+// max-min fluid model as the BitTorrent simulator. Peer selection is again
+// pluggable, so the Figure 9 experiment (native vs P4P backbone traffic
+// volume at equal application throughput) runs both policies on identical
+// workloads.
+#pragma once
+
+#include <span>
+
+#include "net/graph.h"
+#include "net/routing.h"
+#include "sim/bittorrent.h"  // PeerSelector, PeerInfo
+#include "sim/workload.h"
+
+namespace p4p::sim {
+
+struct StreamingConfig {
+  /// Media bit-rate of the stream.
+  double stream_rate_bps = 400e3;
+  double block_bytes = 64.0 * 1024;
+  /// Playback window: how far behind the live edge a block stays useful.
+  double window_sec = 40.0;
+  double dt = 1.0;
+  double rechoke_interval = 10.0;
+  int unchoke_slots = 4;
+  int max_neighbors = 14;
+  int max_parallel_downloads = 6;
+  /// Experiment duration (the paper streams a 90-minute video but runs each
+  /// experiment for 20 minutes).
+  double duration = 20.0 * 60;
+  std::uint64_t rng_seed = 1;
+};
+
+struct StreamingResult {
+  /// Average goodput per peer (bps of in-window blocks received).
+  std::vector<double> peer_throughput_bps;
+  /// Fraction of due blocks received before expiring from the window.
+  std::vector<double> peer_continuity;
+  /// Cumulative bytes per graph link.
+  std::vector<double> link_bytes;
+  double total_bytes = 0.0;
+  double byte_hops = 0.0;
+
+  double mean_throughput_bps() const;
+  double mean_continuity() const;
+  /// Average traffic volume over backbone links that carried any traffic.
+  double mean_backbone_volume_bytes(const net::Graph& graph) const;
+  double unit_bdp() const { return total_bytes > 0 ? byte_hops / total_bytes : 0.0; }
+};
+
+class StreamingSimulator {
+ public:
+  StreamingSimulator(const net::Graph& graph, const net::RoutingTable& routing,
+                     StreamingConfig config);
+
+  /// `peers` must contain exactly one seed (the broadcast source).
+  StreamingResult Run(std::span<const PeerSpec> peers, PeerSelector& selector);
+
+ private:
+  const net::Graph& graph_;
+  const net::RoutingTable& routing_;
+  StreamingConfig config_;
+};
+
+}  // namespace p4p::sim

@@ -1,0 +1,176 @@
+#include "sim/workload.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace p4p::sim {
+
+AccessRates RatesFor(AccessClass access) {
+  switch (access) {
+    case AccessClass::kCampus: return {100e6, 100e6};
+    case AccessClass::kFttp: return {20e6, 10e6};
+    case AccessClass::kCable: return {8e6, 1e6};
+    case AccessClass::kDsl: return {3e6, 768e3};
+  }
+  throw std::invalid_argument("RatesFor: unknown access class");
+}
+
+std::vector<PeerSpec> MakePopulation(const PopulationConfig& config,
+                                     std::mt19937_64& rng) {
+  if (config.pops.empty()) {
+    throw std::invalid_argument("MakePopulation: no attachment PoPs");
+  }
+  if (!config.pop_weights.empty() && config.pop_weights.size() != config.pops.size()) {
+    throw std::invalid_argument("MakePopulation: weights/pops size mismatch");
+  }
+  if (config.num_peers < 0) {
+    throw std::invalid_argument("MakePopulation: negative peer count");
+  }
+
+  std::vector<double> weights = config.pop_weights;
+  if (weights.empty()) weights.assign(config.pops.size(), 1.0);
+  std::discrete_distribution<std::size_t> pick_pop(weights.begin(), weights.end());
+  std::uniform_real_distribution<double> join(config.join_start,
+                                              config.join_start + config.join_window);
+
+  const AccessRates rates = RatesFor(config.access);
+  std::vector<PeerSpec> peers;
+  peers.reserve(static_cast<std::size_t>(config.num_peers));
+  for (int i = 0; i < config.num_peers; ++i) {
+    PeerSpec p;
+    p.node = config.pops[pick_pop(rng)];
+    p.as_number = config.as_number;
+    p.access = config.access;
+    p.down_bps = rates.down_bps;
+    p.up_bps = rates.up_bps;
+    p.join_time = join(rng);
+    peers.push_back(p);
+  }
+  return peers;
+}
+
+std::vector<double> FlashCrowdJoinTimes(int num_peers, double horizon,
+                                        double ramp_fraction, double decay_rate,
+                                        double plateau_level, std::mt19937_64& rng) {
+  if (num_peers < 0 || horizon <= 0.0 || ramp_fraction <= 0.0 || ramp_fraction >= 1.0) {
+    throw std::invalid_argument("FlashCrowdJoinTimes: bad parameters");
+  }
+  // Arrival intensity shape (unnormalized):
+  //   lambda(t) = t / t_peak                        for t < t_peak
+  //   lambda(t) = plateau + (1-plateau)*exp(-k*s)   after, s = progress past peak
+  const double t_peak = ramp_fraction * horizon;
+  const int kGrid = 2048;
+  std::vector<double> cumulative(kGrid + 1, 0.0);
+  for (int i = 1; i <= kGrid; ++i) {
+    const double t = horizon * static_cast<double>(i) / kGrid;
+    double lambda = 0.0;
+    if (t < t_peak) {
+      lambda = t / t_peak;
+    } else {
+      const double s = (t - t_peak) / (horizon - t_peak);
+      lambda = plateau_level + (1.0 - plateau_level) * std::exp(-decay_rate * s);
+    }
+    cumulative[static_cast<std::size_t>(i)] =
+        cumulative[static_cast<std::size_t>(i - 1)] + lambda;
+  }
+  const double total = cumulative.back();
+
+  std::uniform_real_distribution<double> u01(0.0, 1.0);
+  std::vector<double> times;
+  times.reserve(static_cast<std::size_t>(num_peers));
+  for (int p = 0; p < num_peers; ++p) {
+    const double target = u01(rng) * total;
+    // Invert the cumulative intensity by binary search + linear interpolation.
+    const auto it = std::lower_bound(cumulative.begin(), cumulative.end(), target);
+    const auto hi = static_cast<std::size_t>(it - cumulative.begin());
+    double t = horizon;
+    if (hi == 0) {
+      t = 0.0;
+    } else {
+      const double c0 = cumulative[hi - 1];
+      const double c1 = cumulative[hi];
+      const double frac = c1 > c0 ? (target - c0) / (c1 - c0) : 0.0;
+      t = horizon * (static_cast<double>(hi - 1) + frac) / kGrid;
+    }
+    times.push_back(t);
+  }
+  std::sort(times.begin(), times.end());
+  return times;
+}
+
+std::vector<PeerSpec> MakeFieldTestPopulation(const FieldTestConfig& config,
+                                              std::mt19937_64& rng) {
+  if (config.pops.empty()) {
+    throw std::invalid_argument("MakeFieldTestPopulation: no attachment PoPs");
+  }
+  std::vector<double> weights = config.pop_weights;
+  if (weights.empty()) weights.assign(config.pops.size(), 1.0);
+  std::discrete_distribution<std::size_t> pick_pop(weights.begin(), weights.end());
+  std::uniform_real_distribution<double> u01(0.0, 1.0);
+  std::exponential_distribution<double> dwell(1.0 / config.mean_dwell);
+
+  const auto joins =
+      FlashCrowdJoinTimes(config.num_peers, config.horizon, config.ramp_fraction,
+                          config.decay_rate, config.plateau_level, rng);
+
+  std::vector<PeerSpec> peers;
+  peers.reserve(joins.size());
+  for (double join_time : joins) {
+    PeerSpec p;
+    p.node = config.pops[pick_pop(rng)];
+    p.as_number = config.as_number;
+    const double r = u01(rng);
+    p.access = r < config.fttp_fraction ? AccessClass::kFttp
+               : r < config.fttp_fraction + config.cable_fraction ? AccessClass::kCable
+                                                                  : AccessClass::kDsl;
+    const AccessRates rates = RatesFor(p.access);
+    p.down_bps = rates.down_bps;
+    p.up_bps = rates.up_bps;
+    p.join_time = join_time;
+    p.leave_time = join_time + dwell(rng);
+    peers.push_back(p);
+  }
+  return peers;
+}
+
+std::vector<int> ZipfSwarmSizes(int num_swarms, double alpha, int max_size,
+                                std::mt19937_64& rng) {
+  if (num_swarms < 0 || !(alpha > 0.0) || max_size < 1) {
+    throw std::invalid_argument("ZipfSwarmSizes: bad parameters");
+  }
+  std::vector<double> weights(static_cast<std::size_t>(max_size));
+  for (int k = 1; k <= max_size; ++k) {
+    weights[static_cast<std::size_t>(k - 1)] = 1.0 / std::pow(static_cast<double>(k), alpha);
+  }
+  std::discrete_distribution<int> pick(weights.begin(), weights.end());
+  std::vector<int> sizes;
+  sizes.reserve(static_cast<std::size_t>(num_swarms));
+  for (int s = 0; s < num_swarms; ++s) sizes.push_back(pick(rng) + 1);
+  return sizes;
+}
+
+double FractionAbove(std::span<const int> sizes, int threshold) {
+  if (sizes.empty()) return 0.0;
+  std::size_t count = 0;
+  for (int s : sizes) {
+    if (s > threshold) ++count;
+  }
+  return static_cast<double>(count) / static_cast<double>(sizes.size());
+}
+
+std::vector<int> SwarmSizeSeries(std::span<const PeerSpec> peers,
+                                 std::span<const double> sample_times) {
+  std::vector<int> sizes;
+  sizes.reserve(sample_times.size());
+  for (double t : sample_times) {
+    int n = 0;
+    for (const PeerSpec& p : peers) {
+      if (p.join_time <= t && t < p.leave_time) ++n;
+    }
+    sizes.push_back(n);
+  }
+  return sizes;
+}
+
+}  // namespace p4p::sim

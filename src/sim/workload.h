@@ -1,0 +1,115 @@
+// Workload synthesis: peer populations, access classes, and arrival
+// processes.
+//
+// The paper's experiments use three populations: PlanetLab university hosts
+// (symmetric 100 Mbps campus access, batch joins within 5 minutes), the
+// simulation populations (random PoP placement, 100 Mbps access), and the
+// Pando field test (residential FTTP/DSL/cable mix, flash-crowd arrivals
+// over ten days — Figure 11). This module generates all three.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <random>
+#include <span>
+#include <vector>
+
+#include "net/graph.h"
+
+namespace p4p::sim {
+
+using PeerId = std::int32_t;
+
+enum class AccessClass : std::uint8_t {
+  kCampus,  ///< 100 Mbps symmetric (PlanetLab / simulation default)
+  kFttp,    ///< 20 Mbps down / 10 Mbps up
+  kCable,   ///< 8 Mbps down / 1 Mbps up
+  kDsl,     ///< 3 Mbps down / 768 kbps up
+};
+
+/// Down/up rates for an access class, in bits per second.
+struct AccessRates {
+  double down_bps;
+  double up_bps;
+};
+AccessRates RatesFor(AccessClass access);
+
+/// Static description of one peer, produced by the workload generator and
+/// consumed by the swarm simulators.
+struct PeerSpec {
+  net::NodeId node = net::kInvalidNode;  ///< attachment PoP
+  std::int32_t as_number = 0;
+  AccessClass access = AccessClass::kCampus;
+  double down_bps = 0.0;
+  double up_bps = 0.0;
+  double join_time = 0.0;
+  /// Absolute departure time; +inf means the peer stays (and seeds) forever.
+  double leave_time = std::numeric_limits<double>::infinity();
+  bool seed = false;
+};
+
+struct PopulationConfig {
+  int num_peers = 100;
+  /// Candidate attachment PoPs; required non-empty.
+  std::vector<net::NodeId> pops;
+  /// Relative placement weights per PoP; empty = uniform. The paper's
+  /// motivation notes heavy client concentration in some metros, so field
+  /// tests pass Zipf weights here.
+  std::vector<double> pop_weights;
+  std::int32_t as_number = 1;
+  AccessClass access = AccessClass::kCampus;
+  /// Joins drawn uniformly in [join_start, join_start + join_window].
+  double join_start = 0.0;
+  double join_window = 300.0;
+};
+
+/// Batch-arrival population (PlanetLab-style). Throws if pops is empty or
+/// weights mismatch.
+std::vector<PeerSpec> MakePopulation(const PopulationConfig& config,
+                                     std::mt19937_64& rng);
+
+/// Flash-crowd join times reproducing the Figure 11 swarm-size shape: a
+/// ramp to the peak during the first `ramp_fraction` of the horizon, then
+/// an exponential decay to `plateau_level` (fraction of the peak rate).
+/// Returns exactly `num_peers` sorted join times in [0, horizon).
+std::vector<double> FlashCrowdJoinTimes(int num_peers, double horizon,
+                                        double ramp_fraction, double decay_rate,
+                                        double plateau_level, std::mt19937_64& rng);
+
+struct FieldTestConfig {
+  int num_peers = 2000;
+  std::vector<net::NodeId> pops;
+  std::vector<double> pop_weights;
+  std::int32_t as_number = 1;
+  double horizon = 86400.0;
+  /// Access mix (fractions; remainder is DSL).
+  double fttp_fraction = 0.3;
+  double cable_fraction = 0.4;
+  /// Mean additional dwell time after joining before the peer departs.
+  double mean_dwell = 14400.0;
+  double ramp_fraction = 0.2;
+  double decay_rate = 4.0;
+  double plateau_level = 0.25;
+};
+
+/// Residential flash-crowd population for the field-test replication.
+std::vector<PeerSpec> MakeFieldTestPopulation(const FieldTestConfig& config,
+                                              std::mt19937_64& rng);
+
+/// Number of peers joined-but-not-left at each sample time (Figure 11's
+/// swarm-size trajectory).
+std::vector<int> SwarmSizeSeries(std::span<const PeerSpec> peers,
+                                 std::span<const double> sample_times);
+
+/// Samples swarm (leecher-count) sizes from a bounded Zipf distribution —
+/// the swarm-popularity model behind the paper's scalability analysis
+/// (Section 8: of 34,721 thepiratebay movie swarms, only 0.72% exceeded a
+/// hundred leechers). P(size = k) proportional to 1/k^alpha, k in
+/// [1, max_size]. Throws for alpha <= 0 or max_size < 1.
+std::vector<int> ZipfSwarmSizes(int num_swarms, double alpha, int max_size,
+                                std::mt19937_64& rng);
+
+/// Fraction of swarms with more than `threshold` leechers.
+double FractionAbove(std::span<const int> sizes, int threshold);
+
+}  // namespace p4p::sim

@@ -1,0 +1,135 @@
+#include "core/apptracker.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace p4p::core {
+namespace {
+
+PidMap TestPidMap() {
+  PidMap map;
+  map.add(*Prefix::Parse("10.0.0.0/16"), {0, 1});
+  map.add(*Prefix::Parse("10.1.0.0/16"), {1, 1});
+  map.add(*Prefix::Parse("10.2.0.0/16"), {2, 1});
+  map.add(*Prefix::Parse("20.0.0.0/8"), {5, 2});
+  return map;
+}
+
+AppTracker MakeTracker() {
+  return AppTracker(std::make_unique<NativeRandomSelector>(), TestPidMap(), 7);
+}
+
+TEST(AppTracker, RejectsNullSelector) {
+  EXPECT_THROW(AppTracker(nullptr, TestPidMap()), std::invalid_argument);
+}
+
+TEST(AppTracker, AnnounceResolvesPidAndAs) {
+  auto tracker = MakeTracker();
+  AnnounceRequest req;
+  req.content_id = "film";
+  req.client_ip = "10.1.2.3";
+  const auto resp = tracker.Announce(req);
+  EXPECT_EQ(resp.pid, 1);
+  EXPECT_EQ(resp.as_number, 1);
+  EXPECT_EQ(resp.assigned_id, 0);
+  EXPECT_TRUE(resp.peers.empty());  // first peer: no one else yet
+  EXPECT_EQ(tracker.swarm_size("film"), 1u);
+}
+
+TEST(AppTracker, AnnounceRejectsUnmappedIp) {
+  auto tracker = MakeTracker();
+  AnnounceRequest req;
+  req.content_id = "film";
+  req.client_ip = "99.99.99.99";
+  EXPECT_THROW(tracker.Announce(req), std::invalid_argument);
+  req.client_ip = "not-an-ip";
+  EXPECT_THROW(tracker.Announce(req), std::invalid_argument);
+}
+
+TEST(AppTracker, SecondPeerSeesFirst) {
+  auto tracker = MakeTracker();
+  AnnounceRequest req;
+  req.content_id = "film";
+  req.client_ip = "10.0.0.1";
+  const auto first = tracker.Announce(req);
+  req.client_ip = "10.1.0.1";
+  const auto second = tracker.Announce(req);
+  ASSERT_EQ(second.peers.size(), 1u);
+  EXPECT_EQ(second.peers[0], first.assigned_id);
+}
+
+TEST(AppTracker, SwarmsAreIsolated) {
+  auto tracker = MakeTracker();
+  AnnounceRequest req;
+  req.content_id = "a";
+  req.client_ip = "10.0.0.1";
+  tracker.Announce(req);
+  req.content_id = "b";
+  req.client_ip = "10.1.0.1";
+  const auto resp = tracker.Announce(req);
+  EXPECT_TRUE(resp.peers.empty());
+  EXPECT_EQ(tracker.swarm_count(), 2u);
+  EXPECT_EQ(tracker.swarm_size("a"), 1u);
+  EXPECT_EQ(tracker.swarm_size("b"), 1u);
+  EXPECT_EQ(tracker.swarm_size("missing"), 0u);
+}
+
+TEST(AppTracker, WantLimitsPeerCount) {
+  auto tracker = MakeTracker();
+  AnnounceRequest req;
+  req.content_id = "film";
+  for (int i = 0; i < 30; ++i) {
+    req.client_ip = "10." + std::to_string(i % 3) + ".0." + std::to_string(i + 1);
+    tracker.Announce(req);
+  }
+  req.want = 5;
+  req.client_ip = "10.2.0.99";
+  const auto resp = tracker.Announce(req);
+  EXPECT_EQ(resp.peers.size(), 5u);
+  std::set<sim::PeerId> unique(resp.peers.begin(), resp.peers.end());
+  EXPECT_EQ(unique.size(), 5u);
+}
+
+TEST(AppTracker, DepartRemovesPeer) {
+  auto tracker = MakeTracker();
+  AnnounceRequest req;
+  req.content_id = "film";
+  req.client_ip = "10.0.0.1";
+  const auto first = tracker.Announce(req);
+  req.client_ip = "10.1.0.1";
+  tracker.Announce(req);
+  EXPECT_EQ(tracker.swarm_size("film"), 2u);
+  tracker.Depart("film", first.assigned_id);
+  EXPECT_EQ(tracker.swarm_size("film"), 1u);
+  // Departing again (or from a missing swarm) is a no-op.
+  tracker.Depart("film", first.assigned_id);
+  tracker.Depart("nope", 0);
+  EXPECT_EQ(tracker.swarm_size("film"), 1u);
+}
+
+TEST(AppTracker, EmptySwarmIsDropped) {
+  auto tracker = MakeTracker();
+  AnnounceRequest req;
+  req.content_id = "film";
+  req.client_ip = "10.0.0.1";
+  const auto resp = tracker.Announce(req);
+  tracker.Depart("film", resp.assigned_id);
+  EXPECT_EQ(tracker.swarm_count(), 0u);
+}
+
+TEST(AppTracker, AssignsMonotonicIds) {
+  auto tracker = MakeTracker();
+  AnnounceRequest req;
+  req.content_id = "x";
+  sim::PeerId prev = -1;
+  for (int i = 0; i < 10; ++i) {
+    req.client_ip = "10.0.0." + std::to_string(i + 1);
+    const auto resp = tracker.Announce(req);
+    EXPECT_GT(resp.assigned_id, prev);
+    prev = resp.assigned_id;
+  }
+}
+
+}  // namespace
+}  // namespace p4p::core

@@ -1,0 +1,156 @@
+#include "core/charging.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace p4p::core {
+namespace {
+
+TEST(ChargingVolume, Basic95th) {
+  // 100 samples 1..100: ceil(0.95*100) = 95 -> value 95.
+  std::vector<double> v;
+  for (int i = 1; i <= 100; ++i) v.push_back(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(ChargingVolume(v, 95.0), 95.0);
+}
+
+TEST(ChargingVolume, UnsortedInput) {
+  std::vector<double> v = {50.0, 10.0, 90.0, 30.0, 70.0};
+  // ceil(0.95 * 5) = 5 -> the maximum.
+  EXPECT_DOUBLE_EQ(ChargingVolume(v, 95.0), 90.0);
+  // ceil(0.5 * 5) = 3 -> third smallest.
+  EXPECT_DOUBLE_EQ(ChargingVolume(v, 50.0), 50.0);
+}
+
+TEST(ChargingVolume, FullPercentileIsMax) {
+  const std::vector<double> v = {3.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(ChargingVolume(v, 100.0), 3.0);
+}
+
+TEST(ChargingVolume, PaperMonthConvention) {
+  // 95% of a 30-day month of 5-minute intervals = sorted index 8208 of 8640.
+  std::vector<double> v(8640);
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] = static_cast<double>(i + 1);
+  EXPECT_DOUBLE_EQ(ChargingVolume(v, 95.0), 8208.0);
+}
+
+TEST(ChargingVolume, Rejects) {
+  const std::vector<double> v = {1.0};
+  EXPECT_THROW(ChargingVolume({}, 95.0), std::invalid_argument);
+  EXPECT_THROW(ChargingVolume(v, 0.0), std::invalid_argument);
+  EXPECT_THROW(ChargingVolume(v, 101.0), std::invalid_argument);
+}
+
+ChargingPredictorConfig SmallConfig() {
+  ChargingPredictorConfig cfg;
+  cfg.intervals_per_period = 100;
+  cfg.bootstrap_intervals = 10;
+  cfg.q = 95.0;
+  cfg.ma_window = 4;
+  return cfg;
+}
+
+TEST(VirtualCapacityEstimator, EmptyStateReturnsZero) {
+  VirtualCapacityEstimator est(SmallConfig());
+  EXPECT_DOUBLE_EQ(est.PredictChargingVolume(), 0.0);
+  EXPECT_DOUBLE_EQ(est.PredictTraffic(), 0.0);
+  EXPECT_DOUBLE_EQ(est.VirtualCapacity(), 0.0);
+}
+
+TEST(VirtualCapacityEstimator, RejectsBadInput) {
+  EXPECT_THROW(VirtualCapacityEstimator(ChargingPredictorConfig{0, 1, 95.0, 1}),
+               std::invalid_argument);
+  VirtualCapacityEstimator est(SmallConfig());
+  EXPECT_THROW(est.AddSample(-1.0), std::invalid_argument);
+  EXPECT_THROW(est.AddSample(std::nan("")), std::invalid_argument);
+}
+
+TEST(VirtualCapacityEstimator, ConstantTrafficYieldsZeroHeadroom) {
+  VirtualCapacityEstimator est(SmallConfig());
+  for (int i = 0; i < 150; ++i) est.AddSample(100.0);
+  EXPECT_NEAR(est.PredictChargingVolume(), 100.0, 1e-9);
+  EXPECT_NEAR(est.PredictTraffic(), 100.0, 1e-9);
+  EXPECT_NEAR(est.VirtualCapacity(), 0.0, 1e-9);
+}
+
+TEST(VirtualCapacityEstimator, OffPeakTrafficLeavesHeadroom) {
+  // Diurnal: most intervals 20, occasional 100-volume peaks. The 95th
+  // percentile stays at 100 while current traffic sits at 20, so the
+  // virtual capacity approaches 80.
+  VirtualCapacityEstimator est(SmallConfig());
+  for (int i = 0; i < 100; ++i) {
+    est.AddSample(i % 10 == 0 ? 100.0 : 20.0);
+  }
+  // After a run of off-peak samples the moving average is 20.
+  for (int i = 0; i < 8; ++i) est.AddSample(20.0);
+  EXPECT_NEAR(est.PredictTraffic(), 20.0, 1e-9);
+  EXPECT_GE(est.PredictChargingVolume(), 99.0);
+  EXPECT_NEAR(est.VirtualCapacity(), est.PredictChargingVolume() - 20.0, 1e-9);
+}
+
+TEST(VirtualCapacityEstimator, BootstrapUsesTrailingWindow) {
+  // First period: high volumes. Early in the second period the predictor
+  // must still look at the trailing I samples (which include the high
+  // first-period volumes), not just the few current-period samples — the
+  // paper's fix for pure sliding windows.
+  auto cfg = SmallConfig();
+  VirtualCapacityEstimator est(cfg);
+  for (int i = 0; i < 100; ++i) est.AddSample(100.0);  // period 0
+  for (int i = 0; i < 5; ++i) est.AddSample(10.0);     // start of period 1
+  // i=105, s=100, i-s=5 <= M=10: trailing window (95 highs + 5 lows).
+  EXPECT_GE(est.PredictChargingVolume(), 99.0);
+}
+
+TEST(VirtualCapacityEstimator, AfterBootstrapUsesCurrentPeriodOnly) {
+  auto cfg = SmallConfig();
+  VirtualCapacityEstimator est(cfg);
+  for (int i = 0; i < 100; ++i) est.AddSample(100.0);  // period 0
+  for (int i = 0; i < 50; ++i) est.AddSample(10.0);    // deep into period 1
+  // i=150, s=100, i-s=50 > M=10: only current-period (all 10s).
+  EXPECT_NEAR(est.PredictChargingVolume(), 10.0, 1e-9);
+}
+
+TEST(VirtualCapacityEstimator, VirtualCapacityNeverNegative) {
+  VirtualCapacityEstimator est(SmallConfig());
+  for (int i = 0; i < 20; ++i) est.AddSample(10.0);
+  est.AddSample(1000.0);  // spike raises the moving average above percentile
+  est.AddSample(1000.0);
+  est.AddSample(1000.0);
+  est.AddSample(1000.0);
+  EXPECT_GE(est.VirtualCapacity(), 0.0);
+}
+
+TEST(VirtualCapacityEstimator, MovingAverageWindow) {
+  VirtualCapacityEstimator est(SmallConfig());  // ma_window = 4
+  est.AddSample(0.0);
+  est.AddSample(0.0);
+  est.AddSample(10.0);
+  est.AddSample(10.0);
+  est.AddSample(10.0);
+  est.AddSample(10.0);
+  EXPECT_NEAR(est.PredictTraffic(), 10.0, 1e-9);
+  EXPECT_EQ(est.sample_count(), 6u);
+}
+
+class ChargingQSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ChargingQSweep, PercentileMonotoneAndBounded) {
+  std::mt19937_64 rng(42);
+  std::uniform_real_distribution<double> vol(0.0, 1000.0);
+  std::vector<double> v(500);
+  for (auto& x : v) x = vol(rng);
+  const double q = GetParam();
+  const double cv = ChargingVolume(v, q);
+  EXPECT_GE(cv, *std::min_element(v.begin(), v.end()));
+  EXPECT_LE(cv, *std::max_element(v.begin(), v.end()));
+  if (q >= 10.0) {
+    EXPECT_GE(cv, ChargingVolume(v, q - 5.0));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Qs, ChargingQSweep,
+                         ::testing::Values(10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0,
+                                           100.0));
+
+}  // namespace
+}  // namespace p4p::core

@@ -1,0 +1,147 @@
+#include "core/embedding.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/itracker.h"
+#include "net/topology.h"
+
+namespace p4p::core {
+namespace {
+
+PDistanceMatrix EuclideanMatrix(int n, int dims, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> coord(0.0, 10.0);
+  std::vector<std::vector<double>> points(static_cast<std::size_t>(n));
+  for (auto& p : points) {
+    for (int d = 0; d < dims; ++d) p.push_back(coord(rng));
+  }
+  PDistanceMatrix m(n);
+  for (Pid i = 0; i < n; ++i) {
+    for (Pid j = 0; j < n; ++j) {
+      double s = 0.0;
+      for (int d = 0; d < dims; ++d) {
+        const double diff = points[static_cast<std::size_t>(i)][static_cast<std::size_t>(d)] -
+                            points[static_cast<std::size_t>(j)][static_cast<std::size_t>(d)];
+        s += diff * diff;
+      }
+      m.set(i, j, std::sqrt(s));
+    }
+  }
+  return m;
+}
+
+TEST(Embedding, RejectsBadInput) {
+  EXPECT_THROW(CoordinateEmbedding::Fit(PDistanceMatrix(0)), std::invalid_argument);
+  EmbeddingConfig cfg;
+  cfg.dimensions = 0;
+  EXPECT_THROW(CoordinateEmbedding::Fit(PDistanceMatrix(3), cfg),
+               std::invalid_argument);
+  cfg = EmbeddingConfig{};
+  cfg.learning_rate = 0.0;
+  EXPECT_THROW(CoordinateEmbedding::Fit(PDistanceMatrix(3), cfg),
+               std::invalid_argument);
+}
+
+TEST(Embedding, TrivialAllZeroMatrix) {
+  const PDistanceMatrix m(4, 0.0);
+  const auto emb = CoordinateEmbedding::Fit(m);
+  EXPECT_EQ(emb.num_pids(), 4);
+  // Self distances are exactly zero.
+  for (Pid i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(emb.Distance(i, i), 0.0);
+  }
+  EXPECT_LE(emb.Stress(m), 1.0);
+}
+
+TEST(Embedding, RecoversEuclideanStructure) {
+  // Points genuinely in 3-d must embed with low stress in 3+ dimensions.
+  const auto m = EuclideanMatrix(12, 3, 5);
+  EmbeddingConfig cfg;
+  cfg.dimensions = 3;
+  cfg.iterations = 4000;
+  const auto emb = CoordinateEmbedding::Fit(m, cfg);
+  EXPECT_LT(emb.Stress(m), 0.15);
+}
+
+TEST(Embedding, DistanceIsSymmetricAndNonNegative) {
+  const auto m = EuclideanMatrix(8, 2, 6);
+  const auto emb = CoordinateEmbedding::Fit(m);
+  for (Pid i = 0; i < 8; ++i) {
+    for (Pid j = 0; j < 8; ++j) {
+      EXPECT_GE(emb.Distance(i, j), 0.0);
+      EXPECT_DOUBLE_EQ(emb.Distance(i, j), emb.Distance(j, i));
+    }
+  }
+}
+
+TEST(Embedding, DeterministicForSeed) {
+  const auto m = EuclideanMatrix(6, 2, 7);
+  EmbeddingConfig cfg;
+  cfg.seed = 99;
+  const auto e1 = CoordinateEmbedding::Fit(m, cfg);
+  const auto e2 = CoordinateEmbedding::Fit(m, cfg);
+  for (Pid i = 0; i < 6; ++i) {
+    EXPECT_EQ(e1.coordinates(i), e2.coordinates(i));
+    EXPECT_DOUBLE_EQ(e1.height(i), e2.height(i));
+  }
+}
+
+TEST(Embedding, AccessorsRangeChecked) {
+  const auto emb = CoordinateEmbedding::Fit(PDistanceMatrix(3, 1.0));
+  EXPECT_THROW(emb.Distance(-1, 0), std::out_of_range);
+  EXPECT_THROW(emb.Distance(0, 3), std::out_of_range);
+  EXPECT_THROW(emb.coordinates(5), std::out_of_range);
+  EXPECT_THROW(emb.height(-2), std::out_of_range);
+  EXPECT_THROW(emb.Stress(PDistanceMatrix(2)), std::invalid_argument);
+}
+
+TEST(Embedding, CoordinatesHaveRequestedDimension) {
+  EmbeddingConfig cfg;
+  cfg.dimensions = 5;
+  const auto emb = CoordinateEmbedding::Fit(PDistanceMatrix(4, 2.0), cfg);
+  EXPECT_EQ(emb.dimensions(), 5);
+  EXPECT_EQ(emb.coordinates(2).size(), 5u);
+}
+
+TEST(Embedding, ApproximatesAbileneView) {
+  // The end-to-end use case: embed a real iTracker external view and check
+  // the approximation preserves the ordering of near vs far PIDs.
+  const net::Graph graph = net::MakeAbilene();
+  const net::RoutingTable routing(graph);
+  ITrackerConfig tcfg;
+  tcfg.mode = PriceMode::kStatic;
+  ITracker tracker(graph, routing, tcfg);
+  tracker.SetPricesFromOspf();
+  const auto view = tracker.external_view();
+
+  EmbeddingConfig cfg;
+  cfg.dimensions = 5;
+  cfg.iterations = 6000;
+  const auto emb = CoordinateEmbedding::Fit(view, cfg);
+  EXPECT_LT(emb.Stress(view), 0.30);
+  // NY is closer to DC than to Seattle in both spaces.
+  EXPECT_LT(view.at(net::kNewYork, net::kWashingtonDC),
+            view.at(net::kNewYork, net::kSeattle));
+  EXPECT_LT(emb.Distance(net::kNewYork, net::kWashingtonDC),
+            emb.Distance(net::kNewYork, net::kSeattle));
+}
+
+class EmbeddingDimSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(EmbeddingDimSweep, MoreDimensionsNeverHurtMuch) {
+  const auto m = EuclideanMatrix(10, 3, 11);
+  EmbeddingConfig cfg;
+  cfg.dimensions = GetParam();
+  cfg.iterations = 3000;
+  const auto emb = CoordinateEmbedding::Fit(m, cfg);
+  // Even 2 dimensions should land below generous stress for 3-d data; more
+  // dimensions should fit well.
+  EXPECT_LT(emb.Stress(m), GetParam() >= 3 ? 0.2 : 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, EmbeddingDimSweep, ::testing::Values(2, 3, 4, 6, 8));
+
+}  // namespace
+}  // namespace p4p::core

@@ -1,0 +1,108 @@
+#include "core/hierarchy.h"
+
+#include <gtest/gtest.h>
+
+namespace p4p::core {
+namespace {
+
+PidMap TwoAsMap() {
+  PidMap map;
+  map.add(*Prefix::Parse("10.0.0.0/8"), {0, 100});
+  map.add(*Prefix::Parse("20.0.0.0/8"), {1, 200});
+  map.add(*Prefix::Parse("30.0.0.0/8"), {2, 300});
+  return map;
+}
+
+TEST(Hierarchy, RoutesToAsShard) {
+  TopLevelTracker top(TwoAsMap());
+  top.AddShard(100, std::make_unique<NativeRandomSelector>());
+  top.AddShard(200, std::make_unique<NativeRandomSelector>());
+
+  AnnounceRequest req;
+  req.content_id = "film";
+  req.client_ip = "10.1.1.1";
+  const auto a = top.Announce(req);
+  EXPECT_EQ(a.as_number, 100);
+  req.client_ip = "20.1.1.1";
+  const auto b = top.Announce(req);
+  EXPECT_EQ(b.as_number, 200);
+  // Each shard only saw its own client.
+  EXPECT_EQ(top.shard_swarm_size(100, "film"), 1u);
+  EXPECT_EQ(top.shard_swarm_size(200, "film"), 1u);
+  // The AS-200 client did not see the AS-100 client as a peer.
+  EXPECT_TRUE(b.peers.empty());
+}
+
+TEST(Hierarchy, DefaultShardCatchesUnknownAs) {
+  TopLevelTracker top(TwoAsMap());
+  top.AddShard(100, std::make_unique<NativeRandomSelector>());
+  AnnounceRequest req;
+  req.content_id = "film";
+  req.client_ip = "30.1.1.1";  // AS 300 has no shard
+  EXPECT_THROW(top.Announce(req), std::runtime_error);
+  top.SetDefaultShard(std::make_unique<NativeRandomSelector>());
+  const auto resp = top.Announce(req);
+  EXPECT_EQ(resp.as_number, 300);
+  EXPECT_EQ(top.ShardFor(300), -1);
+  EXPECT_EQ(top.ShardFor(100), 100);
+}
+
+TEST(Hierarchy, UnresolvableIpThrows) {
+  TopLevelTracker top(TwoAsMap());
+  top.SetDefaultShard(std::make_unique<NativeRandomSelector>());
+  AnnounceRequest req;
+  req.content_id = "film";
+  req.client_ip = "99.1.1.1";
+  EXPECT_THROW(top.Announce(req), std::invalid_argument);
+}
+
+TEST(Hierarchy, DuplicateShardRejected) {
+  TopLevelTracker top(TwoAsMap());
+  top.AddShard(100, std::make_unique<NativeRandomSelector>());
+  EXPECT_THROW(top.AddShard(100, std::make_unique<NativeRandomSelector>()),
+               std::invalid_argument);
+}
+
+TEST(Hierarchy, ShardCountTracksShards) {
+  TopLevelTracker top(TwoAsMap());
+  EXPECT_EQ(top.shard_count(), 0u);
+  top.AddShard(100, std::make_unique<NativeRandomSelector>());
+  EXPECT_EQ(top.shard_count(), 1u);
+  top.SetDefaultShard(std::make_unique<NativeRandomSelector>());
+  EXPECT_EQ(top.shard_count(), 2u);
+}
+
+TEST(Hierarchy, DepartGoesToRightShard) {
+  TopLevelTracker top(TwoAsMap());
+  top.AddShard(100, std::make_unique<NativeRandomSelector>());
+  AnnounceRequest req;
+  req.content_id = "film";
+  req.client_ip = "10.1.1.1";
+  const auto resp = top.Announce(req);
+  EXPECT_EQ(top.shard_swarm_size(100, "film"), 1u);
+  top.Depart(100, "film", resp.assigned_id);
+  EXPECT_EQ(top.shard_swarm_size(100, "film"), 0u);
+  // Departing from a shard-less AS is a no-op.
+  top.Depart(999, "film", resp.assigned_id);
+}
+
+TEST(Hierarchy, ShardsScaleIndependently) {
+  TopLevelTracker top(TwoAsMap());
+  top.AddShard(100, std::make_unique<NativeRandomSelector>());
+  top.AddShard(200, std::make_unique<NativeRandomSelector>());
+  AnnounceRequest req;
+  req.content_id = "big";
+  for (int i = 0; i < 50; ++i) {
+    req.client_ip = "10.0.0." + std::to_string(i + 1);
+    top.Announce(req);
+  }
+  for (int i = 0; i < 5; ++i) {
+    req.client_ip = "20.0.0." + std::to_string(i + 1);
+    top.Announce(req);
+  }
+  EXPECT_EQ(top.shard_swarm_size(100, "big"), 50u);
+  EXPECT_EQ(top.shard_swarm_size(200, "big"), 5u);
+}
+
+}  // namespace
+}  // namespace p4p::core

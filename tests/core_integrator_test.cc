@@ -1,0 +1,131 @@
+#include "core/integrator.h"
+
+#include <gtest/gtest.h>
+
+#include "net/synth.h"
+#include "net/topology.h"
+
+namespace p4p::core {
+namespace {
+
+class IntegratorTest : public ::testing::Test {
+ protected:
+  IntegratorTest()
+      : abilene_(net::MakeAbilene()),
+        ispa_(net::MakeIspA()),
+        abilene_routing_(abilene_),
+        ispa_routing_(ispa_),
+        tracker_a_(abilene_, abilene_routing_),
+        tracker_b_(ispa_, ispa_routing_) {}
+
+  net::Graph abilene_;
+  net::Graph ispa_;
+  net::RoutingTable abilene_routing_;
+  net::RoutingTable ispa_routing_;
+  ITracker tracker_a_;
+  ITracker tracker_b_;
+};
+
+TEST_F(IntegratorTest, RegisterAndQueryCount) {
+  Integrator integrator;
+  EXPECT_EQ(integrator.network_count(), 0u);
+  integrator.RegisterNetwork(100, &tracker_a_);
+  integrator.RegisterNetwork(200, &tracker_b_);
+  EXPECT_EQ(integrator.network_count(), 2u);
+  EXPECT_TRUE(integrator.knows(100));
+  EXPECT_FALSE(integrator.knows(300));
+}
+
+TEST_F(IntegratorTest, RejectsNullTracker) {
+  Integrator integrator;
+  EXPECT_THROW(integrator.RegisterNetwork(1, nullptr), std::invalid_argument);
+}
+
+TEST_F(IntegratorTest, IntraAsMatchesTracker) {
+  Integrator integrator;
+  integrator.RegisterNetwork(100, &tracker_a_);
+  const auto d = integrator.Distance({100, net::kNewYork}, {100, net::kSeattle});
+  ASSERT_TRUE(d.has_value());
+  EXPECT_DOUBLE_EQ(*d, tracker_a_.pdistance(net::kNewYork, net::kSeattle));
+}
+
+TEST_F(IntegratorTest, UnknownAsYieldsNullopt) {
+  Integrator integrator;
+  integrator.RegisterNetwork(100, &tracker_a_);
+  EXPECT_FALSE(integrator.Distance({100, 0}, {999, 0}).has_value());
+  EXPECT_FALSE(integrator.Distance({999, 0}, {100, 0}).has_value());
+}
+
+TEST_F(IntegratorTest, OutOfRangePidYieldsNullopt) {
+  Integrator integrator;
+  integrator.RegisterNetwork(100, &tracker_a_);
+  EXPECT_FALSE(integrator.Distance({100, 99}, {100, 0}).has_value());
+  EXPECT_FALSE(integrator.Distance({100, -1}, {100, 0}).has_value());
+}
+
+TEST_F(IntegratorTest, CrossAsNeedsConfiguredCost) {
+  Integrator integrator;
+  integrator.RegisterNetwork(100, &tracker_a_);
+  integrator.RegisterNetwork(200, &tracker_b_);
+  EXPECT_FALSE(integrator.Distance({100, 0}, {200, 0}).has_value());
+  integrator.SetInterAsCost(100, 200, 5.0);
+  const auto d = integrator.Distance({100, 0}, {200, 0});
+  ASSERT_TRUE(d.has_value());
+  EXPECT_GE(*d, 5.0);  // inter-AS cost plus non-negative egress legs
+}
+
+TEST_F(IntegratorTest, CrossAsIsSymmetricInCost) {
+  Integrator integrator;
+  integrator.RegisterNetwork(100, &tracker_a_);
+  integrator.RegisterNetwork(200, &tracker_b_);
+  integrator.SetInterAsCost(200, 100, 7.0);  // either order configures it
+  const auto ab = integrator.Distance({100, 2}, {200, 3});
+  const auto ba = integrator.Distance({200, 3}, {100, 2});
+  ASSERT_TRUE(ab && ba);
+  EXPECT_DOUBLE_EQ(*ab, *ba);
+}
+
+TEST_F(IntegratorTest, SetInterAsCostValidation) {
+  Integrator integrator;
+  EXPECT_THROW(integrator.SetInterAsCost(1, 1, 2.0), std::invalid_argument);
+  EXPECT_THROW(integrator.SetInterAsCost(1, 2, -1.0), std::invalid_argument);
+}
+
+TEST_F(IntegratorTest, CrossAsDominatedByInterCostWhenLarge) {
+  Integrator integrator;
+  integrator.RegisterNetwork(100, &tracker_a_);
+  integrator.RegisterNetwork(200, &tracker_b_);
+  integrator.SetInterAsCost(100, 200, 1.0);
+  const auto near = integrator.Distance({100, 0}, {200, 0});
+  integrator.SetInterAsCost(100, 200, 1000.0);
+  const auto far = integrator.Distance({100, 0}, {200, 0});
+  ASSERT_TRUE(near && far);
+  EXPECT_NEAR(*far - *near, 999.0, 1e-9);
+}
+
+TEST_F(IntegratorTest, RankPrefersOwnNetworkWhenTransitIsExpensive) {
+  Integrator integrator;
+  integrator.RegisterNetwork(100, &tracker_a_);
+  integrator.RegisterNetwork(200, &tracker_b_);
+  integrator.SetInterAsCost(100, 200, 100.0);
+  std::vector<NetworkLocation> candidates = {
+      {200, 0}, {100, net::kWashingtonDC}, {200, 5}, {100, net::kChicago}};
+  const auto ranked = integrator.Rank({100, net::kNewYork}, candidates);
+  ASSERT_EQ(ranked.size(), 4u);
+  EXPECT_EQ(ranked[0].as_number, 100);
+  EXPECT_EQ(ranked[1].as_number, 100);
+  EXPECT_EQ(ranked[2].as_number, 200);
+  EXPECT_EQ(ranked[3].as_number, 200);
+}
+
+TEST_F(IntegratorTest, RankPlacesUnknownLast) {
+  Integrator integrator;
+  integrator.RegisterNetwork(100, &tracker_a_);
+  std::vector<NetworkLocation> candidates = {{999, 0}, {100, net::kWashingtonDC}};
+  const auto ranked = integrator.Rank({100, net::kNewYork}, candidates);
+  EXPECT_EQ(ranked[0].as_number, 100);
+  EXPECT_EQ(ranked[1].as_number, 999);
+}
+
+}  // namespace
+}  // namespace p4p::core

@@ -1,0 +1,344 @@
+#include "core/itracker.h"
+
+#include <gtest/gtest.h>
+
+#include "net/topology.h"
+
+namespace p4p::core {
+namespace {
+
+class ITrackerTest : public ::testing::Test {
+ protected:
+  ITrackerTest() : graph_(net::MakeAbilene()), routing_(graph_) {}
+
+  double SimplexSum(const ITracker& tracker) const {
+    double s = 0.0;
+    for (std::size_t e = 0; e < graph_.link_count(); ++e) {
+      s += tracker.link_price(static_cast<net::LinkId>(e)) *
+           graph_.link(static_cast<net::LinkId>(e)).capacity_bps;
+    }
+    return s;
+  }
+
+  std::vector<double> ZeroTraffic() const {
+    return std::vector<double>(graph_.link_count(), 0.0);
+  }
+
+  net::Graph graph_;
+  net::RoutingTable routing_;
+};
+
+TEST_F(ITrackerTest, SuperGradientInitializesOnSimplex) {
+  ITracker tracker(graph_, routing_);
+  EXPECT_NEAR(SimplexSum(tracker), 1.0, 1e-9);
+  for (std::size_t e = 0; e < graph_.link_count(); ++e) {
+    EXPECT_GE(tracker.link_price(static_cast<net::LinkId>(e)), 0.0);
+  }
+}
+
+TEST_F(ITrackerTest, RejectsBadConfig) {
+  ITrackerConfig cfg;
+  cfg.step_size = -1.0;
+  EXPECT_THROW(ITracker(graph_, routing_, cfg), std::invalid_argument);
+  cfg = ITrackerConfig{};
+  cfg.privacy_noise = 1.5;
+  EXPECT_THROW(ITracker(graph_, routing_, cfg), std::invalid_argument);
+}
+
+TEST_F(ITrackerTest, PDistanceSumsLinkPricesOnPath) {
+  ITracker tracker(graph_, routing_);
+  std::vector<double> prices(graph_.link_count(), 0.0);
+  // Price only the links on the NY -> DC path.
+  double expected = 0.0;
+  int idx = 1;
+  for (net::LinkId e : routing_.path(net::kNewYork, net::kWashingtonDC)) {
+    prices[static_cast<std::size_t>(e)] = idx * 0.5;
+    expected += idx * 0.5;
+    ++idx;
+  }
+  ITrackerConfig cfg;
+  cfg.mode = PriceMode::kStatic;
+  ITracker stat(graph_, routing_, cfg);
+  stat.SetStaticPrices(prices);
+  EXPECT_NEAR(stat.pdistance(net::kNewYork, net::kWashingtonDC), expected, 1e-12);
+}
+
+TEST_F(ITrackerTest, IntraPidDistanceConfigurable) {
+  ITrackerConfig cfg;
+  cfg.intra_pid_distance = 0.25;
+  ITracker tracker(graph_, routing_, cfg);
+  EXPECT_DOUBLE_EQ(tracker.pdistance(3, 3), 0.25);
+}
+
+TEST_F(ITrackerTest, PDistanceRangeChecked) {
+  ITracker tracker(graph_, routing_);
+  EXPECT_THROW(tracker.pdistance(-1, 0), std::out_of_range);
+  EXPECT_THROW(tracker.pdistance(0, 99), std::out_of_range);
+}
+
+TEST_F(ITrackerTest, UpdateRaisesPriceOfHotLink) {
+  ITracker tracker(graph_, routing_);
+  const auto hot = static_cast<std::size_t>(
+      graph_.find_link(net::kNewYork, net::kWashingtonDC));
+  std::vector<double> traffic(graph_.link_count(), 1e8);
+  traffic[hot] = 9e9;  // near saturation
+  const double before = tracker.link_price(static_cast<net::LinkId>(hot));
+  for (int i = 0; i < 10; ++i) tracker.Update(traffic);
+  const double after = tracker.link_price(static_cast<net::LinkId>(hot));
+  EXPECT_GT(after, before);
+  // Prices remain on the dual simplex after updates.
+  EXPECT_NEAR(SimplexSum(tracker), 1.0, 1e-6);
+  // The hot link must now be the most expensive.
+  for (std::size_t e = 0; e < graph_.link_count(); ++e) {
+    EXPECT_LE(tracker.link_price(static_cast<net::LinkId>(e)), after + 1e-18);
+  }
+}
+
+TEST_F(ITrackerTest, UpdateDrivesPDistanceSteering) {
+  ITracker tracker(graph_, routing_);
+  const auto hot_link = graph_.find_link(net::kNewYork, net::kWashingtonDC);
+  std::vector<double> traffic(graph_.link_count(), 0.0);
+  traffic[static_cast<std::size_t>(hot_link)] = 9.5e9;
+  for (int i = 0; i < 20; ++i) tracker.Update(traffic);
+  // NY->DC (via the hot link) must now cost more than NY->Chicago.
+  EXPECT_GT(tracker.pdistance(net::kNewYork, net::kWashingtonDC),
+            tracker.pdistance(net::kNewYork, net::kChicago));
+}
+
+TEST_F(ITrackerTest, StaticModeIgnoresUpdates) {
+  ITrackerConfig cfg;
+  cfg.mode = PriceMode::kStatic;
+  ITracker tracker(graph_, routing_, cfg);
+  std::vector<double> prices(graph_.link_count(), 0.5);
+  tracker.SetStaticPrices(prices);
+  std::vector<double> traffic(graph_.link_count(), 9e9);
+  tracker.Update(traffic);
+  for (std::size_t e = 0; e < graph_.link_count(); ++e) {
+    EXPECT_DOUBLE_EQ(tracker.link_price(static_cast<net::LinkId>(e)), 0.5);
+  }
+}
+
+TEST_F(ITrackerTest, OspfPricesProportionalToWeights) {
+  ITrackerConfig cfg;
+  cfg.mode = PriceMode::kStatic;
+  ITracker tracker(graph_, routing_, cfg);
+  tracker.SetPricesFromOspf();
+  EXPECT_NEAR(SimplexSum(tracker), 1.0, 1e-9);
+  // Longer (higher-weight) links cost more.
+  const auto short_link = graph_.find_link(net::kNewYork, net::kWashingtonDC);
+  const auto long_link = graph_.find_link(net::kSeattle, net::kDenver);
+  EXPECT_GT(tracker.link_price(long_link), tracker.link_price(short_link));
+}
+
+TEST_F(ITrackerTest, ProtectedLinkModeOnlyMovesProtectedPrices) {
+  ITrackerConfig cfg;
+  cfg.mode = PriceMode::kProtectedLink;
+  ITracker tracker(graph_, routing_, cfg);
+  const auto protected_link = graph_.find_link(net::kWashingtonDC, net::kNewYork);
+  tracker.ProtectLink(protected_link, ProtectedLinkRule{0.5, 1.0, 0.1});
+
+  std::vector<double> traffic(graph_.link_count(), 8e9);  // util 0.8 everywhere
+  tracker.Update(traffic);
+  EXPECT_GT(tracker.link_price(protected_link), 0.0);
+  for (std::size_t e = 0; e < graph_.link_count(); ++e) {
+    if (static_cast<net::LinkId>(e) == protected_link) continue;
+    EXPECT_DOUBLE_EQ(tracker.link_price(static_cast<net::LinkId>(e)), 0.0);
+  }
+}
+
+TEST_F(ITrackerTest, ProtectedLinkPriceDecaysWhenClear) {
+  ITrackerConfig cfg;
+  cfg.mode = PriceMode::kProtectedLink;
+  ITracker tracker(graph_, routing_, cfg);
+  const auto link = graph_.find_link(net::kWashingtonDC, net::kNewYork);
+  tracker.ProtectLink(link, ProtectedLinkRule{0.5, 1.0, 0.5});
+  std::vector<double> hot(graph_.link_count(), 0.0);
+  hot[static_cast<std::size_t>(link)] = 9e9;
+  tracker.Update(hot);
+  const double peak = tracker.link_price(link);
+  ASSERT_GT(peak, 0.0);
+  tracker.Update(ZeroTraffic());
+  EXPECT_LT(tracker.link_price(link), peak);
+}
+
+TEST_F(ITrackerTest, BdpObjectiveIncludesLinkDistances) {
+  ITrackerConfig cfg;
+  cfg.objective = IspObjective::kBandwidthDistanceProduct;
+  ITracker tracker(graph_, routing_, cfg);
+  // With zero congestion prices, the p-distance equals the geographic route
+  // distance.
+  const double d = tracker.pdistance(net::kSeattle, net::kNewYork);
+  EXPECT_NEAR(d, routing_.route_distance(net::kSeattle, net::kNewYork), 1.0);
+}
+
+TEST_F(ITrackerTest, BdpPricesStayNonNegativeAndReactToOverload) {
+  ITrackerConfig cfg;
+  cfg.objective = IspObjective::kBandwidthDistanceProduct;
+  ITracker tracker(graph_, routing_, cfg);
+  std::vector<double> traffic(graph_.link_count(), 0.0);
+  const auto hot = graph_.find_link(net::kChicago, net::kNewYork);
+  traffic[static_cast<std::size_t>(hot)] = 20e9;  // 2x overload
+  const double base = tracker.pdistance(net::kChicago, net::kNewYork);
+  for (int i = 0; i < 5; ++i) tracker.Update(traffic);
+  EXPECT_GT(tracker.pdistance(net::kChicago, net::kNewYork), base);
+  for (std::size_t e = 0; e < graph_.link_count(); ++e) {
+    EXPECT_GE(tracker.link_price(static_cast<net::LinkId>(e)), 0.0);
+  }
+}
+
+TEST_F(ITrackerTest, PeakBandwidthUsesRunningPeak) {
+  ITrackerConfig cfg;
+  cfg.objective = IspObjective::kPeakBandwidth;
+  ITracker tracker(graph_, routing_, cfg);
+  // Feed a peak background, then drop it; the peak must persist.
+  std::vector<double> bg(graph_.link_count(), 0.0);
+  const auto hot = static_cast<std::size_t>(graph_.find_link(net::kDenver, net::kKansasCity));
+  bg[hot] = 9e9;
+  tracker.set_background_bps(bg);
+  bg[hot] = 0.0;
+  tracker.set_background_bps(bg);
+  // Updating with zero P4P traffic: the hot link still gets the highest
+  // price because its peak background dominates.
+  for (int i = 0; i < 10; ++i) tracker.Update(ZeroTraffic());
+  for (std::size_t e = 0; e < graph_.link_count(); ++e) {
+    EXPECT_LE(tracker.link_price(static_cast<net::LinkId>(e)),
+              tracker.link_price(static_cast<net::LinkId>(hot)) + 1e-18);
+  }
+}
+
+TEST_F(ITrackerTest, MluComputation) {
+  ITracker tracker(graph_, routing_);
+  std::vector<double> traffic(graph_.link_count(), 0.0);
+  traffic[0] = 5e9;
+  EXPECT_NEAR(tracker.Mlu(traffic), 0.5, 1e-12);
+  std::vector<double> bg(graph_.link_count(), 0.0);
+  bg[1] = 8e9;
+  tracker.set_background_bps(bg);
+  EXPECT_NEAR(tracker.Mlu(traffic), 0.8, 1e-12);
+}
+
+TEST_F(ITrackerTest, InterdomainPriceRisesOnViolation) {
+  ITracker tracker(graph_, routing_);
+  const auto inter = graph_.find_link(net::kChicago, net::kKansasCity);
+  tracker.DeclareInterdomainLink(inter, 1e9);
+  std::vector<double> traffic(graph_.link_count(), 0.0);
+  traffic[static_cast<std::size_t>(inter)] = 3e9;  // 3x the virtual capacity
+  tracker.Update(traffic);
+  const double q1 = tracker.interdomain_price(inter);
+  EXPECT_GT(q1, 0.0);
+  tracker.Update(traffic);
+  EXPECT_GT(tracker.interdomain_price(inter), q1);
+}
+
+TEST_F(ITrackerTest, InterdomainPriceDecaysWhenWithinCapacity) {
+  ITracker tracker(graph_, routing_);
+  const auto inter = graph_.find_link(net::kChicago, net::kKansasCity);
+  tracker.DeclareInterdomainLink(inter, 1e9);
+  std::vector<double> heavy(graph_.link_count(), 0.0);
+  heavy[static_cast<std::size_t>(inter)] = 3e9;
+  tracker.Update(heavy);
+  const double peak = tracker.interdomain_price(inter);
+  std::vector<double> light(graph_.link_count(), 0.0);
+  light[static_cast<std::size_t>(inter)] = 1e8;
+  tracker.Update(light);
+  EXPECT_LT(tracker.interdomain_price(inter), peak);
+  EXPECT_GE(tracker.interdomain_price(inter), 0.0);
+}
+
+TEST_F(ITrackerTest, InterdomainPriceAffectsPDistanceAcrossLink) {
+  ITracker tracker(graph_, routing_);
+  const auto inter = graph_.find_link(net::kChicago, net::kKansasCity);
+  tracker.DeclareInterdomainLink(inter, 1e9);
+  const double before = tracker.pdistance(net::kChicago, net::kKansasCity);
+  std::vector<double> heavy(graph_.link_count(), 0.0);
+  heavy[static_cast<std::size_t>(inter)] = 5e9;
+  for (int i = 0; i < 5; ++i) tracker.Update(heavy);
+  EXPECT_GT(tracker.pdistance(net::kChicago, net::kKansasCity), before);
+}
+
+TEST_F(ITrackerTest, VirtualCapacityAccessors) {
+  ITracker tracker(graph_, routing_);
+  const auto inter = graph_.find_link(net::kAtlanta, net::kHouston);
+  EXPECT_DOUBLE_EQ(tracker.virtual_capacity(inter), 0.0);
+  tracker.DeclareInterdomainLink(inter, 2e9);
+  EXPECT_DOUBLE_EQ(tracker.virtual_capacity(inter), 2e9);
+  tracker.set_virtual_capacity(inter, 3e9);
+  EXPECT_DOUBLE_EQ(tracker.virtual_capacity(inter), 3e9);
+  EXPECT_THROW(tracker.set_virtual_capacity(0, 1e9), std::invalid_argument);
+  EXPECT_THROW(tracker.DeclareInterdomainLink(inter, -1.0), std::invalid_argument);
+}
+
+TEST_F(ITrackerTest, PrivacyNoiseIsDeterministicAndBounded) {
+  ITrackerConfig cfg;
+  cfg.privacy_noise = 0.1;
+  ITracker noisy(graph_, routing_, cfg);
+  ITracker clean(graph_, routing_);
+  for (Pid i = 0; i < noisy.num_pids(); ++i) {
+    for (Pid j = 0; j < noisy.num_pids(); ++j) {
+      const double a = noisy.pdistance(i, j);
+      const double b = noisy.pdistance(i, j);
+      EXPECT_DOUBLE_EQ(a, b);  // consistent across queries
+      const double truth = clean.pdistance(i, j);
+      EXPECT_LE(std::abs(a - truth), 0.1 * truth + 1e-15);
+    }
+  }
+}
+
+TEST_F(ITrackerTest, ExternalViewMatchesPDistances) {
+  ITracker tracker(graph_, routing_);
+  const auto view = tracker.external_view();
+  ASSERT_EQ(view.size(), tracker.num_pids());
+  for (Pid i = 0; i < view.size(); ++i) {
+    for (Pid j = 0; j < view.size(); ++j) {
+      EXPECT_DOUBLE_EQ(view.at(i, j), tracker.pdistance(i, j));
+    }
+  }
+}
+
+TEST_F(ITrackerTest, GetPDistancesRow) {
+  ITracker tracker(graph_, routing_);
+  const auto row = tracker.GetPDistances(net::kChicago);
+  ASSERT_EQ(row.size(), graph_.node_count());
+  for (Pid j = 0; j < tracker.num_pids(); ++j) {
+    EXPECT_DOUBLE_EQ(row[static_cast<std::size_t>(j)],
+                     tracker.pdistance(net::kChicago, j));
+  }
+}
+
+TEST_F(ITrackerTest, VersionBumpsOnMutation) {
+  ITracker tracker(graph_, routing_);
+  const auto v0 = tracker.version();
+  tracker.Update(ZeroTraffic());
+  EXPECT_GT(tracker.version(), v0);
+  const auto v1 = tracker.version();
+  std::vector<double> bg(graph_.link_count(), 1.0);
+  tracker.set_background_bps(bg);
+  EXPECT_GT(tracker.version(), v1);
+}
+
+TEST_F(ITrackerTest, UpdateRejectsWrongSize) {
+  ITracker tracker(graph_, routing_);
+  std::vector<double> wrong(3, 0.0);
+  EXPECT_THROW(tracker.Update(wrong), std::invalid_argument);
+  EXPECT_THROW(tracker.Mlu(wrong), std::invalid_argument);
+  EXPECT_THROW(tracker.set_background_bps(wrong), std::invalid_argument);
+}
+
+TEST_F(ITrackerTest, SuperGradientConvergesTowardBalancedPrices) {
+  // Drive with a fixed traffic pattern; the price mass should concentrate
+  // on the unique max-utilization link and stop oscillating wildly.
+  ITracker tracker(graph_, routing_);
+  std::vector<double> traffic(graph_.link_count(), 1e9);
+  const auto hot = static_cast<std::size_t>(graph_.find_link(net::kNewYork, net::kWashingtonDC));
+  traffic[hot] = 8e9;
+  for (int i = 0; i < 200; ++i) tracker.Update(traffic);
+  double hot_price = tracker.link_price(static_cast<net::LinkId>(hot));
+  double others = 0.0;
+  for (std::size_t e = 0; e < graph_.link_count(); ++e) {
+    if (e != hot) others += tracker.link_price(static_cast<net::LinkId>(e));
+  }
+  EXPECT_GT(hot_price, others);  // dominant dual on the bottleneck
+}
+
+}  // namespace
+}  // namespace p4p::core

@@ -1,0 +1,127 @@
+#include "core/management.h"
+
+#include <gtest/gtest.h>
+
+#include "net/topology.h"
+
+namespace p4p::core {
+namespace {
+
+class ManagementTest : public ::testing::Test {
+ protected:
+  ManagementTest() : graph_(net::MakeAbilene()), routing_(graph_), tracker_(graph_, routing_) {}
+
+  std::vector<double> Traffic(double hot_bps, net::LinkId hot) {
+    std::vector<double> t(graph_.link_count(), 0.0);
+    t[static_cast<std::size_t>(hot)] = hot_bps;
+    return t;
+  }
+
+  net::Graph graph_;
+  net::RoutingTable routing_;
+  ITracker tracker_;
+};
+
+TEST_F(ManagementTest, RejectsBadConfig) {
+  ManagementConfig cfg;
+  cfg.window = 1;
+  EXPECT_THROW(ManagementMonitor{cfg}, std::invalid_argument);
+  cfg = ManagementConfig{};
+  cfg.oscillation_threshold = 0.0;
+  EXPECT_THROW(ManagementMonitor{cfg}, std::invalid_argument);
+}
+
+TEST_F(ManagementTest, EmptyStateIsZero) {
+  ManagementMonitor monitor;
+  EXPECT_DOUBLE_EQ(monitor.CurrentMlu(), 0.0);
+  EXPECT_DOUBLE_EQ(monitor.MeanMlu(), 0.0);
+  EXPECT_DOUBLE_EQ(monitor.PriceChurn(), 0.0);
+  EXPECT_FALSE(monitor.PricesConverged());
+  EXPECT_TRUE(monitor.alerts().empty());
+}
+
+TEST_F(ManagementTest, TracksMlu) {
+  ManagementMonitor monitor;
+  const auto hot = graph_.find_link(net::kNewYork, net::kWashingtonDC);
+  monitor.Observe(tracker_, Traffic(5e9, hot), 0.0);
+  EXPECT_NEAR(monitor.CurrentMlu(), 0.5, 1e-12);
+  monitor.Observe(tracker_, Traffic(7e9, hot), 1.0);
+  EXPECT_NEAR(monitor.CurrentMlu(), 0.7, 1e-12);
+  EXPECT_NEAR(monitor.MeanMlu(), 0.6, 1e-12);
+  EXPECT_EQ(monitor.observation_count(), 2u);
+}
+
+TEST_F(ManagementTest, HighUtilizationAlert) {
+  ManagementConfig cfg;
+  cfg.high_utilization_threshold = 0.8;
+  ManagementMonitor monitor(cfg);
+  const auto hot = graph_.find_link(net::kChicago, net::kNewYork);
+  monitor.Observe(tracker_, Traffic(5e9, hot), 0.0);
+  EXPECT_TRUE(monitor.alerts().empty());
+  monitor.Observe(tracker_, Traffic(9e9, hot), 7.0);
+  ASSERT_EQ(monitor.alerts().size(), 1u);
+  EXPECT_EQ(monitor.alerts()[0].type, Alert::Type::kHighUtilization);
+  EXPECT_NEAR(monitor.alerts()[0].value, 0.9, 1e-12);
+  EXPECT_DOUBLE_EQ(monitor.alerts()[0].at_time, 7.0);
+}
+
+TEST_F(ManagementTest, ChurnZeroWhenPricesFrozen) {
+  ManagementMonitor monitor;
+  const auto traffic = Traffic(1e9, 0);
+  // Static tracker: prices never move.
+  ITrackerConfig tcfg;
+  tcfg.mode = PriceMode::kStatic;
+  ITracker frozen(graph_, routing_, tcfg);
+  frozen.SetUniformPrices();
+  for (int i = 0; i < 5; ++i) monitor.Observe(frozen, traffic, i);
+  EXPECT_DOUBLE_EQ(monitor.PriceChurn(), 0.0);
+  EXPECT_TRUE(monitor.PricesConverged());
+}
+
+TEST_F(ManagementTest, DetectsPriceMovementThenConvergence) {
+  ManagementMonitor monitor;
+  const auto hot = graph_.find_link(net::kNewYork, net::kWashingtonDC);
+  const auto traffic = Traffic(9e9, hot);
+  // Drive the tracker with a fixed pattern: prices move at first...
+  for (int i = 0; i < 3; ++i) {
+    tracker_.Update(traffic);
+    monitor.Observe(tracker_, traffic, i);
+  }
+  EXPECT_GT(monitor.PriceChurn(), 0.0);
+  // ...then stop updating: consecutive snapshots identical => converged.
+  for (int i = 3; i < 8; ++i) monitor.Observe(tracker_, traffic, i);
+  EXPECT_TRUE(monitor.PricesConverged());
+}
+
+TEST_F(ManagementTest, OscillationAlertOnLargeSteps) {
+  ManagementConfig cfg;
+  cfg.oscillation_threshold = 0.05;
+  ManagementMonitor monitor(cfg);
+  ITrackerConfig tcfg;
+  tcfg.step_size = 50.0;  // absurdly large step: prices slosh around
+  ITracker wild(graph_, routing_, tcfg);
+  const auto hot = graph_.find_link(net::kNewYork, net::kWashingtonDC);
+  std::vector<double> a = Traffic(9e9, hot);
+  std::vector<double> b = Traffic(9e9, graph_.find_link(net::kSeattle, net::kDenver));
+  for (int i = 0; i < 6; ++i) {
+    wild.Update(i % 2 == 0 ? a : b);  // alternating hot links
+    monitor.Observe(wild, i % 2 == 0 ? a : b, i);
+  }
+  bool oscillation = false;
+  for (const auto& alert : monitor.alerts()) {
+    if (alert.type == Alert::Type::kPriceOscillation) oscillation = true;
+  }
+  EXPECT_TRUE(oscillation);
+}
+
+TEST_F(ManagementTest, WindowBoundsHistory) {
+  ManagementConfig cfg;
+  cfg.window = 4;
+  ManagementMonitor monitor(cfg);
+  const auto traffic = Traffic(1e9, 0);
+  for (int i = 0; i < 20; ++i) monitor.Observe(tracker_, traffic, i);
+  EXPECT_EQ(monitor.mlu_history().size(), 4u);
+}
+
+}  // namespace
+}  // namespace p4p::core

@@ -1,0 +1,119 @@
+#include "core/projection.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <random>
+
+namespace p4p::core {
+namespace {
+
+double Dot(std::span<const double> a, std::span<const double> b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+TEST(Projection, PointOnSimplexIsFixed) {
+  const std::vector<double> w = {2.0, 2.0};
+  const std::vector<double> p = {0.25, 0.25};  // 2*0.25 + 2*0.25 = 1
+  const auto q = ProjectWeightedSimplex(p, w);
+  EXPECT_NEAR(q[0], 0.25, 1e-12);
+  EXPECT_NEAR(q[1], 0.25, 1e-12);
+}
+
+TEST(Projection, UniformWeightsMatchStandardSimplex) {
+  // Projection of (1, 0) onto {x + y = 1, x,y >= 0} is (1, 0) itself.
+  const std::vector<double> w = {1.0, 1.0};
+  const auto q = ProjectWeightedSimplex(std::vector<double>{1.0, 0.0}, w);
+  EXPECT_NEAR(q[0], 1.0, 1e-12);
+  EXPECT_NEAR(q[1], 0.0, 1e-12);
+}
+
+TEST(Projection, CentersExcessMass) {
+  // (1, 1) onto {x + y = 1}: subtract 0.5 each -> (0.5, 0.5).
+  const std::vector<double> w = {1.0, 1.0};
+  const auto q = ProjectWeightedSimplex(std::vector<double>{1.0, 1.0}, w);
+  EXPECT_NEAR(q[0], 0.5, 1e-12);
+  EXPECT_NEAR(q[1], 0.5, 1e-12);
+}
+
+TEST(Projection, ClampsNegativeCoordinates) {
+  // (0.9, -0.5) onto {x + y = 1, >= 0} -> (1, 0).
+  const std::vector<double> w = {1.0, 1.0};
+  const auto q = ProjectWeightedSimplex(std::vector<double>{0.9, -0.5}, w);
+  EXPECT_NEAR(q[0], 1.0, 1e-12);
+  EXPECT_NEAR(q[1], 0.0, 1e-12);
+}
+
+TEST(Projection, Rejects) {
+  const std::vector<double> p = {1.0};
+  EXPECT_THROW(ProjectWeightedSimplex(p, std::vector<double>{1.0, 2.0}),
+               std::invalid_argument);
+  EXPECT_THROW(ProjectWeightedSimplex(p, std::vector<double>{0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(ProjectWeightedSimplex(p, std::vector<double>{-1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(ProjectWeightedSimplex({}, {}), std::invalid_argument);
+}
+
+class ProjectionPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ProjectionPropertyTest, FeasibilityAndOptimality) {
+  std::mt19937_64 rng(GetParam());
+  std::uniform_int_distribution<int> size_dist(1, 40);
+  std::uniform_real_distribution<double> val(-2.0, 2.0);
+  std::uniform_real_distribution<double> weight(0.1, 10.0);
+
+  const int n = size_dist(rng);
+  std::vector<double> p(static_cast<std::size_t>(n));
+  std::vector<double> w(static_cast<std::size_t>(n));
+  for (auto& x : p) x = val(rng);
+  for (auto& c : w) c = weight(rng);
+
+  const auto q = ProjectWeightedSimplex(p, w);
+
+  // Feasibility.
+  for (double x : q) EXPECT_GE(x, -1e-12);
+  EXPECT_NEAR(Dot(q, w), 1.0, 1e-9);
+
+  // Optimality: the projection is at least as close to p as random feasible
+  // points.
+  auto dist2 = [&p](std::span<const double> x) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < p.size(); ++i) s += (x[i] - p[i]) * (x[i] - p[i]);
+    return s;
+  };
+  const double dq = dist2(q);
+  std::gamma_distribution<double> gamma(1.0, 1.0);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> r(static_cast<std::size_t>(n));
+    double denom = 0.0;
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      r[i] = gamma(rng);
+      denom += r[i] * w[i];
+    }
+    for (std::size_t i = 0; i < r.size(); ++i) r[i] /= denom;  // sum w r = 1
+    EXPECT_GE(dist2(r), dq - 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProjectionPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+TEST(Projection, LargeCapacityWeightsLikeIsp) {
+  // Capacities at ISP scale (1e10) keep the projection numerically sound.
+  const std::vector<double> caps(28, 10e9);
+  std::vector<double> p(28, 1.0 / (28 * 10e9));
+  p[5] += 1e-11;  // nudge off the simplex
+  const auto q = ProjectWeightedSimplex(p, caps);
+  EXPECT_NEAR(Dot(q, caps), 1.0, 1e-6);
+  for (double x : q) EXPECT_GE(x, 0.0);
+  // The nudged coordinate keeps the largest price.
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    EXPECT_LE(q[i], q[5] + 1e-18);
+  }
+}
+
+}  // namespace
+}  // namespace p4p::core

@@ -1,0 +1,185 @@
+#include "core/trackerless.h"
+
+#include <gtest/gtest.h>
+
+namespace p4p::core {
+namespace {
+
+CachedRow Row(Pid origin, std::uint64_t version, double learned_at,
+              std::vector<double> distances) {
+  CachedRow row;
+  row.origin = origin;
+  row.version = version;
+  row.learned_at = learned_at;
+  row.distances = std::move(distances);
+  return row;
+}
+
+TEST(DistanceCache, RejectsBadConstruction) {
+  EXPECT_THROW(DistanceCache(0.0), std::invalid_argument);
+  EXPECT_THROW(DistanceCache(-5.0), std::invalid_argument);
+}
+
+TEST(DistanceCache, LearnAndGet) {
+  DistanceCache cache(100.0);
+  EXPECT_TRUE(cache.Learn(Row(3, 1, 0.0, {0.0, 1.0, 2.0})));
+  const auto row = cache.Get(3, 50.0);
+  ASSERT_TRUE(row.has_value());
+  EXPECT_EQ(row->version, 1u);
+  EXPECT_EQ(row->distances.size(), 3u);
+  EXPECT_FALSE(cache.Get(4, 50.0).has_value());
+}
+
+TEST(DistanceCache, TtlExpiry) {
+  DistanceCache cache(100.0);
+  cache.Learn(Row(1, 1, 0.0, {0.0}));
+  EXPECT_TRUE(cache.Get(1, 100.0).has_value());
+  EXPECT_FALSE(cache.Get(1, 100.1).has_value());
+}
+
+TEST(DistanceCache, HigherVersionWins) {
+  DistanceCache cache(100.0);
+  cache.Learn(Row(1, 5, 0.0, {1.0}));
+  EXPECT_FALSE(cache.Learn(Row(1, 4, 10.0, {2.0})));  // older version ignored
+  EXPECT_DOUBLE_EQ(cache.Get(1, 1.0)->distances[0], 1.0);
+  EXPECT_TRUE(cache.Learn(Row(1, 6, 5.0, {3.0})));
+  EXPECT_DOUBLE_EQ(cache.Get(1, 6.0)->distances[0], 3.0);
+}
+
+TEST(DistanceCache, SameVersionPrefersFresher) {
+  DistanceCache cache(100.0);
+  cache.Learn(Row(1, 5, 0.0, {1.0}));
+  EXPECT_TRUE(cache.Learn(Row(1, 5, 10.0, {2.0})));
+  EXPECT_DOUBLE_EQ(cache.Get(1, 11.0)->distances[0], 2.0);
+  EXPECT_FALSE(cache.Learn(Row(1, 5, 5.0, {9.0})));  // staler timestamp
+}
+
+TEST(DistanceCache, RejectsInvalidOrigin) {
+  DistanceCache cache(10.0);
+  EXPECT_THROW(cache.Learn(Row(-1, 1, 0.0, {})), std::invalid_argument);
+}
+
+TEST(DistanceCache, GossipMergeAdoptsFresher) {
+  DistanceCache a(100.0);
+  DistanceCache b(100.0);
+  a.Learn(Row(1, 1, 0.0, {1.0}));
+  b.Learn(Row(1, 3, 5.0, {2.0}));  // fresher version of row 1
+  b.Learn(Row(2, 1, 5.0, {3.0}));  // row a does not have
+  EXPECT_EQ(a.MergeFrom(b, 10.0), 2);
+  EXPECT_EQ(a.Get(1, 10.0)->version, 3u);
+  EXPECT_TRUE(a.Get(2, 10.0).has_value());
+  // Merging again adopts nothing.
+  EXPECT_EQ(a.MergeFrom(b, 10.0), 0);
+}
+
+TEST(DistanceCache, GossipSkipsExpiredRows) {
+  DistanceCache a(100.0);
+  DistanceCache b(10.0);  // short TTL on the source
+  b.Learn(Row(1, 9, 0.0, {1.0}));
+  EXPECT_EQ(a.MergeFrom(b, 50.0), 0);  // b's row is already stale
+}
+
+TEST(DistanceCache, ExpireDropsOldRows) {
+  DistanceCache cache(10.0);
+  cache.Learn(Row(1, 1, 0.0, {1.0}));
+  cache.Learn(Row(2, 1, 100.0, {1.0}));
+  EXPECT_EQ(cache.Expire(50.0), 1);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+class TrackerlessSelectorTest : public ::testing::Test {
+ protected:
+  TrackerlessSelectorTest() : cache_(1000.0), rng_(77) {}
+
+  std::vector<sim::PeerInfo> Candidates() {
+    // Client at PID 0; candidates at PIDs 1 (cheap) and 2 (expensive).
+    std::vector<sim::PeerInfo> out;
+    for (int i = 0; i < 21; ++i) {
+      sim::PeerInfo p;
+      p.id = i;
+      p.node = i == 0 ? 0 : (i <= 10 ? 1 : 2);
+      p.as_number = 1;
+      out.push_back(p);
+    }
+    return out;
+  }
+
+  DistanceCache cache_;
+  std::mt19937_64 rng_;
+};
+
+TEST_F(TrackerlessSelectorTest, Validation) {
+  EXPECT_THROW(TrackerlessSelector(cache_, nullptr), std::invalid_argument);
+  EXPECT_THROW(TrackerlessSelector(cache_, [] { return 0.0; }, 0.0),
+               std::invalid_argument);
+}
+
+TEST_F(TrackerlessSelectorTest, UsesCachedRowToPreferCheapPids) {
+  cache_.Learn(Row(0, 1, 0.0, {0.0, 1.0, 50.0}));
+  TrackerlessSelector sel(cache_, [] { return 10.0; }, /*gamma=*/1.0);
+  const auto candidates = Candidates();
+  int cheap = 0;
+  int expensive = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    for (sim::PeerId id : sel.SelectPeers(candidates[0], candidates, 6, rng_)) {
+      const auto node = candidates[static_cast<std::size_t>(id)].node;
+      if (node == 1) ++cheap;
+      if (node == 2) ++expensive;
+    }
+  }
+  EXPECT_GT(cheap, 3 * expensive);
+}
+
+TEST_F(TrackerlessSelectorTest, FallsBackToUniformWhenRowExpired) {
+  cache_.Learn(Row(0, 1, 0.0, {0.0, 1.0, 50.0}));
+  // Clock far beyond the TTL: default (uniform) decisions.
+  TrackerlessSelector sel(cache_, [] { return 1e9; }, 1.0);
+  const auto candidates = Candidates();
+  int cheap = 0;
+  int expensive = 0;
+  for (int trial = 0; trial < 100; ++trial) {
+    for (sim::PeerId id : sel.SelectPeers(candidates[0], candidates, 6, rng_)) {
+      const auto node = candidates[static_cast<std::size_t>(id)].node;
+      if (node == 1) ++cheap;
+      if (node == 2) ++expensive;
+    }
+  }
+  // Uniform over 10 cheap / 10 expensive candidates: roughly balanced.
+  EXPECT_LT(cheap, 2 * expensive);
+  EXPECT_LT(expensive, 2 * cheap);
+}
+
+TEST_F(TrackerlessSelectorTest, NeverSelfNeverDuplicates) {
+  cache_.Learn(Row(0, 1, 0.0, {0.0, 1.0, 2.0}));
+  TrackerlessSelector sel(cache_, [] { return 1.0; });
+  const auto candidates = Candidates();
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto chosen = sel.SelectPeers(candidates[0], candidates, 10, rng_);
+    std::set<sim::PeerId> unique(chosen.begin(), chosen.end());
+    EXPECT_EQ(unique.size(), chosen.size());
+    EXPECT_EQ(unique.count(0), 0u);
+  }
+}
+
+TEST_F(TrackerlessSelectorTest, GossipPropagationEndToEnd) {
+  // Peer A fetches from the iTracker; peer B learns via gossip and then
+  // makes the same quality of decisions.
+  DistanceCache cache_a(1000.0);
+  DistanceCache cache_b(1000.0);
+  cache_a.Learn(Row(0, 7, 0.0, {0.0, 1.0, 100.0}));
+  EXPECT_FALSE(cache_b.Get(0, 1.0).has_value());
+  cache_b.MergeFrom(cache_a, 1.0);
+  ASSERT_TRUE(cache_b.Get(0, 1.0).has_value());
+  TrackerlessSelector sel(cache_b, [] { return 1.0; }, 1.0);
+  const auto candidates = Candidates();
+  int expensive = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    for (sim::PeerId id : sel.SelectPeers(candidates[0], candidates, 4, rng_)) {
+      if (candidates[static_cast<std::size_t>(id)].node == 2) ++expensive;
+    }
+  }
+  EXPECT_LT(expensive, 40);  // overwhelmingly the cheap PID
+}
+
+}  // namespace
+}  // namespace p4p::core

@@ -1,0 +1,278 @@
+#include "lp/simplex.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace p4p::lp {
+namespace {
+
+Solution Solve(const Model& m) {
+  SimplexSolver solver;
+  return solver.Solve(m);
+}
+
+TEST(Simplex, TrivialMaximize) {
+  // max x s.t. x <= 4.
+  Model m;
+  const VarId x = m.add_variable("x");
+  m.add_constraint({{x, 1.0}}, Sense::kLessEqual, 4.0);
+  m.set_direction(Direction::kMaximize);
+  m.set_objective_coeff(x, 1.0);
+  const auto sol = Solve(m);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 4.0, 1e-9);
+  EXPECT_NEAR(sol.values[0], 4.0, 1e-9);
+}
+
+TEST(Simplex, ClassicTwoVariable) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18. Optimum 36 at (2, 6).
+  Model m;
+  const VarId x = m.add_variable("x");
+  const VarId y = m.add_variable("y");
+  m.add_constraint({{x, 1.0}}, Sense::kLessEqual, 4.0);
+  m.add_constraint({{y, 2.0}}, Sense::kLessEqual, 12.0);
+  m.add_constraint({{x, 3.0}, {y, 2.0}}, Sense::kLessEqual, 18.0);
+  m.set_direction(Direction::kMaximize);
+  m.set_objective_coeff(x, 3.0);
+  m.set_objective_coeff(y, 5.0);
+  const auto sol = Solve(m);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 36.0, 1e-8);
+  EXPECT_NEAR(sol.values[x], 2.0, 1e-8);
+  EXPECT_NEAR(sol.values[y], 6.0, 1e-8);
+}
+
+TEST(Simplex, MinimizeWithGreaterEqual) {
+  // min 2x + 3y s.t. x + y >= 10, x >= 2. Optimum: y = 8, x = 2 -> 28?
+  // 2x+3y with x+y>=10: cheapest is all-x: x = 10, y = 0 -> 20.
+  Model m;
+  const VarId x = m.add_variable("x");
+  const VarId y = m.add_variable("y");
+  m.add_constraint({{x, 1.0}, {y, 1.0}}, Sense::kGreaterEqual, 10.0);
+  m.add_constraint({{x, 1.0}}, Sense::kGreaterEqual, 2.0);
+  m.set_objective_coeff(x, 2.0);
+  m.set_objective_coeff(y, 3.0);
+  const auto sol = Solve(m);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 20.0, 1e-8);
+  EXPECT_NEAR(sol.values[x], 10.0, 1e-8);
+}
+
+TEST(Simplex, EqualityConstraint) {
+  // min x + y s.t. x + 2y = 4, x,y >= 0 -> y = 2, x = 0, objective 2.
+  Model m;
+  const VarId x = m.add_variable("x");
+  const VarId y = m.add_variable("y");
+  m.add_constraint({{x, 1.0}, {y, 2.0}}, Sense::kEqual, 4.0);
+  m.set_objective_coeff(x, 1.0);
+  m.set_objective_coeff(y, 1.0);
+  const auto sol = Solve(m);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 2.0, 1e-8);
+  EXPECT_NEAR(sol.values[y], 2.0, 1e-8);
+}
+
+TEST(Simplex, DetectsInfeasible) {
+  Model m;
+  const VarId x = m.add_variable("x");
+  m.add_constraint({{x, 1.0}}, Sense::kLessEqual, 1.0);
+  m.add_constraint({{x, 1.0}}, Sense::kGreaterEqual, 2.0);
+  m.set_objective_coeff(x, 1.0);
+  EXPECT_EQ(Solve(m).status, SolveStatus::kInfeasible);
+}
+
+TEST(Simplex, DetectsUnbounded) {
+  Model m;
+  const VarId x = m.add_variable("x");
+  m.set_direction(Direction::kMaximize);
+  m.set_objective_coeff(x, 1.0);
+  m.add_constraint({{x, -1.0}}, Sense::kLessEqual, 0.0);  // x >= 0, no cap
+  EXPECT_EQ(Solve(m).status, SolveStatus::kUnbounded);
+}
+
+TEST(Simplex, HonorsUpperBounds) {
+  Model m;
+  const VarId x = m.add_variable("x", 0.0, 3.0);
+  m.set_direction(Direction::kMaximize);
+  m.set_objective_coeff(x, 1.0);
+  const auto sol = Solve(m);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.values[x], 3.0, 1e-9);
+}
+
+TEST(Simplex, HonorsLowerBounds) {
+  // min x with x in [5, 10].
+  Model m;
+  const VarId x = m.add_variable("x", 5.0, 10.0);
+  m.set_objective_coeff(x, 1.0);
+  const auto sol = Solve(m);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.values[x], 5.0, 1e-9);
+  EXPECT_NEAR(sol.objective, 5.0, 1e-9);
+}
+
+TEST(Simplex, FreeVariable) {
+  // min x s.t. x >= -7 via constraint (variable itself free).
+  Model m;
+  const VarId x = m.add_variable("x", -kInfinity, kInfinity);
+  m.add_constraint({{x, 1.0}}, Sense::kGreaterEqual, -7.0);
+  m.set_objective_coeff(x, 1.0);
+  const auto sol = Solve(m);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.values[x], -7.0, 1e-8);
+}
+
+TEST(Simplex, NegativeRhsNormalization) {
+  // x - y <= -2 with max x + y, x,y <= 5 each.
+  Model m;
+  const VarId x = m.add_variable("x", 0.0, 5.0);
+  const VarId y = m.add_variable("y", 0.0, 5.0);
+  m.add_constraint({{x, 1.0}, {y, -1.0}}, Sense::kLessEqual, -2.0);
+  m.set_direction(Direction::kMaximize);
+  m.set_objective_coeff(x, 1.0);
+  m.set_objective_coeff(y, 1.0);
+  const auto sol = Solve(m);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 8.0, 1e-8);  // x=3, y=5
+  EXPECT_LE(sol.values[x] - sol.values[y], -2.0 + 1e-8);
+}
+
+TEST(Simplex, DegenerateProblemTerminates) {
+  // Classic degenerate LP; Bland fallback must terminate.
+  Model m;
+  const VarId x1 = m.add_variable();
+  const VarId x2 = m.add_variable();
+  const VarId x3 = m.add_variable();
+  m.set_direction(Direction::kMaximize);
+  m.set_objective_coeff(x1, 10.0);
+  m.set_objective_coeff(x2, -57.0);
+  m.set_objective_coeff(x3, -9.0);
+  m.add_constraint({{x1, 0.5}, {x2, -5.5}, {x3, -2.5}}, Sense::kLessEqual, 0.0);
+  m.add_constraint({{x1, 0.5}, {x2, -1.5}, {x3, -0.5}}, Sense::kLessEqual, 0.0);
+  m.add_constraint({{x1, 1.0}}, Sense::kLessEqual, 1.0);
+  const auto sol = Solve(m);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 1.0, 1e-6);
+}
+
+TEST(Simplex, RedundantEqualityRows) {
+  // Duplicate equality rows leave artificials basic at zero; solver must
+  // still find the optimum.
+  Model m;
+  const VarId x = m.add_variable();
+  const VarId y = m.add_variable();
+  m.add_constraint({{x, 1.0}, {y, 1.0}}, Sense::kEqual, 5.0);
+  m.add_constraint({{x, 1.0}, {y, 1.0}}, Sense::kEqual, 5.0);
+  m.set_direction(Direction::kMaximize);
+  m.set_objective_coeff(x, 2.0);
+  m.set_objective_coeff(y, 1.0);
+  const auto sol = Solve(m);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 10.0, 1e-8);
+  EXPECT_NEAR(sol.values[x], 5.0, 1e-8);
+}
+
+TEST(Simplex, DuplicateTermsAreSummed) {
+  // x + x <= 6 means x <= 3.
+  Model m;
+  const VarId x = m.add_variable();
+  m.add_constraint({{x, 1.0}, {x, 1.0}}, Sense::kLessEqual, 6.0);
+  m.set_direction(Direction::kMaximize);
+  m.set_objective_coeff(x, 1.0);
+  const auto sol = Solve(m);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.values[x], 3.0, 1e-9);
+}
+
+TEST(Model, RejectsBadInput) {
+  Model m;
+  EXPECT_THROW(m.add_variable("x", 2.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(m.add_variable("x", std::nan(""), 1.0), std::invalid_argument);
+  const VarId x = m.add_variable("x");
+  EXPECT_THROW(m.add_constraint({{99, 1.0}}, Sense::kLessEqual, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(m.add_constraint({{x, std::nan("")}}, Sense::kLessEqual, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(m.set_objective_coeff(42, 1.0), std::invalid_argument);
+}
+
+TEST(Simplex, ToStringCoversAllStatuses) {
+  EXPECT_STREQ(ToString(SolveStatus::kOptimal), "optimal");
+  EXPECT_STREQ(ToString(SolveStatus::kInfeasible), "infeasible");
+  EXPECT_STREQ(ToString(SolveStatus::kUnbounded), "unbounded");
+  EXPECT_STREQ(ToString(SolveStatus::kIterationLimit), "iteration-limit");
+}
+
+// Property sweep: transportation problems with known optimal value.
+// Ship from suppliers (capacity s_i) to consumers (demand d_j), cost 1 for
+// all pairs; max flow = min(sum s, sum d); min cost for full match = flow.
+class TransportLpTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TransportLpTest, MaxMatchEqualsMinOfTotals) {
+  const int n = GetParam();
+  std::mt19937_64 rng(static_cast<std::uint64_t>(n) * 1234567);
+  std::uniform_real_distribution<double> cap(1.0, 10.0);
+  std::vector<double> supply(static_cast<std::size_t>(n));
+  std::vector<double> demand(static_cast<std::size_t>(n));
+  double total_s = 0;
+  double total_d = 0;
+  for (auto& s : supply) {
+    s = cap(rng);
+    total_s += s;
+  }
+  for (auto& d : demand) {
+    d = cap(rng);
+    total_d += d;
+  }
+
+  Model m;
+  std::vector<std::vector<VarId>> x(static_cast<std::size_t>(n),
+                                    std::vector<VarId>(static_cast<std::size_t>(n)));
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      x[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] = m.add_variable();
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    std::vector<Term> row;
+    for (int j = 0; j < n; ++j) {
+      row.push_back({x[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)], 1.0});
+    }
+    m.add_constraint(std::move(row), Sense::kLessEqual, supply[static_cast<std::size_t>(i)]);
+  }
+  for (int j = 0; j < n; ++j) {
+    std::vector<Term> col;
+    for (int i = 0; i < n; ++i) {
+      col.push_back({x[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)], 1.0});
+    }
+    m.add_constraint(std::move(col), Sense::kLessEqual, demand[static_cast<std::size_t>(j)]);
+  }
+  m.set_direction(Direction::kMaximize);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      m.set_objective_coeff(x[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)],
+                            1.0);
+    }
+  }
+  const auto sol = Solve(m);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, std::min(total_s, total_d), 1e-6);
+  // Solution must respect all capacities.
+  for (int i = 0; i < n; ++i) {
+    double row = 0;
+    for (int j = 0; j < n; ++j) {
+      const double v =
+          sol.values[static_cast<std::size_t>(x[static_cast<std::size_t>(i)]
+                                                  [static_cast<std::size_t>(j)])];
+      EXPECT_GE(v, -1e-9);
+      row += v;
+    }
+    EXPECT_LE(row, supply[static_cast<std::size_t>(i)] + 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TransportLpTest, ::testing::Values(2, 3, 5, 8, 12));
+
+}  // namespace
+}  // namespace p4p::lp

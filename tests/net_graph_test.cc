@@ -1,0 +1,175 @@
+#include "net/graph.h"
+
+#include <gtest/gtest.h>
+
+namespace p4p::net {
+namespace {
+
+TEST(Graph, StartsEmpty) {
+  Graph g;
+  EXPECT_EQ(g.node_count(), 0u);
+  EXPECT_EQ(g.link_count(), 0u);
+}
+
+TEST(Graph, AddNodeAssignsDenseIds) {
+  Graph g;
+  EXPECT_EQ(g.add_node("a"), 0);
+  EXPECT_EQ(g.add_node("b"), 1);
+  EXPECT_EQ(g.add_node("c"), 2);
+  EXPECT_EQ(g.node_count(), 3u);
+}
+
+TEST(Graph, NodeAttributesRoundTrip) {
+  Graph g;
+  const NodeId id = g.add_node("pop1", NodeType::kCore, 7, 40.5, -74.2);
+  EXPECT_EQ(g.node(id).name, "pop1");
+  EXPECT_EQ(g.node(id).type, NodeType::kCore);
+  EXPECT_EQ(g.node(id).metro, 7);
+  EXPECT_DOUBLE_EQ(g.node(id).latitude, 40.5);
+  EXPECT_DOUBLE_EQ(g.node(id).longitude, -74.2);
+}
+
+TEST(Graph, AddLinkRoundTrip) {
+  Graph g;
+  const NodeId a = g.add_node("a");
+  const NodeId b = g.add_node("b");
+  const LinkId e = g.add_link(a, b, 10e9, 5.0, 123.0, LinkType::kInterdomain);
+  EXPECT_EQ(g.link(e).src, a);
+  EXPECT_EQ(g.link(e).dst, b);
+  EXPECT_DOUBLE_EQ(g.link(e).capacity_bps, 10e9);
+  EXPECT_DOUBLE_EQ(g.link(e).ospf_weight, 5.0);
+  EXPECT_DOUBLE_EQ(g.link(e).distance, 123.0);
+  EXPECT_EQ(g.link(e).type, LinkType::kInterdomain);
+}
+
+TEST(Graph, DuplexLinkCreatesBothDirections) {
+  Graph g;
+  const NodeId a = g.add_node("a");
+  const NodeId b = g.add_node("b");
+  const LinkId e = g.add_duplex_link(a, b, 1e9);
+  EXPECT_EQ(g.link_count(), 2u);
+  EXPECT_EQ(g.link(e).src, a);
+  EXPECT_EQ(g.link(e + 1).src, b);
+  EXPECT_EQ(g.link(e + 1).dst, a);
+  EXPECT_DOUBLE_EQ(g.link(e + 1).capacity_bps, 1e9);
+}
+
+TEST(Graph, RejectsSelfLoop) {
+  Graph g;
+  const NodeId a = g.add_node("a");
+  EXPECT_THROW(g.add_link(a, a, 1e9), std::invalid_argument);
+}
+
+TEST(Graph, RejectsUnknownNodes) {
+  Graph g;
+  const NodeId a = g.add_node("a");
+  EXPECT_THROW(g.add_link(a, 99, 1e9), std::invalid_argument);
+  EXPECT_THROW(g.add_link(-1, a, 1e9), std::invalid_argument);
+}
+
+TEST(Graph, RejectsNonPositiveCapacity) {
+  Graph g;
+  const NodeId a = g.add_node("a");
+  const NodeId b = g.add_node("b");
+  EXPECT_THROW(g.add_link(a, b, 0.0), std::invalid_argument);
+  EXPECT_THROW(g.add_link(a, b, -5.0), std::invalid_argument);
+}
+
+TEST(Graph, RejectsBadWeightAndDistance) {
+  Graph g;
+  const NodeId a = g.add_node("a");
+  const NodeId b = g.add_node("b");
+  EXPECT_THROW(g.add_link(a, b, 1e9, 0.0), std::invalid_argument);
+  EXPECT_THROW(g.add_link(a, b, 1e9, 1.0, -1.0), std::invalid_argument);
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(g.add_link(a, b, inf), std::invalid_argument);
+}
+
+TEST(Graph, OutLinksTracksInsertionOrder) {
+  Graph g;
+  const NodeId a = g.add_node("a");
+  const NodeId b = g.add_node("b");
+  const NodeId c = g.add_node("c");
+  const LinkId e1 = g.add_link(a, b, 1e9);
+  const LinkId e2 = g.add_link(a, c, 1e9);
+  ASSERT_EQ(g.out_links(a).size(), 2u);
+  EXPECT_EQ(g.out_links(a)[0], e1);
+  EXPECT_EQ(g.out_links(a)[1], e2);
+  EXPECT_TRUE(g.out_links(b).empty());
+}
+
+TEST(Graph, FindNodeByName) {
+  Graph g;
+  g.add_node("x");
+  const NodeId y = g.add_node("y");
+  EXPECT_EQ(g.find_node("y"), y);
+  EXPECT_EQ(g.find_node("missing"), kInvalidNode);
+}
+
+TEST(Graph, FindLink) {
+  Graph g;
+  const NodeId a = g.add_node("a");
+  const NodeId b = g.add_node("b");
+  const NodeId c = g.add_node("c");
+  const LinkId e = g.add_link(a, b, 1e9);
+  EXPECT_EQ(g.find_link(a, b), e);
+  EXPECT_EQ(g.find_link(a, c), kInvalidLink);
+  EXPECT_EQ(g.find_link(b, a), kInvalidLink);
+  EXPECT_EQ(g.find_link(-3, a), kInvalidLink);
+}
+
+TEST(Graph, LinksOfType) {
+  Graph g;
+  const NodeId a = g.add_node("a");
+  const NodeId b = g.add_node("b");
+  g.add_link(a, b, 1e9, 1.0, 1.0, LinkType::kBackbone);
+  g.add_link(b, a, 1e9, 1.0, 1.0, LinkType::kInterdomain);
+  EXPECT_EQ(g.links_of_type(LinkType::kBackbone).size(), 1u);
+  EXPECT_EQ(g.links_of_type(LinkType::kInterdomain).size(), 1u);
+  EXPECT_TRUE(g.links_of_type(LinkType::kAccess).empty());
+}
+
+TEST(GreatCircle, ZeroForSamePoint) {
+  EXPECT_NEAR(GreatCircleMiles(40.0, -74.0, 40.0, -74.0), 0.0, 1e-9);
+}
+
+TEST(GreatCircle, NewYorkToLosAngeles) {
+  // Known distance ~2450 miles.
+  const double d = GreatCircleMiles(40.71, -74.01, 34.05, -118.24);
+  EXPECT_GT(d, 2300.0);
+  EXPECT_LT(d, 2600.0);
+}
+
+TEST(GreatCircle, Symmetric) {
+  const double ab = GreatCircleMiles(47.6, -122.3, 29.8, -95.4);
+  const double ba = GreatCircleMiles(29.8, -95.4, 47.6, -122.3);
+  EXPECT_NEAR(ab, ba, 1e-9);
+}
+
+TEST(Graph, GeoDistanceUsesNodeCoordinates) {
+  Graph g;
+  const NodeId ny = g.add_node("ny", NodeType::kPop, 0, 40.71, -74.01);
+  const NodeId dc = g.add_node("dc", NodeType::kPop, 0, 38.91, -77.04);
+  const double d = g.geo_distance_miles(ny, dc);
+  EXPECT_GT(d, 180.0);  // NY-DC is ~205 miles
+  EXPECT_LT(d, 230.0);
+}
+
+TEST(Graph, MutableLinkAllowsCapacityEdit) {
+  Graph g;
+  const NodeId a = g.add_node("a");
+  const NodeId b = g.add_node("b");
+  const LinkId e = g.add_link(a, b, 1e9);
+  g.mutable_link(e).capacity_bps = 2e9;
+  EXPECT_DOUBLE_EQ(g.link(e).capacity_bps, 2e9);
+}
+
+TEST(Graph, NameRoundTrip) {
+  Graph g("backbone");
+  EXPECT_EQ(g.name(), "backbone");
+  g.set_name("other");
+  EXPECT_EQ(g.name(), "other");
+}
+
+}  // namespace
+}  // namespace p4p::net

@@ -1,0 +1,118 @@
+#include "proto/caching_client.h"
+
+#include <gtest/gtest.h>
+
+#include "net/topology.h"
+
+namespace p4p::proto {
+namespace {
+
+class CachingClientTest : public ::testing::Test {
+ protected:
+  CachingClientTest()
+      : graph_(net::MakeAbilene()), routing_(graph_), tracker_(graph_, routing_),
+        service_(&tracker_) {}
+
+  CachingPortalClient MakeClient(double ttl) {
+    return CachingPortalClient(
+        std::make_unique<InProcessTransport>(service_.handler()),
+        [this] { return now_; }, ttl);
+  }
+
+  net::Graph graph_;
+  net::RoutingTable routing_;
+  core::ITracker tracker_;
+  ITrackerService service_;
+  double now_ = 0.0;
+};
+
+TEST_F(CachingClientTest, Validation) {
+  EXPECT_THROW(CachingPortalClient(
+                   std::make_unique<InProcessTransport>(service_.handler()),
+                   nullptr, 10.0),
+               std::invalid_argument);
+  EXPECT_THROW(CachingPortalClient(
+                   std::make_unique<InProcessTransport>(service_.handler()),
+                   [] { return 0.0; }, 0.0),
+               std::invalid_argument);
+}
+
+TEST_F(CachingClientTest, FirstAccessFetches) {
+  auto client = MakeClient(60.0);
+  const auto& view = client.GetExternalView();
+  EXPECT_EQ(view.size(), tracker_.num_pids());
+  EXPECT_EQ(client.fetch_count(), 1u);
+  EXPECT_EQ(client.hit_count(), 0u);
+}
+
+TEST_F(CachingClientTest, RepeatAccessHitsCache) {
+  auto client = MakeClient(60.0);
+  client.GetExternalView();
+  for (int i = 0; i < 10; ++i) {
+    now_ += 1.0;
+    client.GetExternalView();
+  }
+  EXPECT_EQ(client.fetch_count(), 1u);
+  EXPECT_EQ(client.hit_count(), 10u);
+}
+
+TEST_F(CachingClientTest, TtlExpiryRefetches) {
+  auto client = MakeClient(10.0);
+  client.GetExternalView();
+  now_ = 10.5;
+  client.GetExternalView();
+  EXPECT_EQ(client.fetch_count(), 2u);
+}
+
+TEST_F(CachingClientTest, RefetchSeesUpdatedPrices) {
+  auto client = MakeClient(5.0);
+  const auto before = client.GetPDistances(net::kNewYork);
+  // Prices change server-side.
+  std::vector<double> traffic(graph_.link_count(), 0.0);
+  traffic[static_cast<std::size_t>(
+      graph_.find_link(net::kWashingtonDC, net::kNewYork))] = 9e9;
+  for (int i = 0; i < 10; ++i) tracker_.Update(traffic);
+  // Within the TTL: still the old row.
+  const auto cached = client.GetPDistances(net::kNewYork);
+  EXPECT_EQ(before, cached);
+  // Past the TTL: fresh row differs.
+  now_ = 6.0;
+  const auto fresh = client.GetPDistances(net::kNewYork);
+  EXPECT_NE(before, fresh);
+}
+
+TEST_F(CachingClientTest, InvalidateForcesRefetch) {
+  auto client = MakeClient(1e9);
+  client.GetExternalView();
+  client.Invalidate();
+  client.GetExternalView();
+  EXPECT_EQ(client.fetch_count(), 2u);
+}
+
+TEST_F(CachingClientTest, RowMatchesDirectQuery) {
+  auto client = MakeClient(60.0);
+  const auto row = client.GetPDistances(net::kChicago);
+  const auto expected = tracker_.GetPDistances(net::kChicago);
+  ASSERT_EQ(row.size(), expected.size());
+  for (std::size_t j = 0; j < row.size(); ++j) {
+    EXPECT_DOUBLE_EQ(row[j], expected[j]);
+  }
+}
+
+TEST_F(CachingClientTest, RowRangeChecked) {
+  auto client = MakeClient(60.0);
+  EXPECT_THROW(client.GetPDistances(-1), std::out_of_range);
+  EXPECT_THROW(client.GetPDistances(99), std::out_of_range);
+}
+
+TEST_F(CachingClientTest, ManySelectionsOneFetch) {
+  // The design goal: thousands of application decisions per portal query.
+  auto client = MakeClient(300.0);
+  for (int i = 0; i < 1000; ++i) {
+    (void)client.GetPDistances(static_cast<core::Pid>(i % tracker_.num_pids()));
+  }
+  EXPECT_EQ(client.fetch_count(), 1u);
+}
+
+}  // namespace
+}  // namespace p4p::proto

@@ -1,0 +1,180 @@
+#include "proto/messages.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace p4p::proto {
+namespace {
+
+template <typename T>
+T RoundTrip(const T& msg) {
+  const auto bytes = Encode(msg);
+  const auto decoded = Decode(bytes);
+  EXPECT_TRUE(decoded.has_value());
+  const T* out = std::get_if<T>(&*decoded);
+  EXPECT_NE(out, nullptr);
+  return *out;
+}
+
+TEST(Messages, ErrorRoundTrip) {
+  const auto out = RoundTrip(ErrorMsg{"something broke"});
+  EXPECT_EQ(out.message, "something broke");
+}
+
+TEST(Messages, GetPDistancesReqRoundTrip) {
+  const auto out = RoundTrip(GetPDistancesReq{17});
+  EXPECT_EQ(out.from, 17);
+}
+
+TEST(Messages, GetPDistancesRespRoundTrip) {
+  GetPDistancesResp msg;
+  msg.from = 3;
+  msg.version = 987654321012345ULL;
+  msg.distances = {0.0, 1.5, 2.25, 1e-12};
+  const auto out = RoundTrip(msg);
+  EXPECT_EQ(out.from, 3);
+  EXPECT_EQ(out.version, 987654321012345ULL);
+  EXPECT_EQ(out.distances, msg.distances);
+}
+
+TEST(Messages, ExternalViewRoundTrip) {
+  GetExternalViewResp msg;
+  msg.num_pids = 2;
+  msg.version = 5;
+  msg.distances = {0.0, 1.0, 2.0, 0.0};
+  const auto out = RoundTrip(msg);
+  EXPECT_EQ(out.num_pids, 2);
+  EXPECT_EQ(out.distances, msg.distances);
+}
+
+TEST(Messages, ExternalViewRejectsMismatchedSize) {
+  GetExternalViewResp msg;
+  msg.num_pids = 3;
+  msg.distances = {1.0, 2.0};  // should be 9
+  const auto bytes = Encode(msg);
+  EXPECT_FALSE(Decode(bytes).has_value());
+}
+
+TEST(Messages, PolicyRoundTrip) {
+  GetPolicyResp msg;
+  msg.thresholds = {0.65, 0.85};
+  msg.time_of_day.push_back({4, 18, 23, 0.5});
+  msg.time_of_day.push_back({7, 22, 6, 0.3});
+  const auto out = RoundTrip(msg);
+  EXPECT_DOUBLE_EQ(out.thresholds.near_congestion_utilization, 0.65);
+  ASSERT_EQ(out.time_of_day.size(), 2u);
+  EXPECT_EQ(out.time_of_day[1].link, 7);
+  EXPECT_EQ(out.time_of_day[1].start_hour, 22);
+  EXPECT_EQ(out.time_of_day[1].end_hour, 6);
+  EXPECT_DOUBLE_EQ(out.time_of_day[1].max_utilization, 0.3);
+}
+
+TEST(Messages, CapabilityRoundTrip) {
+  GetCapabilityReq req;
+  req.type = core::CapabilityType::kOnDemandServer;
+  req.content_id = "movie-42";
+  const auto rout = RoundTrip(req);
+  EXPECT_EQ(rout.type, core::CapabilityType::kOnDemandServer);
+  EXPECT_EQ(rout.content_id, "movie-42");
+
+  GetCapabilityResp resp;
+  resp.capabilities.push_back({core::CapabilityType::kCache, 9, 1e9, "edge"});
+  const auto out = RoundTrip(resp);
+  ASSERT_EQ(out.capabilities.size(), 1u);
+  EXPECT_EQ(out.capabilities[0].pid, 9);
+  EXPECT_EQ(out.capabilities[0].description, "edge");
+}
+
+TEST(Messages, PidMapRoundTrip) {
+  const auto req = RoundTrip(GetPidMapReq{"10.1.2.3"});
+  EXPECT_EQ(req.client_ip, "10.1.2.3");
+  GetPidMapResp resp;
+  resp.found = true;
+  resp.pid = 6;
+  resp.as_number = 4711;
+  const auto out = RoundTrip(resp);
+  EXPECT_TRUE(out.found);
+  EXPECT_EQ(out.pid, 6);
+  EXPECT_EQ(out.as_number, 4711);
+}
+
+TEST(Messages, EmptyRequestsRoundTrip) {
+  RoundTrip(GetExternalViewReq{});
+  RoundTrip(GetPolicyReq{});
+}
+
+TEST(Messages, TypeOfCoversAll) {
+  EXPECT_EQ(TypeOf(ErrorMsg{}), MsgType::kError);
+  EXPECT_EQ(TypeOf(GetPDistancesReq{}), MsgType::kGetPDistancesReq);
+  EXPECT_EQ(TypeOf(GetPDistancesResp{}), MsgType::kGetPDistancesResp);
+  EXPECT_EQ(TypeOf(GetExternalViewReq{}), MsgType::kGetExternalViewReq);
+  EXPECT_EQ(TypeOf(GetExternalViewResp{}), MsgType::kGetExternalViewResp);
+  EXPECT_EQ(TypeOf(GetPolicyReq{}), MsgType::kGetPolicyReq);
+  EXPECT_EQ(TypeOf(GetPolicyResp{}), MsgType::kGetPolicyResp);
+  EXPECT_EQ(TypeOf(GetCapabilityReq{}), MsgType::kGetCapabilityReq);
+  EXPECT_EQ(TypeOf(GetCapabilityResp{}), MsgType::kGetCapabilityResp);
+  EXPECT_EQ(TypeOf(GetPidMapReq{}), MsgType::kGetPidMapReq);
+  EXPECT_EQ(TypeOf(GetPidMapResp{}), MsgType::kGetPidMapResp);
+}
+
+TEST(Messages, RejectsUnknownType) {
+  std::vector<std::uint8_t> bytes = {kProtocolVersion, 0xFF};
+  EXPECT_FALSE(Decode(bytes).has_value());
+}
+
+TEST(Messages, RejectsWrongVersion) {
+  auto bytes = Encode(GetPolicyReq{});
+  bytes[0] = kProtocolVersion + 1;
+  EXPECT_FALSE(Decode(bytes).has_value());
+}
+
+TEST(Messages, RejectsEmptyAndTruncated) {
+  EXPECT_FALSE(Decode({}).has_value());
+  const std::vector<std::uint8_t> only_version = {kProtocolVersion};
+  EXPECT_FALSE(Decode(only_version).has_value());
+  auto bytes = Encode(GetPDistancesReq{5});
+  bytes.pop_back();
+  EXPECT_FALSE(Decode(bytes).has_value());
+}
+
+TEST(Messages, RejectsTrailingGarbage) {
+  auto bytes = Encode(GetPDistancesReq{5});
+  bytes.push_back(0x00);
+  EXPECT_FALSE(Decode(bytes).has_value());
+}
+
+TEST(Messages, RejectsInvalidCapabilityType) {
+  auto bytes = Encode(GetCapabilityReq{core::CapabilityType::kCache, "x"});
+  bytes[2] = 0x77;  // capability type byte
+  EXPECT_FALSE(Decode(bytes).has_value());
+}
+
+TEST(Messages, FuzzDecodeNeverCrashes) {
+  std::mt19937_64 rng(99);
+  std::uniform_int_distribution<int> byte(0, 255);
+  std::uniform_int_distribution<int> len(0, 64);
+  for (int trial = 0; trial < 5000; ++trial) {
+    std::vector<std::uint8_t> bytes(static_cast<std::size_t>(len(rng)));
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(byte(rng));
+    (void)Decode(bytes);  // must not crash/throw
+  }
+}
+
+TEST(Messages, MutatedValidMessagesNeverCrash) {
+  GetPolicyResp msg;
+  msg.thresholds = {0.65, 0.85};
+  msg.time_of_day.push_back({4, 18, 23, 0.5});
+  const auto base = Encode(msg);
+  std::mt19937_64 rng(7);
+  std::uniform_int_distribution<std::size_t> pos(0, base.size() - 1);
+  std::uniform_int_distribution<int> byte(0, 255);
+  for (int trial = 0; trial < 5000; ++trial) {
+    auto bytes = base;
+    bytes[pos(rng)] = static_cast<std::uint8_t>(byte(rng));
+    (void)Decode(bytes);
+  }
+}
+
+}  // namespace
+}  // namespace p4p::proto

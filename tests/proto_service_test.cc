@@ -1,0 +1,148 @@
+#include "proto/service.h"
+
+#include <gtest/gtest.h>
+
+#include "net/topology.h"
+
+namespace p4p::proto {
+namespace {
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  ServiceTest()
+      : graph_(net::MakeAbilene()), routing_(graph_), tracker_(graph_, routing_) {
+    policy_.SetThresholds({0.7, 0.9});
+    policy_.AddTimeOfDayPolicy({2, 18, 23, 0.5});
+    capabilities_.Add({core::CapabilityType::kCache, 3, 1e9, "metro cache"});
+    pid_map_.add(*core::Prefix::Parse("10.0.0.0/8"), {4, 100});
+  }
+
+  PortalClient InProcessClient(const ITrackerService& service) {
+    return PortalClient(std::make_unique<InProcessTransport>(service.handler()));
+  }
+
+  net::Graph graph_;
+  net::RoutingTable routing_;
+  core::ITracker tracker_;
+  core::PolicyRegistry policy_;
+  core::CapabilityRegistry capabilities_;
+  core::PidMap pid_map_;
+};
+
+TEST_F(ServiceTest, RejectsNullTracker) {
+  EXPECT_THROW(ITrackerService(nullptr), std::invalid_argument);
+}
+
+TEST_F(ServiceTest, GetPDistancesMatchesTracker) {
+  ITrackerService service(&tracker_);
+  auto client = InProcessClient(service);
+  const auto row = client.GetPDistances(net::kChicago);
+  const auto expected = tracker_.GetPDistances(net::kChicago);
+  ASSERT_EQ(row.size(), expected.size());
+  for (std::size_t j = 0; j < row.size(); ++j) {
+    EXPECT_DOUBLE_EQ(row[j], expected[j]);
+  }
+}
+
+TEST_F(ServiceTest, GetPDistancesUnknownPidIsError) {
+  ITrackerService service(&tracker_);
+  auto client = InProcessClient(service);
+  EXPECT_THROW(client.GetPDistances(-1), std::runtime_error);
+  EXPECT_THROW(client.GetPDistances(999), std::runtime_error);
+}
+
+TEST_F(ServiceTest, ExternalViewMatchesTracker) {
+  ITrackerService service(&tracker_);
+  auto client = InProcessClient(service);
+  const auto view = client.GetExternalView();
+  ASSERT_EQ(view.size(), tracker_.num_pids());
+  for (core::Pid i = 0; i < view.size(); ++i) {
+    for (core::Pid j = 0; j < view.size(); ++j) {
+      EXPECT_DOUBLE_EQ(view.at(i, j), tracker_.pdistance(i, j));
+    }
+  }
+}
+
+TEST_F(ServiceTest, UnofferedInterfacesReturnErrors) {
+  ITrackerService service(&tracker_);  // only p4p-distance offered
+  auto client = InProcessClient(service);
+  EXPECT_THROW(client.GetPolicy(), std::runtime_error);
+  EXPECT_THROW(client.GetCapabilities(core::CapabilityType::kCache),
+               std::runtime_error);
+  EXPECT_THROW(client.GetPidMapping("10.1.1.1"), std::runtime_error);
+}
+
+TEST_F(ServiceTest, PolicyInterface) {
+  ITrackerService service(&tracker_, &policy_);
+  auto client = InProcessClient(service);
+  const auto policy = client.GetPolicy();
+  EXPECT_DOUBLE_EQ(policy.thresholds.near_congestion_utilization, 0.7);
+  ASSERT_EQ(policy.time_of_day.size(), 1u);
+  EXPECT_EQ(policy.time_of_day[0].link, 2);
+}
+
+TEST_F(ServiceTest, CapabilityInterface) {
+  ITrackerService service(&tracker_, nullptr, &capabilities_);
+  auto client = InProcessClient(service);
+  const auto caps = client.GetCapabilities(core::CapabilityType::kCache);
+  ASSERT_EQ(caps.size(), 1u);
+  EXPECT_EQ(caps[0].pid, 3);
+  EXPECT_TRUE(client.GetCapabilities(core::CapabilityType::kOnDemandServer).empty());
+}
+
+TEST_F(ServiceTest, PidMapInterface) {
+  ITrackerService service(&tracker_, nullptr, nullptr, &pid_map_);
+  auto client = InProcessClient(service);
+  const auto mapping = client.GetPidMapping("10.5.5.5");
+  ASSERT_TRUE(mapping.has_value());
+  EXPECT_EQ(mapping->pid, 4);
+  EXPECT_EQ(mapping->as_number, 100);
+  EXPECT_FALSE(client.GetPidMapping("11.1.1.1").has_value());
+}
+
+TEST_F(ServiceTest, MalformedRequestGetsError) {
+  ITrackerService service(&tracker_);
+  const std::vector<std::uint8_t> garbage = {0xFF, 0xFF, 0xFF};
+  const auto resp = service.Handle(garbage);
+  const auto decoded = Decode(resp);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_NE(std::get_if<ErrorMsg>(&*decoded), nullptr);
+}
+
+TEST_F(ServiceTest, RequestWithResponseTypeIsRejected) {
+  ITrackerService service(&tracker_);
+  const auto resp = service.Handle(Encode(GetPDistancesResp{}));
+  const auto decoded = Decode(resp);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_NE(std::get_if<ErrorMsg>(&*decoded), nullptr);
+}
+
+TEST_F(ServiceTest, FullStackOverTcp) {
+  ITrackerService service(&tracker_, &policy_, &capabilities_, &pid_map_);
+  TcpServer server(0, service.handler());
+  PortalClient client(std::make_unique<TcpClient>(server.port()));
+
+  const auto row = client.GetPDistances(net::kNewYork);
+  EXPECT_EQ(row.size(), graph_.node_count());
+  EXPECT_DOUBLE_EQ(client.GetPolicy().thresholds.heavy_usage_utilization, 0.9);
+  EXPECT_EQ(client.GetCapabilities(core::CapabilityType::kCache).size(), 1u);
+  EXPECT_TRUE(client.GetPidMapping("10.0.0.1").has_value());
+}
+
+TEST_F(ServiceTest, VersionReflectsTrackerUpdates) {
+  ITrackerService service(&tracker_);
+  const auto before = service.Handle(Encode(GetPDistancesReq{0}));
+  std::vector<double> traffic(graph_.link_count(), 1e9);
+  tracker_.Update(traffic);
+  const auto after = service.Handle(Encode(GetPDistancesReq{0}));
+  const auto v1 = std::get<GetPDistancesResp>(*Decode(before)).version;
+  const auto v2 = std::get<GetPDistancesResp>(*Decode(after)).version;
+  EXPECT_GT(v2, v1);
+}
+
+TEST(PortalClient, RejectsNullTransport) {
+  EXPECT_THROW(PortalClient(nullptr), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace p4p::proto

@@ -1,0 +1,135 @@
+#include "proto/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace p4p::proto {
+namespace {
+
+TEST(Wire, IntegersRoundTrip) {
+  Writer w;
+  w.u8(0xAB);
+  w.u16(0x1234);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFULL);
+  w.i32(-42);
+  Reader r(w.bytes());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(r.i32(), -42);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Wire, BigEndianLayout) {
+  Writer w;
+  w.u32(0x01020304);
+  ASSERT_EQ(w.bytes().size(), 4u);
+  EXPECT_EQ(w.bytes()[0], 0x01);
+  EXPECT_EQ(w.bytes()[3], 0x04);
+}
+
+TEST(Wire, DoublesRoundTrip) {
+  Writer w;
+  w.f64(3.14159);
+  w.f64(-0.0);
+  w.f64(std::numeric_limits<double>::infinity());
+  w.f64(1e-300);
+  Reader r(w.bytes());
+  EXPECT_DOUBLE_EQ(r.f64(), 3.14159);
+  EXPECT_DOUBLE_EQ(r.f64(), -0.0);
+  EXPECT_TRUE(std::isinf(r.f64()));
+  EXPECT_DOUBLE_EQ(r.f64(), 1e-300);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Wire, StringsRoundTrip) {
+  Writer w;
+  w.str("");
+  w.str("hello");
+  w.str(std::string(1000, 'x'));
+  Reader r(w.bytes());
+  EXPECT_EQ(r.str(), "");
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_EQ(r.str().size(), 1000u);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Wire, StringTooLongThrows) {
+  Writer w;
+  EXPECT_THROW(w.str(std::string(70000, 'x')), std::length_error);
+}
+
+TEST(Wire, VectorRoundTrip) {
+  Writer w;
+  const std::vector<double> v = {1.0, -2.5, 1e9};
+  w.f64_vec(v);
+  w.f64_vec(std::vector<double>{});
+  Reader r(w.bytes());
+  EXPECT_EQ(r.f64_vec(), v);
+  EXPECT_TRUE(r.f64_vec().empty());
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Wire, TruncatedReadsFailCleanly) {
+  Writer w;
+  w.u32(12345);
+  for (std::size_t cut = 0; cut < 4; ++cut) {
+    Reader r(std::span<const std::uint8_t>(w.bytes().data(), cut));
+    r.u32();
+    EXPECT_FALSE(r.ok());
+    // Further reads stay at zero without UB.
+    EXPECT_EQ(r.u8(), 0);
+  }
+}
+
+TEST(Wire, TruncatedStringFails) {
+  Writer w;
+  w.str("hello");
+  Reader r(std::span<const std::uint8_t>(w.bytes().data(), 4));
+  EXPECT_EQ(r.str(), "");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Wire, HostileVectorLengthRejected) {
+  // A length prefix of 2^31 must not allocate 16 GiB.
+  Writer w;
+  w.u32(0x80000000u);
+  Reader r(w.bytes());
+  EXPECT_TRUE(r.f64_vec().empty());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Wire, DoneDetectsTrailingBytes) {
+  Writer w;
+  w.u8(1);
+  w.u8(2);
+  Reader r(w.bytes());
+  r.u8();
+  EXPECT_FALSE(r.done());
+  r.u8();
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Wire, RemainingTracksPosition) {
+  Writer w;
+  w.u32(7);
+  w.u32(8);
+  Reader r(w.bytes());
+  EXPECT_EQ(r.remaining(), 8u);
+  r.u32();
+  EXPECT_EQ(r.remaining(), 4u);
+}
+
+TEST(Wire, TakeMovesBuffer) {
+  Writer w;
+  w.u8(9);
+  const auto bytes = w.take();
+  EXPECT_EQ(bytes.size(), 1u);
+  EXPECT_TRUE(w.bytes().empty());
+}
+
+}  // namespace
+}  // namespace p4p::proto

@@ -1,0 +1,112 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace p4p::sim {
+namespace {
+
+TEST(EventQueue, StartsEmptyAtZero) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_DOUBLE_EQ(q.now(), 0.0);
+  EXPECT_TRUE(std::isinf(q.next_time()));
+}
+
+TEST(EventQueue, RunsEventsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(3.0, [&] { order.push_back(3); });
+  q.schedule_at(1.0, [&] { order.push_back(1); });
+  q.schedule_at(2.0, [&] { order.push_back(2); });
+  q.run_until(10.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now(), 10.0);
+}
+
+TEST(EventQueue, FifoAmongEqualTimestamps) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  q.run_until(2.0);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, HorizonStopsExecution) {
+  EventQueue q;
+  int ran = 0;
+  q.schedule_at(1.0, [&] { ++ran; });
+  q.schedule_at(5.0, [&] { ++ran; });
+  EXPECT_EQ(q.run_until(2.0), 1u);
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_DOUBLE_EQ(q.next_time(), 5.0);
+}
+
+TEST(EventQueue, CallbackCanScheduleMore) {
+  EventQueue q;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    if (++count < 5) q.schedule_after(1.0, tick);
+  };
+  q.schedule_at(0.0, tick);
+  q.run_until(100.0);
+  EXPECT_EQ(count, 5);
+  EXPECT_DOUBLE_EQ(q.now(), 100.0);
+}
+
+TEST(EventQueue, ScheduleAfterIsRelative) {
+  EventQueue q;
+  double fired_at = -1.0;
+  q.schedule_at(2.0, [&] { q.schedule_after(3.0, [&] { fired_at = q.now(); }); });
+  q.run_until(10.0);
+  EXPECT_DOUBLE_EQ(fired_at, 5.0);
+}
+
+TEST(EventQueue, RejectsPastAndNonFinite) {
+  EventQueue q;
+  q.schedule_at(5.0, [] {});
+  q.run_until(5.0);
+  EXPECT_THROW(q.schedule_at(1.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(q.schedule_at(std::numeric_limits<double>::infinity(), [] {}),
+               std::invalid_argument);
+  EXPECT_THROW(q.schedule_at(std::nan(""), [] {}), std::invalid_argument);
+}
+
+TEST(EventQueue, StepExecutesSingleEvent) {
+  EventQueue q;
+  int count = 0;
+  q.schedule_at(1.0, [&] { ++count; });
+  q.schedule_at(2.0, [&] { ++count; });
+  EXPECT_TRUE(q.step(10.0));
+  EXPECT_EQ(count, 1);
+  EXPECT_DOUBLE_EQ(q.now(), 1.0);
+  EXPECT_TRUE(q.step(10.0));
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(q.step(10.0));
+}
+
+TEST(EventQueue, StepRespectsHorizon) {
+  EventQueue q;
+  q.schedule_at(5.0, [] {});
+  EXPECT_FALSE(q.step(4.0));
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, ManyEventsStressOrder) {
+  EventQueue q;
+  std::vector<double> fired;
+  for (int i = 999; i >= 0; --i) {
+    const double t = static_cast<double>(i % 97) + static_cast<double>(i) / 1e6;
+    q.schedule_at(t, [&fired, &q] { fired.push_back(q.now()); });
+  }
+  q.run_until(1000.0);
+  ASSERT_EQ(fired.size(), 1000u);
+  EXPECT_TRUE(std::is_sorted(fired.begin(), fired.end()));
+}
+
+}  // namespace
+}  // namespace p4p::sim

@@ -1,0 +1,117 @@
+#include "sim/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace p4p::sim {
+namespace {
+
+TEST(Percentile, MedianOfOddSet) {
+  const std::vector<double> v = {5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 50.0), 3.0);
+}
+
+TEST(Percentile, Extremes) {
+  const std::vector<double> v = {2.0, 4.0, 6.0, 8.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.0), 2.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100.0), 8.0);
+}
+
+TEST(Percentile, Interpolates) {
+  const std::vector<double> v = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 25.0), 2.5);
+  EXPECT_DOUBLE_EQ(Percentile(v, 50.0), 5.0);
+}
+
+TEST(Percentile, SingleSample) {
+  const std::vector<double> v = {7.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 95.0), 7.0);
+}
+
+TEST(Percentile, Rejects) {
+  const std::vector<double> v = {1.0};
+  EXPECT_THROW(Percentile({}, 50.0), std::invalid_argument);
+  EXPECT_THROW(Percentile(v, -1.0), std::invalid_argument);
+  EXPECT_THROW(Percentile(v, 101.0), std::invalid_argument);
+}
+
+TEST(Mean, Basic) {
+  const std::vector<double> v = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(Mean(v), 2.0);
+  EXPECT_THROW(Mean({}), std::invalid_argument);
+}
+
+TEST(Cdf, SortsAndFractions) {
+  const std::vector<double> v = {3.0, 1.0, 2.0, 2.0};
+  const Cdf cdf = Cdf::FromSamples(v);
+  EXPECT_EQ(cdf.values, (std::vector<double>{1.0, 2.0, 2.0, 3.0}));
+  EXPECT_DOUBLE_EQ(cdf.fractions.back(), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.fractions.front(), 0.25);
+}
+
+TEST(Cdf, AtReturnsFractionBelow) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  const Cdf cdf = Cdf::FromSamples(v);
+  EXPECT_DOUBLE_EQ(cdf.at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.at(2.0), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.at(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.at(10.0), 1.0);
+}
+
+TEST(TimeSeries, MaxAndTimeAbove) {
+  TimeSeries ts;
+  for (int i = 0; i < 10; ++i) {
+    ts.add(static_cast<double>(i), i < 5 ? 0.2 : 0.9);
+  }
+  EXPECT_DOUBLE_EQ(ts.max(), 0.9);
+  EXPECT_NEAR(ts.time_above(0.5), 5.0, 1e-9);
+  EXPECT_NEAR(ts.time_above(0.95), 0.0, 1e-9);
+}
+
+TEST(TimeSeries, TimeAboveWithFewSamples) {
+  TimeSeries ts;
+  EXPECT_DOUBLE_EQ(ts.time_above(0.5), 0.0);
+  ts.add(0.0, 1.0);
+  EXPECT_DOUBLE_EQ(ts.time_above(0.5), 0.0);
+}
+
+TEST(IntervalVolumeRecorder, BucketsByInterval) {
+  IntervalVolumeRecorder rec(2, 300.0);
+  rec.add(0, 0.0, 100.0);
+  rec.add(0, 299.0, 50.0);
+  rec.add(0, 300.0, 10.0);
+  rec.add(1, 650.0, 7.0);
+  const auto v0 = rec.volumes(0);
+  ASSERT_EQ(v0.size(), 3u);  // up to interval 2 (650 / 300)
+  EXPECT_DOUBLE_EQ(v0[0], 150.0);
+  EXPECT_DOUBLE_EQ(v0[1], 10.0);
+  EXPECT_DOUBLE_EQ(v0[2], 0.0);
+  const auto v1 = rec.volumes(1);
+  EXPECT_DOUBLE_EQ(v1[2], 7.0);
+}
+
+TEST(IntervalVolumeRecorder, Rejects) {
+  EXPECT_THROW(IntervalVolumeRecorder(1, 0.0), std::invalid_argument);
+  IntervalVolumeRecorder rec(1, 10.0);
+  EXPECT_THROW(rec.add(0, -1.0, 5.0), std::invalid_argument);
+  EXPECT_THROW(rec.add(0, 1.0, -5.0), std::invalid_argument);
+  EXPECT_THROW(rec.add(5, 1.0, 5.0), std::out_of_range);
+}
+
+class PercentileSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(PercentileSweep, MonotoneInQ) {
+  std::vector<double> v;
+  for (int i = 0; i < 100; ++i) v.push_back(static_cast<double>((i * 37) % 101));
+  const double q = GetParam();
+  if (q >= 5.0) {
+    EXPECT_LE(Percentile(v, q - 5.0), Percentile(v, q) + 1e-12);
+  }
+  EXPECT_GE(Percentile(v, q), Percentile(v, 0.0));
+  EXPECT_LE(Percentile(v, q), Percentile(v, 100.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Qs, PercentileSweep,
+                         ::testing::Values(5.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0));
+
+}  // namespace
+}  // namespace p4p::sim

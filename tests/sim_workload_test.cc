@@ -1,0 +1,226 @@
+#include "sim/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace p4p::sim {
+namespace {
+
+TEST(AccessRates, AllClassesDefined) {
+  EXPECT_DOUBLE_EQ(RatesFor(AccessClass::kCampus).up_bps, 100e6);
+  EXPECT_DOUBLE_EQ(RatesFor(AccessClass::kFttp).down_bps, 20e6);
+  EXPECT_GT(RatesFor(AccessClass::kFttp).up_bps, RatesFor(AccessClass::kDsl).up_bps);
+  EXPECT_GT(RatesFor(AccessClass::kCable).down_bps,
+            RatesFor(AccessClass::kDsl).down_bps);
+}
+
+TEST(MakePopulation, BasicProperties) {
+  PopulationConfig cfg;
+  cfg.num_peers = 50;
+  cfg.pops = {0, 1, 2};
+  cfg.as_number = 42;
+  cfg.join_start = 10.0;
+  cfg.join_window = 5.0;
+  std::mt19937_64 rng(1);
+  const auto peers = MakePopulation(cfg, rng);
+  ASSERT_EQ(peers.size(), 50u);
+  for (const auto& p : peers) {
+    EXPECT_GE(p.join_time, 10.0);
+    EXPECT_LE(p.join_time, 15.0);
+    EXPECT_EQ(p.as_number, 42);
+    EXPECT_TRUE(p.node == 0 || p.node == 1 || p.node == 2);
+    EXPECT_DOUBLE_EQ(p.up_bps, 100e6);
+    EXPECT_FALSE(p.seed);
+    EXPECT_TRUE(std::isinf(p.leave_time));
+  }
+}
+
+TEST(MakePopulation, WeightsSkewPlacement) {
+  PopulationConfig cfg;
+  cfg.num_peers = 2000;
+  cfg.pops = {0, 1};
+  cfg.pop_weights = {9.0, 1.0};
+  std::mt19937_64 rng(2);
+  const auto peers = MakePopulation(cfg, rng);
+  const auto at0 = std::count_if(peers.begin(), peers.end(),
+                                 [](const PeerSpec& p) { return p.node == 0; });
+  EXPECT_GT(at0, 1600);
+  EXPECT_LT(at0, 1990);
+}
+
+TEST(MakePopulation, Rejects) {
+  std::mt19937_64 rng(1);
+  PopulationConfig cfg;
+  cfg.pops = {};
+  EXPECT_THROW(MakePopulation(cfg, rng), std::invalid_argument);
+  cfg.pops = {0};
+  cfg.pop_weights = {1.0, 2.0};
+  EXPECT_THROW(MakePopulation(cfg, rng), std::invalid_argument);
+  cfg.pop_weights.clear();
+  cfg.num_peers = -1;
+  EXPECT_THROW(MakePopulation(cfg, rng), std::invalid_argument);
+}
+
+TEST(MakePopulation, DeterministicGivenRngState) {
+  PopulationConfig cfg;
+  cfg.num_peers = 20;
+  cfg.pops = {0, 1, 2, 3};
+  std::mt19937_64 rng1(7);
+  std::mt19937_64 rng2(7);
+  const auto a = MakePopulation(cfg, rng1);
+  const auto b = MakePopulation(cfg, rng2);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].node, b[i].node);
+    EXPECT_DOUBLE_EQ(a[i].join_time, b[i].join_time);
+  }
+}
+
+TEST(FlashCrowd, ExactCountSortedWithinHorizon) {
+  std::mt19937_64 rng(3);
+  const auto times = FlashCrowdJoinTimes(500, 1000.0, 0.2, 4.0, 0.2, rng);
+  ASSERT_EQ(times.size(), 500u);
+  EXPECT_TRUE(std::is_sorted(times.begin(), times.end()));
+  EXPECT_GE(times.front(), 0.0);
+  EXPECT_LE(times.back(), 1000.0);
+}
+
+TEST(FlashCrowd, PeakNearRampEnd) {
+  std::mt19937_64 rng(4);
+  const auto times = FlashCrowdJoinTimes(20000, 1000.0, 0.2, 5.0, 0.1, rng);
+  // Arrival rate in [150, 250] (around the t=200 peak) should exceed the
+  // rate in [800, 900] (deep in the decay) several-fold.
+  const auto count_in = [&times](double lo, double hi) {
+    return std::count_if(times.begin(), times.end(),
+                         [lo, hi](double t) { return t >= lo && t < hi; });
+  };
+  EXPECT_GT(count_in(150, 250), 3 * count_in(800, 900));
+}
+
+TEST(FlashCrowd, RejectsBadParameters) {
+  std::mt19937_64 rng(5);
+  EXPECT_THROW(FlashCrowdJoinTimes(10, -1.0, 0.2, 4.0, 0.2, rng),
+               std::invalid_argument);
+  EXPECT_THROW(FlashCrowdJoinTimes(10, 100.0, 0.0, 4.0, 0.2, rng),
+               std::invalid_argument);
+  EXPECT_THROW(FlashCrowdJoinTimes(10, 100.0, 1.0, 4.0, 0.2, rng),
+               std::invalid_argument);
+  EXPECT_THROW(FlashCrowdJoinTimes(-1, 100.0, 0.2, 4.0, 0.2, rng),
+               std::invalid_argument);
+}
+
+TEST(FieldTestPopulation, MixAndDwell) {
+  FieldTestConfig cfg;
+  cfg.num_peers = 3000;
+  cfg.pops = {0, 1, 2};
+  cfg.fttp_fraction = 0.3;
+  cfg.cable_fraction = 0.4;
+  cfg.horizon = 10000.0;
+  cfg.mean_dwell = 2000.0;
+  std::mt19937_64 rng(6);
+  const auto peers = MakeFieldTestPopulation(cfg, rng);
+  ASSERT_EQ(peers.size(), 3000u);
+  int fttp = 0;
+  int cable = 0;
+  int dsl = 0;
+  for (const auto& p : peers) {
+    EXPECT_GT(p.leave_time, p.join_time);
+    switch (p.access) {
+      case AccessClass::kFttp: ++fttp; break;
+      case AccessClass::kCable: ++cable; break;
+      case AccessClass::kDsl: ++dsl; break;
+      default: FAIL() << "unexpected access class";
+    }
+  }
+  EXPECT_NEAR(fttp / 3000.0, 0.3, 0.05);
+  EXPECT_NEAR(cable / 3000.0, 0.4, 0.05);
+  EXPECT_NEAR(dsl / 3000.0, 0.3, 0.05);
+}
+
+TEST(FieldTestPopulation, RejectsEmptyPops) {
+  FieldTestConfig cfg;
+  std::mt19937_64 rng(1);
+  cfg.pops = {};
+  EXPECT_THROW(MakeFieldTestPopulation(cfg, rng), std::invalid_argument);
+}
+
+TEST(SwarmSizeSeries, CountsJoinedNotLeft) {
+  std::vector<PeerSpec> peers(3);
+  peers[0].join_time = 0.0;
+  peers[0].leave_time = 10.0;
+  peers[1].join_time = 5.0;
+  peers[1].leave_time = 15.0;
+  peers[2].join_time = 20.0;
+  const std::vector<double> samples = {1.0, 7.0, 12.0, 25.0};
+  const auto sizes = SwarmSizeSeries(peers, samples);
+  EXPECT_EQ(sizes, (std::vector<int>{1, 2, 1, 1}));
+}
+
+TEST(SwarmSizeSeries, FlashCrowdShapeRisesThenFalls) {
+  // The Figure 11 sanity property: peak within the first 30 % of the
+  // horizon, and the tail well below the peak.
+  FieldTestConfig cfg;
+  cfg.num_peers = 5000;
+  cfg.pops = {0};
+  cfg.horizon = 10000.0;
+  cfg.mean_dwell = 1500.0;
+  cfg.ramp_fraction = 0.15;
+  std::mt19937_64 rng(8);
+  const auto peers = MakeFieldTestPopulation(cfg, rng);
+  std::vector<double> samples;
+  for (int t = 0; t < 100; ++t) samples.push_back(t * 100.0);
+  const auto sizes = SwarmSizeSeries(peers, samples);
+  const auto peak_it = std::max_element(sizes.begin(), sizes.end());
+  const auto peak_idx = static_cast<std::size_t>(peak_it - sizes.begin());
+  EXPECT_LT(peak_idx, 35u);
+  EXPECT_LT(sizes.back(), *peak_it / 2);
+}
+
+TEST(ZipfSwarmSizes, ReproducesScalabilityAnalysisShape) {
+  // Section 8: of 34,721 swarms, only 0.72% had more than 100 leechers.
+  std::mt19937_64 rng(88);
+  const auto sizes = ZipfSwarmSizes(34721, /*alpha=*/1.75, /*max_size=*/5000, rng);
+  ASSERT_EQ(sizes.size(), 34721u);
+  const double frac = FractionAbove(sizes, 100);
+  EXPECT_GT(frac, 0.001);
+  EXPECT_LT(frac, 0.03);
+}
+
+TEST(ZipfSwarmSizes, BoundsRespected) {
+  std::mt19937_64 rng(3);
+  const auto sizes = ZipfSwarmSizes(500, 1.2, 50, rng);
+  for (int s : sizes) {
+    EXPECT_GE(s, 1);
+    EXPECT_LE(s, 50);
+  }
+}
+
+TEST(ZipfSwarmSizes, HigherAlphaMeansSmallerSwarms) {
+  std::mt19937_64 rng1(4);
+  std::mt19937_64 rng2(4);
+  const auto flat = ZipfSwarmSizes(5000, 1.1, 1000, rng1);
+  const auto steep = ZipfSwarmSizes(5000, 2.5, 1000, rng2);
+  double sum_flat = 0;
+  double sum_steep = 0;
+  for (int s : flat) sum_flat += s;
+  for (int s : steep) sum_steep += s;
+  EXPECT_GT(sum_flat, 2.0 * sum_steep);
+}
+
+TEST(ZipfSwarmSizes, Rejects) {
+  std::mt19937_64 rng(1);
+  EXPECT_THROW(ZipfSwarmSizes(-1, 1.0, 10, rng), std::invalid_argument);
+  EXPECT_THROW(ZipfSwarmSizes(10, 0.0, 10, rng), std::invalid_argument);
+  EXPECT_THROW(ZipfSwarmSizes(10, 1.0, 0, rng), std::invalid_argument);
+}
+
+TEST(FractionAbove, Basics) {
+  const std::vector<int> sizes = {1, 5, 10, 200, 300};
+  EXPECT_DOUBLE_EQ(FractionAbove(sizes, 100), 0.4);
+  EXPECT_DOUBLE_EQ(FractionAbove(sizes, 0), 1.0);
+  EXPECT_DOUBLE_EQ(FractionAbove(sizes, 1000), 0.0);
+  EXPECT_DOUBLE_EQ(FractionAbove({}, 5), 0.0);
+}
+
+}  // namespace
+}  // namespace p4p::sim

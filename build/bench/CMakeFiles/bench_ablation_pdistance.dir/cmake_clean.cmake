@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_pdistance.dir/bench_ablation_pdistance.cc.o"
+  "CMakeFiles/bench_ablation_pdistance.dir/bench_ablation_pdistance.cc.o.d"
+  "bench_ablation_pdistance"
+  "bench_ablation_pdistance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pdistance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

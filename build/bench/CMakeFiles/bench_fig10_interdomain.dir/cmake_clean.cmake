@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_interdomain.dir/bench_fig10_interdomain.cc.o"
+  "CMakeFiles/bench_fig10_interdomain.dir/bench_fig10_interdomain.cc.o.d"
+  "bench_fig10_interdomain"
+  "bench_fig10_interdomain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_interdomain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_field_swarms.dir/bench_fig11_field_swarms.cc.o"
+  "CMakeFiles/bench_fig11_field_swarms.dir/bench_fig11_field_swarms.cc.o.d"
+  "bench_fig11_field_swarms"
+  "bench_fig11_field_swarms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_field_swarms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig6_bittorrent_internet.cc" "bench/CMakeFiles/bench_fig6_bittorrent_internet.dir/bench_fig6_bittorrent_internet.cc.o" "gcc" "bench/CMakeFiles/bench_fig6_bittorrent_internet.dir/bench_fig6_bittorrent_internet.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/p4p_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/p4p_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/p4p_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/p4p_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/p4p_lp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

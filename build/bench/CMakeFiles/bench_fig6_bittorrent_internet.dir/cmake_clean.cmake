@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_bittorrent_internet.dir/bench_fig6_bittorrent_internet.cc.o"
+  "CMakeFiles/bench_fig6_bittorrent_internet.dir/bench_fig6_bittorrent_internet.cc.o.d"
+  "bench_fig6_bittorrent_internet"
+  "bench_fig6_bittorrent_internet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_bittorrent_internet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_ispA.dir/bench_fig8_ispA.cc.o"
+  "CMakeFiles/bench_fig8_ispA.dir/bench_fig8_ispA.cc.o.d"
+  "bench_fig8_ispA"
+  "bench_fig8_ispA.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_ispA.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

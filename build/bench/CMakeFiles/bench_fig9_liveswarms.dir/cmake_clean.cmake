@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_liveswarms.dir/bench_fig9_liveswarms.cc.o"
+  "CMakeFiles/bench_fig9_liveswarms.dir/bench_fig9_liveswarms.cc.o.d"
+  "bench_fig9_liveswarms"
+  "bench_fig9_liveswarms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_liveswarms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_topologies.dir/bench_table1_topologies.cc.o"
+  "CMakeFiles/bench_table1_topologies.dir/bench_table1_topologies.cc.o.d"
+  "bench_table1_topologies"
+  "bench_table1_topologies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_topologies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/common.cc" "bench/CMakeFiles/p4p_bench_common.dir/common.cc.o" "gcc" "bench/CMakeFiles/p4p_bench_common.dir/common.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/p4p_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/p4p_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/p4p_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/p4p_lp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

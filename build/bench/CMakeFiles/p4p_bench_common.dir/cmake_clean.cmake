@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p4p_bench_common.dir/common.cc.o"
+  "CMakeFiles/p4p_bench_common.dir/common.cc.o.d"
+  "libp4p_bench_common.a"
+  "libp4p_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p4p_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

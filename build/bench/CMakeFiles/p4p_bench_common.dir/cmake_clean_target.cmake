@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libp4p_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bittorrent_abilene.dir/bittorrent_abilene.cpp.o"
+  "CMakeFiles/bittorrent_abilene.dir/bittorrent_abilene.cpp.o.d"
+  "bittorrent_abilene"
+  "bittorrent_abilene.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bittorrent_abilene.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bittorrent_abilene.
+# This may be replaced when dependencies are built.

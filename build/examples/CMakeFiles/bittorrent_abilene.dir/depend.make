@@ -1,0 +1,2 @@
+# Empty dependencies file for bittorrent_abilene.
+# This may be replaced when dependencies are built.

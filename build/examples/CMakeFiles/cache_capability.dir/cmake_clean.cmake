@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_capability.dir/cache_capability.cpp.o"
+  "CMakeFiles/cache_capability.dir/cache_capability.cpp.o.d"
+  "cache_capability"
+  "cache_capability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_capability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/federation.dir/federation.cpp.o"
+  "CMakeFiles/federation.dir/federation.cpp.o.d"
+  "federation"
+  "federation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/federation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interdomain_cost.dir/interdomain_cost.cpp.o"
+  "CMakeFiles/interdomain_cost.dir/interdomain_cost.cpp.o.d"
+  "interdomain_cost"
+  "interdomain_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interdomain_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/portal_service.dir/portal_service.cpp.o"
+  "CMakeFiles/portal_service.dir/portal_service.cpp.o.d"
+  "portal_service"
+  "portal_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/portal_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/apptracker.cc" "src/core/CMakeFiles/p4p_core.dir/apptracker.cc.o" "gcc" "src/core/CMakeFiles/p4p_core.dir/apptracker.cc.o.d"
+  "/root/repo/src/core/capability.cc" "src/core/CMakeFiles/p4p_core.dir/capability.cc.o" "gcc" "src/core/CMakeFiles/p4p_core.dir/capability.cc.o.d"
+  "/root/repo/src/core/charging.cc" "src/core/CMakeFiles/p4p_core.dir/charging.cc.o" "gcc" "src/core/CMakeFiles/p4p_core.dir/charging.cc.o.d"
+  "/root/repo/src/core/embedding.cc" "src/core/CMakeFiles/p4p_core.dir/embedding.cc.o" "gcc" "src/core/CMakeFiles/p4p_core.dir/embedding.cc.o.d"
+  "/root/repo/src/core/hierarchy.cc" "src/core/CMakeFiles/p4p_core.dir/hierarchy.cc.o" "gcc" "src/core/CMakeFiles/p4p_core.dir/hierarchy.cc.o.d"
+  "/root/repo/src/core/integrator.cc" "src/core/CMakeFiles/p4p_core.dir/integrator.cc.o" "gcc" "src/core/CMakeFiles/p4p_core.dir/integrator.cc.o.d"
+  "/root/repo/src/core/itracker.cc" "src/core/CMakeFiles/p4p_core.dir/itracker.cc.o" "gcc" "src/core/CMakeFiles/p4p_core.dir/itracker.cc.o.d"
+  "/root/repo/src/core/management.cc" "src/core/CMakeFiles/p4p_core.dir/management.cc.o" "gcc" "src/core/CMakeFiles/p4p_core.dir/management.cc.o.d"
+  "/root/repo/src/core/matching.cc" "src/core/CMakeFiles/p4p_core.dir/matching.cc.o" "gcc" "src/core/CMakeFiles/p4p_core.dir/matching.cc.o.d"
+  "/root/repo/src/core/pdistance.cc" "src/core/CMakeFiles/p4p_core.dir/pdistance.cc.o" "gcc" "src/core/CMakeFiles/p4p_core.dir/pdistance.cc.o.d"
+  "/root/repo/src/core/pidmap.cc" "src/core/CMakeFiles/p4p_core.dir/pidmap.cc.o" "gcc" "src/core/CMakeFiles/p4p_core.dir/pidmap.cc.o.d"
+  "/root/repo/src/core/policy.cc" "src/core/CMakeFiles/p4p_core.dir/policy.cc.o" "gcc" "src/core/CMakeFiles/p4p_core.dir/policy.cc.o.d"
+  "/root/repo/src/core/policy_adaptive.cc" "src/core/CMakeFiles/p4p_core.dir/policy_adaptive.cc.o" "gcc" "src/core/CMakeFiles/p4p_core.dir/policy_adaptive.cc.o.d"
+  "/root/repo/src/core/projection.cc" "src/core/CMakeFiles/p4p_core.dir/projection.cc.o" "gcc" "src/core/CMakeFiles/p4p_core.dir/projection.cc.o.d"
+  "/root/repo/src/core/selectors.cc" "src/core/CMakeFiles/p4p_core.dir/selectors.cc.o" "gcc" "src/core/CMakeFiles/p4p_core.dir/selectors.cc.o.d"
+  "/root/repo/src/core/trackerless.cc" "src/core/CMakeFiles/p4p_core.dir/trackerless.cc.o" "gcc" "src/core/CMakeFiles/p4p_core.dir/trackerless.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/p4p_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/p4p_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/p4p_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

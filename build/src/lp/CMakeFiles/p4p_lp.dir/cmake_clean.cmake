@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p4p_lp.dir/model.cc.o"
+  "CMakeFiles/p4p_lp.dir/model.cc.o.d"
+  "CMakeFiles/p4p_lp.dir/simplex.cc.o"
+  "CMakeFiles/p4p_lp.dir/simplex.cc.o.d"
+  "libp4p_lp.a"
+  "libp4p_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p4p_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for p4p_lp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/graph.cc" "src/net/CMakeFiles/p4p_net.dir/graph.cc.o" "gcc" "src/net/CMakeFiles/p4p_net.dir/graph.cc.o.d"
+  "/root/repo/src/net/routing.cc" "src/net/CMakeFiles/p4p_net.dir/routing.cc.o" "gcc" "src/net/CMakeFiles/p4p_net.dir/routing.cc.o.d"
+  "/root/repo/src/net/synth.cc" "src/net/CMakeFiles/p4p_net.dir/synth.cc.o" "gcc" "src/net/CMakeFiles/p4p_net.dir/synth.cc.o.d"
+  "/root/repo/src/net/topology.cc" "src/net/CMakeFiles/p4p_net.dir/topology.cc.o" "gcc" "src/net/CMakeFiles/p4p_net.dir/topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

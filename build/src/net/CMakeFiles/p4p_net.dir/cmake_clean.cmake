@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p4p_net.dir/graph.cc.o"
+  "CMakeFiles/p4p_net.dir/graph.cc.o.d"
+  "CMakeFiles/p4p_net.dir/routing.cc.o"
+  "CMakeFiles/p4p_net.dir/routing.cc.o.d"
+  "CMakeFiles/p4p_net.dir/synth.cc.o"
+  "CMakeFiles/p4p_net.dir/synth.cc.o.d"
+  "CMakeFiles/p4p_net.dir/topology.cc.o"
+  "CMakeFiles/p4p_net.dir/topology.cc.o.d"
+  "libp4p_net.a"
+  "libp4p_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p4p_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

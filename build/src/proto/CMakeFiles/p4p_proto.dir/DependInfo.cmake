@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proto/caching_client.cc" "src/proto/CMakeFiles/p4p_proto.dir/caching_client.cc.o" "gcc" "src/proto/CMakeFiles/p4p_proto.dir/caching_client.cc.o.d"
+  "/root/repo/src/proto/directory.cc" "src/proto/CMakeFiles/p4p_proto.dir/directory.cc.o" "gcc" "src/proto/CMakeFiles/p4p_proto.dir/directory.cc.o.d"
+  "/root/repo/src/proto/messages.cc" "src/proto/CMakeFiles/p4p_proto.dir/messages.cc.o" "gcc" "src/proto/CMakeFiles/p4p_proto.dir/messages.cc.o.d"
+  "/root/repo/src/proto/service.cc" "src/proto/CMakeFiles/p4p_proto.dir/service.cc.o" "gcc" "src/proto/CMakeFiles/p4p_proto.dir/service.cc.o.d"
+  "/root/repo/src/proto/transport.cc" "src/proto/CMakeFiles/p4p_proto.dir/transport.cc.o" "gcc" "src/proto/CMakeFiles/p4p_proto.dir/transport.cc.o.d"
+  "/root/repo/src/proto/wire.cc" "src/proto/CMakeFiles/p4p_proto.dir/wire.cc.o" "gcc" "src/proto/CMakeFiles/p4p_proto.dir/wire.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/p4p_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/p4p_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/p4p_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/p4p_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p4p_proto.dir/caching_client.cc.o"
+  "CMakeFiles/p4p_proto.dir/caching_client.cc.o.d"
+  "CMakeFiles/p4p_proto.dir/directory.cc.o"
+  "CMakeFiles/p4p_proto.dir/directory.cc.o.d"
+  "CMakeFiles/p4p_proto.dir/messages.cc.o"
+  "CMakeFiles/p4p_proto.dir/messages.cc.o.d"
+  "CMakeFiles/p4p_proto.dir/service.cc.o"
+  "CMakeFiles/p4p_proto.dir/service.cc.o.d"
+  "CMakeFiles/p4p_proto.dir/transport.cc.o"
+  "CMakeFiles/p4p_proto.dir/transport.cc.o.d"
+  "CMakeFiles/p4p_proto.dir/wire.cc.o"
+  "CMakeFiles/p4p_proto.dir/wire.cc.o.d"
+  "libp4p_proto.a"
+  "libp4p_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p4p_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libp4p_proto.a"
+)

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for p4p_proto.
+# This may be replaced when dependencies are built.

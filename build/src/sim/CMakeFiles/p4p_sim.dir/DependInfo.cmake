@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/bittorrent.cc" "src/sim/CMakeFiles/p4p_sim.dir/bittorrent.cc.o" "gcc" "src/sim/CMakeFiles/p4p_sim.dir/bittorrent.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/sim/CMakeFiles/p4p_sim.dir/event_queue.cc.o" "gcc" "src/sim/CMakeFiles/p4p_sim.dir/event_queue.cc.o.d"
+  "/root/repo/src/sim/maxmin.cc" "src/sim/CMakeFiles/p4p_sim.dir/maxmin.cc.o" "gcc" "src/sim/CMakeFiles/p4p_sim.dir/maxmin.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "src/sim/CMakeFiles/p4p_sim.dir/stats.cc.o" "gcc" "src/sim/CMakeFiles/p4p_sim.dir/stats.cc.o.d"
+  "/root/repo/src/sim/streaming.cc" "src/sim/CMakeFiles/p4p_sim.dir/streaming.cc.o" "gcc" "src/sim/CMakeFiles/p4p_sim.dir/streaming.cc.o.d"
+  "/root/repo/src/sim/workload.cc" "src/sim/CMakeFiles/p4p_sim.dir/workload.cc.o" "gcc" "src/sim/CMakeFiles/p4p_sim.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/p4p_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

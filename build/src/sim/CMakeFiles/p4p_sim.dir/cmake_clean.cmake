@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p4p_sim.dir/bittorrent.cc.o"
+  "CMakeFiles/p4p_sim.dir/bittorrent.cc.o.d"
+  "CMakeFiles/p4p_sim.dir/event_queue.cc.o"
+  "CMakeFiles/p4p_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/p4p_sim.dir/maxmin.cc.o"
+  "CMakeFiles/p4p_sim.dir/maxmin.cc.o.d"
+  "CMakeFiles/p4p_sim.dir/stats.cc.o"
+  "CMakeFiles/p4p_sim.dir/stats.cc.o.d"
+  "CMakeFiles/p4p_sim.dir/streaming.cc.o"
+  "CMakeFiles/p4p_sim.dir/streaming.cc.o.d"
+  "CMakeFiles/p4p_sim.dir/workload.cc.o"
+  "CMakeFiles/p4p_sim.dir/workload.cc.o.d"
+  "libp4p_sim.a"
+  "libp4p_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p4p_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

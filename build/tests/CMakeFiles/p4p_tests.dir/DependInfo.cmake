@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core_apptracker_test.cc" "tests/CMakeFiles/p4p_tests.dir/core_apptracker_test.cc.o" "gcc" "tests/CMakeFiles/p4p_tests.dir/core_apptracker_test.cc.o.d"
+  "/root/repo/tests/core_charging_test.cc" "tests/CMakeFiles/p4p_tests.dir/core_charging_test.cc.o" "gcc" "tests/CMakeFiles/p4p_tests.dir/core_charging_test.cc.o.d"
+  "/root/repo/tests/core_embedding_test.cc" "tests/CMakeFiles/p4p_tests.dir/core_embedding_test.cc.o" "gcc" "tests/CMakeFiles/p4p_tests.dir/core_embedding_test.cc.o.d"
+  "/root/repo/tests/core_hierarchy_test.cc" "tests/CMakeFiles/p4p_tests.dir/core_hierarchy_test.cc.o" "gcc" "tests/CMakeFiles/p4p_tests.dir/core_hierarchy_test.cc.o.d"
+  "/root/repo/tests/core_integrator_test.cc" "tests/CMakeFiles/p4p_tests.dir/core_integrator_test.cc.o" "gcc" "tests/CMakeFiles/p4p_tests.dir/core_integrator_test.cc.o.d"
+  "/root/repo/tests/core_itracker_test.cc" "tests/CMakeFiles/p4p_tests.dir/core_itracker_test.cc.o" "gcc" "tests/CMakeFiles/p4p_tests.dir/core_itracker_test.cc.o.d"
+  "/root/repo/tests/core_management_test.cc" "tests/CMakeFiles/p4p_tests.dir/core_management_test.cc.o" "gcc" "tests/CMakeFiles/p4p_tests.dir/core_management_test.cc.o.d"
+  "/root/repo/tests/core_matching_test.cc" "tests/CMakeFiles/p4p_tests.dir/core_matching_test.cc.o" "gcc" "tests/CMakeFiles/p4p_tests.dir/core_matching_test.cc.o.d"
+  "/root/repo/tests/core_pdistance_test.cc" "tests/CMakeFiles/p4p_tests.dir/core_pdistance_test.cc.o" "gcc" "tests/CMakeFiles/p4p_tests.dir/core_pdistance_test.cc.o.d"
+  "/root/repo/tests/core_pidmap_test.cc" "tests/CMakeFiles/p4p_tests.dir/core_pidmap_test.cc.o" "gcc" "tests/CMakeFiles/p4p_tests.dir/core_pidmap_test.cc.o.d"
+  "/root/repo/tests/core_policy_test.cc" "tests/CMakeFiles/p4p_tests.dir/core_policy_test.cc.o" "gcc" "tests/CMakeFiles/p4p_tests.dir/core_policy_test.cc.o.d"
+  "/root/repo/tests/core_projection_test.cc" "tests/CMakeFiles/p4p_tests.dir/core_projection_test.cc.o" "gcc" "tests/CMakeFiles/p4p_tests.dir/core_projection_test.cc.o.d"
+  "/root/repo/tests/core_selectors_test.cc" "tests/CMakeFiles/p4p_tests.dir/core_selectors_test.cc.o" "gcc" "tests/CMakeFiles/p4p_tests.dir/core_selectors_test.cc.o.d"
+  "/root/repo/tests/core_trackerless_test.cc" "tests/CMakeFiles/p4p_tests.dir/core_trackerless_test.cc.o" "gcc" "tests/CMakeFiles/p4p_tests.dir/core_trackerless_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/p4p_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/p4p_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/lp_simplex_test.cc" "tests/CMakeFiles/p4p_tests.dir/lp_simplex_test.cc.o" "gcc" "tests/CMakeFiles/p4p_tests.dir/lp_simplex_test.cc.o.d"
+  "/root/repo/tests/net_graph_test.cc" "tests/CMakeFiles/p4p_tests.dir/net_graph_test.cc.o" "gcc" "tests/CMakeFiles/p4p_tests.dir/net_graph_test.cc.o.d"
+  "/root/repo/tests/net_routing_test.cc" "tests/CMakeFiles/p4p_tests.dir/net_routing_test.cc.o" "gcc" "tests/CMakeFiles/p4p_tests.dir/net_routing_test.cc.o.d"
+  "/root/repo/tests/net_topology_test.cc" "tests/CMakeFiles/p4p_tests.dir/net_topology_test.cc.o" "gcc" "tests/CMakeFiles/p4p_tests.dir/net_topology_test.cc.o.d"
+  "/root/repo/tests/proto_caching_client_test.cc" "tests/CMakeFiles/p4p_tests.dir/proto_caching_client_test.cc.o" "gcc" "tests/CMakeFiles/p4p_tests.dir/proto_caching_client_test.cc.o.d"
+  "/root/repo/tests/proto_directory_test.cc" "tests/CMakeFiles/p4p_tests.dir/proto_directory_test.cc.o" "gcc" "tests/CMakeFiles/p4p_tests.dir/proto_directory_test.cc.o.d"
+  "/root/repo/tests/proto_messages_test.cc" "tests/CMakeFiles/p4p_tests.dir/proto_messages_test.cc.o" "gcc" "tests/CMakeFiles/p4p_tests.dir/proto_messages_test.cc.o.d"
+  "/root/repo/tests/proto_service_test.cc" "tests/CMakeFiles/p4p_tests.dir/proto_service_test.cc.o" "gcc" "tests/CMakeFiles/p4p_tests.dir/proto_service_test.cc.o.d"
+  "/root/repo/tests/proto_transport_test.cc" "tests/CMakeFiles/p4p_tests.dir/proto_transport_test.cc.o" "gcc" "tests/CMakeFiles/p4p_tests.dir/proto_transport_test.cc.o.d"
+  "/root/repo/tests/proto_wire_test.cc" "tests/CMakeFiles/p4p_tests.dir/proto_wire_test.cc.o" "gcc" "tests/CMakeFiles/p4p_tests.dir/proto_wire_test.cc.o.d"
+  "/root/repo/tests/sim_bittorrent_test.cc" "tests/CMakeFiles/p4p_tests.dir/sim_bittorrent_test.cc.o" "gcc" "tests/CMakeFiles/p4p_tests.dir/sim_bittorrent_test.cc.o.d"
+  "/root/repo/tests/sim_event_queue_test.cc" "tests/CMakeFiles/p4p_tests.dir/sim_event_queue_test.cc.o" "gcc" "tests/CMakeFiles/p4p_tests.dir/sim_event_queue_test.cc.o.d"
+  "/root/repo/tests/sim_maxmin_test.cc" "tests/CMakeFiles/p4p_tests.dir/sim_maxmin_test.cc.o" "gcc" "tests/CMakeFiles/p4p_tests.dir/sim_maxmin_test.cc.o.d"
+  "/root/repo/tests/sim_stats_test.cc" "tests/CMakeFiles/p4p_tests.dir/sim_stats_test.cc.o" "gcc" "tests/CMakeFiles/p4p_tests.dir/sim_stats_test.cc.o.d"
+  "/root/repo/tests/sim_streaming_test.cc" "tests/CMakeFiles/p4p_tests.dir/sim_streaming_test.cc.o" "gcc" "tests/CMakeFiles/p4p_tests.dir/sim_streaming_test.cc.o.d"
+  "/root/repo/tests/sim_workload_test.cc" "tests/CMakeFiles/p4p_tests.dir/sim_workload_test.cc.o" "gcc" "tests/CMakeFiles/p4p_tests.dir/sim_workload_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/p4p_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/p4p_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/p4p_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/p4p_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/p4p_proto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

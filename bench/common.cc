@@ -60,6 +60,32 @@ std::string Fmt(const char* format, ...) {
   return buf;
 }
 
+void WriteBenchJson(const std::string& filename,
+                    const std::vector<std::pair<std::string, double>>& metrics) {
+  std::string path = filename;
+  if (const char* dir = std::getenv("P4P_BENCH_JSON_DIR"); dir != nullptr && *dir != '\0') {
+    path = std::string(dir) + "/" + filename;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "WriteBenchJson: cannot open %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n");
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    if (std::isfinite(metrics[i].second)) {
+      std::fprintf(f, "  \"%s\": %.9g%s\n", metrics[i].first.c_str(), metrics[i].second,
+                   i + 1 < metrics.size() ? "," : "");
+    } else {
+      std::fprintf(f, "  \"%s\": null%s\n", metrics[i].first.c_str(),
+                   i + 1 < metrics.size() ? "," : "");
+    }
+  }
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path.c_str());
+}
+
 std::vector<sim::PeerSpec> MakeSwarm(const SwarmSpec& spec) {
   std::mt19937_64 rng(spec.rng_seed);
   sim::PopulationConfig cfg;

@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/itracker.h"
@@ -46,6 +47,13 @@ void PrintComparisons(const std::vector<Comparison>& rows);
 void PrintCdf(const std::string& label, std::span<const double> samples, int points = 10);
 
 std::string Fmt(const char* format, ...);
+
+/// Writes a flat machine-readable metrics object ({"name": value, ...}) so
+/// successive PRs can regress against a perf trajectory (BENCH_*.json).
+/// Non-finite values are serialized as null. Honors P4P_BENCH_JSON_DIR as
+/// the output directory (default: current working directory).
+void WriteBenchJson(const std::string& filename,
+                    const std::vector<std::pair<std::string, double>>& metrics);
 
 /// A PlanetLab-style swarm: n campus-access leechers placed over the given
 /// PoPs (optionally weighted) plus one seed.

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
+#include <string>
 
 #include "core/projection.h"
 
@@ -229,20 +231,54 @@ double ITracker::perturb(Pid i, Pid j, double value) const {
   return value * (1.0 + config_.privacy_noise * u);
 }
 
+const PDistanceMatrix& ITracker::cached_view() const {
+  if (view_cache_valid_ && view_cache_version_ == version_) return view_cache_;
+  const int n = num_pids();
+  // Per-link revealed cost: congestion dual, plus the BDP distance term and
+  // the interdomain dual where applicable. Folding these into one vector
+  // turns every pair into a plain sum over its path_view span.
+  std::vector<double> link_cost(prices_);
+  if (config_.objective == IspObjective::kBandwidthDistanceProduct) {
+    for (std::size_t e = 0; e < link_cost.size(); ++e) {
+      link_cost[e] += graph_.link(static_cast<net::LinkId>(e)).distance;
+    }
+  }
+  for (const auto& [link, state] : interdomain_) {
+    link_cost[static_cast<std::size_t>(link)] += state.price;
+  }
+
+  PDistanceMatrix m(n);
+  for (Pid i = 0; i < n; ++i) {
+    for (Pid j = 0; j < n; ++j) {
+      if (i == j) {
+        m.set(i, j, config_.intra_pid_distance);
+      } else if (!routing_.reachable(i, j)) {
+        m.set(i, j, std::numeric_limits<double>::infinity());
+      } else {
+        double total = 0.0;
+        for (net::LinkId e : routing_.path_view(i, j)) {
+          total += link_cost[static_cast<std::size_t>(e)];
+        }
+        m.set(i, j, perturb(i, j, total));
+      }
+    }
+  }
+  view_cache_ = std::move(m);
+  view_cache_version_ = version_;
+  view_cache_valid_ = true;
+  return view_cache_;
+}
+
 double ITracker::pdistance(Pid i, Pid j) const {
   if (i < 0 || j < 0 || i >= num_pids() || j >= num_pids()) {
     throw std::out_of_range("ITracker: PID out of range");
   }
   if (i == j) return config_.intra_pid_distance;
-  const bool bdp = config_.objective == IspObjective::kBandwidthDistanceProduct;
-  double total = 0.0;
-  for (net::LinkId e : routing_.path(i, j)) {
-    total += prices_[static_cast<std::size_t>(e)];
-    if (bdp) total += graph_.link(e).distance;
-    const auto it = interdomain_.find(e);
-    if (it != interdomain_.end()) total += it->second.price;
+  if (!routing_.reachable(i, j)) {
+    throw std::runtime_error("ITracker: PID " + std::to_string(j) +
+                             " unreachable from " + std::to_string(i));
   }
-  return perturb(i, j, total);
+  return cached_view().at(i, j);
 }
 
 std::vector<double> ITracker::GetPDistances(Pid i) const {
@@ -253,14 +289,6 @@ std::vector<double> ITracker::GetPDistances(Pid i) const {
   return row;
 }
 
-PDistanceMatrix ITracker::external_view() const {
-  PDistanceMatrix m(num_pids());
-  for (Pid i = 0; i < num_pids(); ++i) {
-    for (Pid j = 0; j < num_pids(); ++j) {
-      m.set(i, j, pdistance(i, j));
-    }
-  }
-  return m;
-}
+PDistanceMatrix ITracker::external_view() const { return cached_view(); }
 
 }  // namespace p4p::core

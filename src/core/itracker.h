@@ -116,15 +116,22 @@ class ITracker {
   double Mlu(std::span<const double> p4p_bps) const;
 
   // --- external view ---
+  // The full p-distance mesh is memoized keyed on version(): the first query
+  // after a price/background mutation materializes the matrix from the
+  // routing table's flattened path arena, and every later pdistance /
+  // GetPDistances / external_view call until the next mutation is a cache
+  // read. The cache is rebuilt lazily from const accessors, so concurrent
+  // readers need external synchronization.
   double link_price(net::LinkId link) const {
     return prices_.at(static_cast<std::size_t>(link));
   }
   /// p-distance between two PIDs, including BDP distance terms, interdomain
-  /// duals, and privacy perturbation.
+  /// duals, and privacy perturbation. Throws std::runtime_error when j is
+  /// unreachable from i.
   double pdistance(Pid i, Pid j) const;
   /// One row of the external view (distances from `i` to every PID).
   std::vector<double> GetPDistances(Pid i) const;
-  /// Full-mesh snapshot.
+  /// Full-mesh snapshot. Unreachable pairs carry +infinity.
   PDistanceMatrix external_view() const;
 
   std::uint64_t version() const { return version_; }
@@ -132,6 +139,7 @@ class ITracker {
  private:
   double price_unit() const;
   double perturb(Pid i, Pid j, double value) const;
+  const PDistanceMatrix& cached_view() const;
 
   const net::Graph& graph_;
   const net::RoutingTable& routing_;
@@ -146,6 +154,10 @@ class ITracker {
   };
   std::unordered_map<net::LinkId, InterdomainState> interdomain_;
   std::uint64_t version_ = 0;
+  // Version-keyed memo of the full external view (see "external view" above).
+  mutable PDistanceMatrix view_cache_{0};
+  mutable std::uint64_t view_cache_version_ = 0;
+  mutable bool view_cache_valid_ = false;
 };
 
 }  // namespace p4p::core

@@ -3,11 +3,15 @@
 // The iTracker computes p-distances between PIDs by summing per-link duals
 // over the routed path, so it needs the route indicator I_e(i,j) of the
 // paper's formulation. RoutingTable precomputes single-source shortest-path
-// trees (Dijkstra on OSPF weights) from every node and answers path queries
-// in O(path length).
+// trees (Dijkstra on OSPF weights) from every node, then flattens every
+// (src, dst) path into one contiguous CSR-style arena so path queries are
+// zero-allocation span lookups. Construction shards the independent
+// per-source Dijkstra runs across a thread pool; each source writes a
+// disjoint row, so the result is deterministic regardless of thread count.
 #pragma once
 
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "net/graph.h"
@@ -22,9 +26,20 @@ class RoutingTable {
   /// pass include_access=true to route over access links too.
   explicit RoutingTable(const Graph& graph, bool include_access = false);
 
-  /// Link ids on the route from src to dst, in order. Empty when src == dst.
-  /// Throws std::out_of_range for invalid ids, std::runtime_error if dst is
-  /// unreachable from src.
+  /// Link ids on the route from src to dst, in order, as a view into the
+  /// precomputed path arena. Empty when src == dst or dst is unreachable
+  /// from src (use reachable() to distinguish). Never allocates. Throws
+  /// std::out_of_range for invalid ids.
+  std::span<const LinkId> path_view(NodeId src, NodeId dst) const {
+    check_pair(src, dst);
+    const std::size_t row = static_cast<std::size_t>(src) * n_ + static_cast<std::size_t>(dst);
+    return std::span<const LinkId>(links_.data() + offsets_[row],
+                                   offsets_[row + 1] - offsets_[row]);
+  }
+
+  /// Copying wrapper around path_view() for callers that need ownership.
+  /// Empty when src == dst. Throws std::out_of_range for invalid ids,
+  /// std::runtime_error if dst is unreachable from src.
   std::vector<LinkId> path(NodeId src, NodeId dst) const;
 
   /// True if dst is reachable from src.
@@ -50,13 +65,19 @@ class RoutingTable {
   const Graph& graph() const { return graph_; }
 
  private:
-  void dijkstra(NodeId src);
+  void dijkstra(NodeId src, std::span<double> dist, std::span<LinkId> pred) const;
+  void check_pair(NodeId src, NodeId dst) const;
+  void throw_unreachable(NodeId src, NodeId dst) const;
 
   const Graph& graph_;
   bool include_access_;
-  // pred_link_[src][dst] = last link on the shortest path src->dst.
-  std::vector<std::vector<LinkId>> pred_link_;
-  std::vector<std::vector<double>> dist_;
+  std::size_t n_ = 0;
+  // Row-major n*n matrix of shortest-path costs.
+  std::vector<double> dist_;
+  // CSR path arena: offsets_[src*n + dst] .. offsets_[src*n + dst + 1] spans
+  // the links of the (src, dst) path inside links_, in path order.
+  std::vector<std::size_t> offsets_;
+  std::vector<LinkId> links_;
 };
 
 }  // namespace p4p::net

@@ -163,7 +163,10 @@ BitTorrentResult BitTorrentSimulator::Run(std::span<const PeerSpec> peer_specs,
     if (it == route_cache.end()) {
       RouteInfo info;
       if (a != b) {
-        for (net::LinkId e : routing_.path(a, b)) {
+        if (!routing_.reachable(a, b)) {
+          throw std::runtime_error("BitTorrentSimulator: peer PoPs not connected");
+        }
+        for (net::LinkId e : routing_.path_view(a, b)) {
           info.links.push_back(static_cast<int>(e));
           ++info.hops;
         }
@@ -400,12 +403,16 @@ BitTorrentResult BitTorrentSimulator::Run(std::span<const PeerSpec> peer_specs,
   };
 
   // ---- main loop ----
-  std::vector<Flow> flows;
+  // Flow link lists view each stream's route buffer directly, and the
+  // max-min workspace keeps its adjacency/heap scratch across rounds.
+  std::vector<FlowSpec> flows;
   std::vector<const Stream*> flow_streams;
+  MaxMinWorkspace maxmin_ws;
   double now = 0.0;
   bool any_rebuild_needed = false;
 
   while (now < config_.horizon) {
+    ++result.rounds;
     // Joins due by now.
     bool joined_any = false;
     while (next_join < num_peers &&
@@ -499,13 +506,10 @@ BitTorrentResult BitTorrentSimulator::Run(std::span<const PeerSpec> peer_specs,
     flow_streams.reserve(streams.size());
     for (const auto& [key, s] : streams) {
       (void)key;
-      Flow f;
-      f.links = s.route;
-      f.rate_cap = s.rate_cap;
-      flows.push_back(std::move(f));
+      flows.push_back(FlowSpec{s.route, s.rate_cap});
       flow_streams.push_back(&s);
     }
-    const auto rates = MaxMinFairRates(capacities, flows);
+    const auto rates = maxmin_ws.Compute(capacities, flows);
 
     // Advance transfers by dt; a stream may complete several blocks within
     // one step (it immediately continues with the next rarest block).

@@ -104,6 +104,8 @@ struct BitTorrentResult {
   /// Sum over transfers of bytes * backbone hop count.
   double byte_hops = 0.0;
   double total_bytes = 0.0;
+  /// Fluid-model steps executed (for swarm-rounds/sec throughput reporting).
+  int rounds = 0;
 
   /// Unit bandwidth-distance product: average backbone links traversed per
   /// unit of P2P traffic.

@@ -2,110 +2,136 @@
 
 #include <algorithm>
 #include <cmath>
-#include <queue>
 #include <stdexcept>
 
 namespace p4p::sim {
 
-std::vector<double> MaxMinFairRates(std::span<const double> capacities,
-                                    std::span<const Flow> flows) {
+std::span<const double> MaxMinWorkspace::Compute(std::span<const double> capacities,
+                                                 std::span<const FlowSpec> flows) {
   const std::size_t num_real_links = capacities.size();
   const std::size_t num_flows = flows.size();
 
   // Virtual links: one per flow with a finite rate cap, so caps participate
   // in the same water-filling as physical links.
   std::size_t num_links = num_real_links;
-  std::vector<int> cap_link_of_flow(num_flows, -1);
+  cap_link_of_flow_.assign(num_flows, -1);
   for (std::size_t f = 0; f < num_flows; ++f) {
     if (std::isfinite(flows[f].rate_cap)) {
-      cap_link_of_flow[f] = static_cast<int>(num_links++);
+      cap_link_of_flow_[f] = static_cast<int>(num_links++);
     } else if (flows[f].links.empty()) {
       throw std::invalid_argument(
           "MaxMinFairRates: flow with no links and no rate cap is unbounded");
     }
   }
 
-  std::vector<double> remaining(num_links, 0.0);
+  remaining_.assign(num_links, 0.0);
   for (std::size_t l = 0; l < num_real_links; ++l) {
     if (capacities[l] < 0.0 || std::isnan(capacities[l])) {
       throw std::invalid_argument("MaxMinFairRates: negative or NaN capacity");
     }
-    remaining[l] = capacities[l];
+    remaining_[l] = capacities[l];
   }
   for (std::size_t f = 0; f < num_flows; ++f) {
-    if (cap_link_of_flow[f] >= 0) {
+    if (cap_link_of_flow_[f] >= 0) {
       if (flows[f].rate_cap < 0.0) {
         throw std::invalid_argument("MaxMinFairRates: negative rate cap");
       }
-      remaining[static_cast<std::size_t>(cap_link_of_flow[f])] = flows[f].rate_cap;
+      remaining_[static_cast<std::size_t>(cap_link_of_flow_[f])] = flows[f].rate_cap;
     }
   }
 
-  // Adjacency: flows on each link.
-  std::vector<std::vector<int>> flows_on(num_links);
+  // Flow-on-link adjacency in CSR form. Flows are appended per link in flow
+  // order, matching what per-link push_back vectors would produce.
+  adj_offsets_.assign(num_links + 1, 0);
   for (std::size_t f = 0; f < num_flows; ++f) {
     for (int l : flows[f].links) {
       if (l < 0 || static_cast<std::size_t>(l) >= num_real_links) {
         throw std::invalid_argument("MaxMinFairRates: flow references unknown link");
       }
-      flows_on[static_cast<std::size_t>(l)].push_back(static_cast<int>(f));
+      ++adj_offsets_[static_cast<std::size_t>(l) + 1];
     }
-    if (cap_link_of_flow[f] >= 0) {
-      flows_on[static_cast<std::size_t>(cap_link_of_flow[f])].push_back(static_cast<int>(f));
+    if (cap_link_of_flow_[f] >= 0) {
+      ++adj_offsets_[static_cast<std::size_t>(cap_link_of_flow_[f]) + 1];
+    }
+  }
+  for (std::size_t l = 0; l < num_links; ++l) adj_offsets_[l + 1] += adj_offsets_[l];
+  adj_flows_.resize(adj_offsets_[num_links]);
+  adj_fill_.assign(adj_offsets_.begin(), adj_offsets_.end() - 1);
+  for (std::size_t f = 0; f < num_flows; ++f) {
+    for (int l : flows[f].links) {
+      adj_flows_[adj_fill_[static_cast<std::size_t>(l)]++] = static_cast<int>(f);
+    }
+    if (cap_link_of_flow_[f] >= 0) {
+      adj_flows_[adj_fill_[static_cast<std::size_t>(cap_link_of_flow_[f])]++] =
+          static_cast<int>(f);
     }
   }
 
-  std::vector<int> active_count(num_links, 0);
+  active_count_.resize(num_links);
   for (std::size_t l = 0; l < num_links; ++l) {
-    active_count[l] = static_cast<int>(flows_on[l].size());
+    active_count_[l] = static_cast<int>(adj_offsets_[l + 1] - adj_offsets_[l]);
   }
 
-  std::vector<double> rate(num_flows, 0.0);
-  std::vector<bool> frozen(num_flows, false);
+  rate_.assign(num_flows, 0.0);
+  frozen_.assign(num_flows, 0);
 
-  using Entry = std::pair<double, int>;  // (fair share, link)
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
-  auto push_link = [&](std::size_t l) {
-    if (active_count[l] > 0) {
-      heap.emplace(std::max(0.0, remaining[l]) / active_count[l], static_cast<int>(l));
+  // Min-heap of (fair share, link) over the reused buffer; std::push_heap /
+  // pop_heap replicate priority_queue behavior exactly.
+  heap_.clear();
+  const auto push_link = [this](std::size_t l) {
+    if (active_count_[l] > 0) {
+      heap_.emplace_back(std::max(0.0, remaining_[l]) / active_count_[l],
+                         static_cast<int>(l));
+      std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
     }
   };
   for (std::size_t l = 0; l < num_links; ++l) push_link(l);
 
-  while (!heap.empty()) {
-    const auto [share, l] = heap.top();
-    heap.pop();
+  while (!heap_.empty()) {
+    const auto [share, l] = heap_.front();
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    heap_.pop_back();
     const auto lu = static_cast<std::size_t>(l);
-    if (active_count[lu] == 0) continue;
+    if (active_count_[lu] == 0) continue;
     // Lazy invalidation: skip stale entries.
-    const double current = std::max(0.0, remaining[lu]) / active_count[lu];
+    const double current = std::max(0.0, remaining_[lu]) / active_count_[lu];
     if (share < current - 1e-12 * std::max(1.0, current)) continue;
     // Freeze every unfrozen flow crossing this bottleneck at `current`.
-    for (int f : flows_on[lu]) {
-      const auto fu = static_cast<std::size_t>(f);
-      if (frozen[fu]) continue;
-      frozen[fu] = true;
-      rate[fu] = current;
+    for (std::size_t a = adj_offsets_[lu]; a < adj_offsets_[lu + 1]; ++a) {
+      const auto fu = static_cast<std::size_t>(adj_flows_[a]);
+      if (frozen_[fu] != 0) continue;
+      frozen_[fu] = 1;
+      rate_[fu] = current;
       for (int l2 : flows[fu].links) {
         const auto l2u = static_cast<std::size_t>(l2);
         if (l2u == lu) continue;
-        remaining[l2u] -= current;
-        --active_count[l2u];
+        remaining_[l2u] -= current;
+        --active_count_[l2u];
         push_link(l2u);
       }
-      const int cl = cap_link_of_flow[fu];
+      const int cl = cap_link_of_flow_[fu];
       if (cl >= 0 && static_cast<std::size_t>(cl) != lu) {
         const auto clu = static_cast<std::size_t>(cl);
-        remaining[clu] -= current;
-        --active_count[clu];
+        remaining_[clu] -= current;
+        --active_count_[clu];
         push_link(clu);
       }
     }
-    remaining[lu] = 0.0;
-    active_count[lu] = 0;
+    remaining_[lu] = 0.0;
+    active_count_[lu] = 0;
   }
 
-  return rate;
+  return rate_;
+}
+
+std::vector<double> MaxMinFairRates(std::span<const double> capacities,
+                                    std::span<const Flow> flows) {
+  std::vector<FlowSpec> specs;
+  specs.reserve(flows.size());
+  for (const Flow& f : flows) specs.push_back(FlowSpec{f.links, f.rate_cap});
+  MaxMinWorkspace workspace;
+  const auto rates = workspace.Compute(capacities, specs);
+  return std::vector<double>(rates.begin(), rates.end());
 }
 
 }  // namespace p4p::sim

@@ -132,14 +132,17 @@ StreamingResult StreamingSimulator::Run(std::span<const PeerSpec> peer_specs,
   auto route_of = [&](PeerId up, PeerId down) {
     std::vector<int> route;
     int hops = 0;
-    route.push_back(uplink_of(up));
     const net::NodeId a = peers[static_cast<std::size_t>(up)].spec.node;
     const net::NodeId b = peers[static_cast<std::size_t>(down)].spec.node;
-    if (a != b) {
-      for (net::LinkId e : routing_.path(a, b)) {
-        route.push_back(static_cast<int>(e));
-        ++hops;
-      }
+    const auto backbone = a == b ? std::span<const net::LinkId>{} : routing_.path_view(a, b);
+    if (a != b && backbone.empty()) {
+      throw std::runtime_error("StreamingSimulator: peer PoPs not connected");
+    }
+    route.reserve(backbone.size() + 2);
+    route.push_back(uplink_of(up));
+    for (net::LinkId e : backbone) {
+      route.push_back(static_cast<int>(e));
+      ++hops;
     }
     route.push_back(downlink_of(down));
     return std::make_pair(route, hops);
@@ -158,6 +161,11 @@ StreamingResult StreamingSimulator::Run(std::span<const PeerSpec> peer_specs,
   double last_rechoke = -1e18;
   double now = 0.0;
   int prev_newest = -1;
+  // Per-round flow views into each stream's route buffer; the workspace
+  // keeps the allocator's scratch storage alive across rounds.
+  std::vector<FlowSpec> flows;
+  std::vector<std::uint64_t> keys;
+  MaxMinWorkspace maxmin_ws;
   while (now < config_.duration) {
     const int newest = static_cast<int>(now / block_duration);
     const int oldest = std::max(0, newest - window_blocks + 1);
@@ -228,17 +236,15 @@ StreamingResult StreamingSimulator::Run(std::span<const PeerSpec> peer_specs,
     }
 
     // Rates and advancement.
-    std::vector<Flow> flows;
-    std::vector<std::uint64_t> keys;
+    flows.clear();
+    keys.clear();
     flows.reserve(streams.size());
     keys.reserve(streams.size());
     for (const auto& [key, s] : streams) {
-      Flow f;
-      f.links = s.route;
-      flows.push_back(std::move(f));
+      flows.push_back(FlowSpec{s.route, std::numeric_limits<double>::infinity()});
       keys.push_back(key);
     }
-    const auto rates = MaxMinFairRates(capacities, flows);
+    const auto rates = maxmin_ws.Compute(capacities, flows);
 
     std::vector<std::uint64_t> to_erase;
     for (std::size_t fi = 0; fi < keys.size(); ++fi) {

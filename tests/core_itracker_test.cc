@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "net/topology.h"
 
 namespace p4p::core {
@@ -322,6 +324,84 @@ TEST_F(ITrackerTest, UpdateRejectsWrongSize) {
   EXPECT_THROW(tracker.Update(wrong), std::invalid_argument);
   EXPECT_THROW(tracker.Mlu(wrong), std::invalid_argument);
   EXPECT_THROW(tracker.set_background_bps(wrong), std::invalid_argument);
+}
+
+TEST_F(ITrackerTest, MemoizedViewIsStableAcrossRepeatedQueries) {
+  ITracker tracker(graph_, routing_);
+  const auto first = tracker.external_view();
+  // Hammer the read path; nothing mutates, so every later read must be
+  // bit-identical to the first (the memo may not drift).
+  for (int round = 0; round < 3; ++round) {
+    const auto again = tracker.external_view();
+    for (Pid i = 0; i < first.size(); ++i) {
+      const auto row = tracker.GetPDistances(i);
+      for (Pid j = 0; j < first.size(); ++j) {
+        EXPECT_DOUBLE_EQ(again.at(i, j), first.at(i, j));
+        EXPECT_DOUBLE_EQ(row[static_cast<std::size_t>(j)], first.at(i, j));
+        EXPECT_DOUBLE_EQ(tracker.pdistance(i, j), first.at(i, j));
+      }
+    }
+  }
+}
+
+TEST_F(ITrackerTest, MemoInvalidatesOnUpdate) {
+  ITracker tracker(graph_, routing_);
+  (void)tracker.external_view();  // warm the memo
+  const auto hot = static_cast<std::size_t>(
+      graph_.find_link(net::kNewYork, net::kWashingtonDC));
+  std::vector<double> traffic(graph_.link_count(), 1e8);
+  traffic[hot] = 9e9;
+  for (int i = 0; i < 10; ++i) tracker.Update(traffic);
+  // Post-update distances must equal a from-scratch sum of the new prices
+  // over the routed path, i.e. the memo was rebuilt, not reused.
+  for (Pid i = 0; i < tracker.num_pids(); ++i) {
+    for (Pid j = 0; j < tracker.num_pids(); ++j) {
+      if (i == j) continue;
+      double expected = 0.0;
+      for (net::LinkId e : routing_.path(i, j)) expected += tracker.link_price(e);
+      EXPECT_NEAR(tracker.pdistance(i, j), expected, 1e-15);
+    }
+  }
+}
+
+TEST_F(ITrackerTest, MemoInvalidatesOnSetStaticPrices) {
+  ITrackerConfig cfg;
+  cfg.mode = PriceMode::kStatic;
+  ITracker tracker(graph_, routing_, cfg);
+  std::vector<double> prices(graph_.link_count(), 0.25);
+  tracker.SetStaticPrices(prices);
+  const double before = tracker.pdistance(net::kNewYork, net::kChicago);
+  std::fill(prices.begin(), prices.end(), 0.5);
+  tracker.SetStaticPrices(prices);
+  EXPECT_DOUBLE_EQ(tracker.pdistance(net::kNewYork, net::kChicago), 2.0 * before);
+}
+
+TEST_F(ITrackerTest, MemoizedViewMatchesUnmemoizedRecompute) {
+  // Two identical trackers driven through the same mutations must agree
+  // whether queried continuously (memo reads) or only at the end (fresh
+  // rebuild), for every objective.
+  for (const auto objective :
+       {IspObjective::kMinMlu, IspObjective::kBandwidthDistanceProduct,
+        IspObjective::kPeakBandwidth}) {
+    ITrackerConfig cfg;
+    cfg.objective = objective;
+    ITracker queried(graph_, routing_, cfg);
+    ITracker quiet(graph_, routing_, cfg);
+    std::vector<double> traffic(graph_.link_count(), 2e9);
+    traffic[0] = 9e9;
+    for (int i = 0; i < 5; ++i) {
+      queried.Update(traffic);
+      (void)queried.external_view();  // touch the memo between updates
+      quiet.Update(traffic);
+    }
+    const auto a = queried.external_view();
+    const auto b = quiet.external_view();
+    for (Pid i = 0; i < a.size(); ++i) {
+      for (Pid j = 0; j < a.size(); ++j) {
+        EXPECT_DOUBLE_EQ(a.at(i, j), b.at(i, j));
+      }
+    }
+  }
 }
 
 TEST_F(ITrackerTest, SuperGradientConvergesTowardBalancedPrices) {

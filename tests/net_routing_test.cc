@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
+#include "net/synth.h"
 #include "net/topology.h"
 
 namespace p4p::net {
@@ -144,6 +148,60 @@ TEST(Routing, TriangleInequalityOfCosts) {
       }
     }
   }
+}
+
+// path_view must agree with the legacy copying path() for every pair — the
+// span is a view into the flattened arena the copying API is built on.
+void ExpectPathViewMatchesPath(const Graph& g) {
+  const RoutingTable rt(g);
+  for (NodeId s = 0; s < static_cast<NodeId>(g.node_count()); ++s) {
+    for (NodeId t = 0; t < static_cast<NodeId>(g.node_count()); ++t) {
+      const auto view = rt.path_view(s, t);
+      if (s == t) {
+        EXPECT_TRUE(view.empty());
+        continue;
+      }
+      if (!rt.reachable(s, t)) {
+        EXPECT_TRUE(view.empty());
+        continue;
+      }
+      const auto legacy = rt.path(s, t);
+      ASSERT_EQ(view.size(), legacy.size());
+      EXPECT_TRUE(std::equal(view.begin(), view.end(), legacy.begin()));
+      EXPECT_EQ(rt.hop_count(s, t), static_cast<int>(view.size()));
+    }
+  }
+}
+
+TEST(Routing, PathViewMatchesPathOnAbilene) { ExpectPathViewMatchesPath(MakeAbilene()); }
+
+TEST(Routing, PathViewMatchesPathOnSynthTopology) {
+  SynthConfig cfg;
+  cfg.num_pops = 80;
+  cfg.num_metros = 16;
+  cfg.seed = 7;
+  ExpectPathViewMatchesPath(MakeSynthTopology(cfg));
+}
+
+TEST(Routing, PathViewRejectsBadIds) {
+  const Graph g = Diamond();
+  const RoutingTable rt(g);
+  EXPECT_THROW(rt.path_view(-1, 0), std::out_of_range);
+  EXPECT_THROW(rt.path_view(0, 99), std::out_of_range);
+}
+
+TEST(Routing, PathViewSpansStayValidAcrossQueries) {
+  const Graph g = MakeAbilene();
+  const RoutingTable rt(g);
+  const auto first = rt.path_view(kSeattle, kNewYork);
+  // Interleave other queries; the span must still read the same links.
+  const auto snapshot = std::vector<LinkId>(first.begin(), first.end());
+  for (NodeId s = 0; s < static_cast<NodeId>(g.node_count()); ++s) {
+    for (NodeId t = 0; t < static_cast<NodeId>(g.node_count()); ++t) {
+      (void)rt.path_view(s, t);
+    }
+  }
+  EXPECT_TRUE(std::equal(first.begin(), first.end(), snapshot.begin()));
 }
 
 TEST(Routing, DeterministicAcrossRebuilds) {

@@ -1,0 +1,317 @@
+// Portal serving-path throughput: how many p4p-distance queries per second
+// one portal sustains, and what snapshot publication + the pre-encoded
+// response cache + the epoll server buy over the original design
+// (thread-per-connection transport, response re-encoded per request).
+//
+// Scenarios, all over real TCP loopback with M concurrent client threads:
+//   * baseline    — thread-per-connection blocking server, cache disabled
+//                   (the pre-change serving path, reconstructed here).
+//   * version-hit — epoll server + shared handler; the snapshot version is
+//                   stable so every response is the same pre-encoded buffer.
+//   * cold        — prices mutate before every request, forcing a snapshot
+//                   rebuild + re-encode each time (worst case).
+//   * validation  — clients present a current version token and get the
+//                   ~16-byte NotModified answer.
+//
+// Emits BENCH_portal.json; P4P_BENCH_SCALE shrinks request counts.
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common.h"
+#include "net/synth.h"
+#include "proto/messages.h"
+#include "proto/service.h"
+#include "proto/transport.h"
+
+namespace p4p::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int ConnectLoopback(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    throw std::runtime_error("connect() failed");
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+/// The pre-change transport design, reconstructed as the baseline: one
+/// blocking thread per accepted connection, read frame / run handler /
+/// write frame in a loop.
+class ThreadPerConnServer {
+ public:
+  explicit ThreadPerConnServer(proto::Handler handler) : handler_(std::move(handler)) {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) throw std::runtime_error("socket() failed");
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 ||
+        ::listen(listen_fd_, 64) != 0) {
+      throw std::runtime_error("bind/listen failed");
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+    port_ = ntohs(bound.sin_port);
+    accept_thread_ = std::thread([this] { AcceptLoop(); });
+  }
+
+  ~ThreadPerConnServer() {
+    stopping_.store(true);
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    accept_thread_.join();
+    for (auto& t : workers_) t.join();
+  }
+
+  std::uint16_t port() const { return port_; }
+
+ private:
+  void AcceptLoop() {
+    while (!stopping_.load()) {
+      const int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd < 0) break;
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      workers_.emplace_back([this, fd] {
+        std::vector<std::uint8_t> request;
+        while (proto::ReadFrameBlocking(fd, request)) {
+          const auto response = handler_(request);
+          if (!proto::WriteFrameBlocking(fd, response)) break;
+        }
+        ::close(fd);
+      });
+    }
+  }
+
+  proto::Handler handler_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;  // one per connection, by design
+};
+
+/// Faithful reconstruction of the pre-change serving path, which this bench
+/// compares against: the response was rebuilt per request by per-cell
+/// pdistance() calls (bounds + reachability checks every cell) and encoded
+/// by the old Writer — per-byte appends into an unreserved buffer.
+std::vector<std::uint8_t> LegacyEncodeView(const proto::GetExternalViewResp& resp) {
+  std::vector<std::uint8_t> buf;
+  const auto u8 = [&buf](std::uint8_t v) { buf.push_back(v); };
+  const auto u32 = [&buf](std::uint32_t v) {
+    for (int shift = 24; shift >= 0; shift -= 8) {
+      buf.push_back(static_cast<std::uint8_t>(v >> shift));
+    }
+  };
+  const auto u64 = [&buf](std::uint64_t v) {
+    for (int shift = 56; shift >= 0; shift -= 8) {
+      buf.push_back(static_cast<std::uint8_t>(v >> shift));
+    }
+  };
+  u8(proto::kProtocolVersion);
+  u8(static_cast<std::uint8_t>(proto::MsgType::kGetExternalViewResp));
+  u32(static_cast<std::uint32_t>(resp.num_pids));
+  u64(resp.version);
+  u32(static_cast<std::uint32_t>(resp.distances.size()));
+  for (const double d : resp.distances) u64(std::bit_cast<std::uint64_t>(d));
+  return buf;
+}
+
+proto::Handler MakeLegacyHandler(const core::ITracker& tracker,
+                                 const net::RoutingTable& routing) {
+  return [&tracker, &routing](std::span<const std::uint8_t> request) {
+    const auto decoded = proto::Decode(request);
+    if (!decoded.has_value() ||
+        std::get_if<proto::GetExternalViewReq>(&*decoded) == nullptr) {
+      return proto::Encode(proto::ErrorMsg{"unexpected message type"});
+    }
+    const auto snap = tracker.snapshot();  // stands in for the old view_cache_ hit
+    proto::GetExternalViewResp resp;
+    resp.num_pids = tracker.num_pids();
+    resp.version = snap->version;
+    resp.distances.reserve(static_cast<std::size_t>(resp.num_pids) *
+                           static_cast<std::size_t>(resp.num_pids));
+    for (core::Pid i = 0; i < resp.num_pids; ++i) {
+      for (core::Pid j = 0; j < resp.num_pids; ++j) {
+        if (i == j) {
+          resp.distances.push_back(0.0);
+        } else if (!routing.reachable(i, j)) {
+          resp.distances.push_back(std::numeric_limits<double>::infinity());
+        } else {
+          resp.distances.push_back(snap->view.at(i, j));
+        }
+      }
+    }
+    return LegacyEncodeView(resp);
+  };
+}
+
+struct ScenarioResult {
+  double rps = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+};
+
+double PercentileUs(std::vector<double>& sorted_us, double q) {
+  if (sorted_us.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(q * static_cast<double>(sorted_us.size() - 1));
+  return sorted_us[idx];
+}
+
+/// M client threads each issue `per_client` framed requests over their own
+/// connection; `between` (optional) runs before every request of client 0
+/// (used to force cold snapshots).
+ScenarioResult RunScenario(std::uint16_t port, const std::vector<std::uint8_t>& request,
+                           int clients, int per_client,
+                           const std::function<void()>& between = {}) {
+  std::vector<std::thread> threads;
+  std::vector<std::vector<double>> latencies(static_cast<std::size_t>(clients));
+  const auto begin = Clock::now();
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      const int fd = ConnectLoopback(port);
+      std::vector<std::uint8_t> response;
+      auto& lats = latencies[static_cast<std::size_t>(c)];
+      lats.reserve(static_cast<std::size_t>(per_client));
+      // Warm-up round trip (connection setup, first-touch caches).
+      proto::WriteFrameBlocking(fd, request);
+      proto::ReadFrameBlocking(fd, response);
+      for (int i = 0; i < per_client; ++i) {
+        if (c == 0 && between) between();
+        const auto t0 = Clock::now();
+        if (!proto::WriteFrameBlocking(fd, request) ||
+            !proto::ReadFrameBlocking(fd, response)) {
+          break;
+        }
+        lats.push_back(std::chrono::duration<double, std::micro>(Clock::now() - t0).count());
+      }
+      ::close(fd);
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double elapsed = std::chrono::duration<double>(Clock::now() - begin).count();
+
+  std::vector<double> all;
+  for (const auto& v : latencies) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  ScenarioResult r;
+  r.rps = elapsed > 0 ? static_cast<double>(all.size()) / elapsed : 0.0;
+  r.p50_us = PercentileUs(all, 0.50);
+  r.p99_us = PercentileUs(all, 0.99);
+  return r;
+}
+
+int Run() {
+  PrintHeader("Portal serving-path throughput (GetExternalView over TCP loopback)");
+
+  net::SynthConfig synth;
+  synth.name = "bench-portal";
+  synth.num_pops = 144;
+  synth.num_metros = 12;
+  net::Graph graph = net::MakeSynthTopology(synth);
+  net::RoutingTable routing(graph);
+  core::ITrackerConfig config;
+  config.mode = core::PriceMode::kStatic;
+  core::ITracker tracker(graph, routing, config);
+  std::vector<double> prices(graph.link_count(), 1.0);
+  tracker.SetStaticPrices(prices);
+
+  const int clients = 4;
+  const auto view_req = proto::Encode(proto::GetExternalViewReq{});
+  std::printf("topology: %d PIDs (%zu-byte view response), %d client threads\n\n",
+              tracker.num_pids(),
+              proto::Encode(proto::GetExternalViewResp{
+                  tracker.num_pids(), tracker.version(),
+                  std::vector<double>(static_cast<std::size_t>(tracker.num_pids()) *
+                                      static_cast<std::size_t>(tracker.num_pids()))})
+                  .size(),
+              clients);
+
+  // --- baseline: thread-per-connection + re-encode per request ---
+  ScenarioResult baseline;
+  {
+    ThreadPerConnServer server(MakeLegacyHandler(tracker, routing));
+    baseline = RunScenario(server.port(), view_req, clients, Scaled(150));
+  }
+  std::printf("  baseline (thread/conn, re-encode): %10.0f req/s   p50 %7.1f us   p99 %7.1f us\n",
+              baseline.rps, baseline.p50_us, baseline.p99_us);
+
+  // --- epoll server + pre-encoded cache ---
+  proto::ITrackerService cached(&tracker);
+  proto::TcpServer server(0, cached.shared_handler(), 2);
+
+  const ScenarioResult hit = RunScenario(server.port(), view_req, clients, Scaled(600));
+  std::printf("  version-hit (epoll, cached bytes): %10.0f req/s   p50 %7.1f us   p99 %7.1f us\n",
+              hit.rps, hit.p50_us, hit.p99_us);
+
+  const auto validation_req = proto::Encode(proto::GetExternalViewReq{tracker.version()});
+  const ScenarioResult validation =
+      RunScenario(server.port(), validation_req, clients, Scaled(1500));
+  std::printf("  validation (NotModified answer):   %10.0f req/s   p50 %7.1f us   p99 %7.1f us\n",
+              validation.rps, validation.p50_us, validation.p99_us);
+
+  double k = 2.0;
+  const ScenarioResult cold =
+      RunScenario(server.port(), view_req, 1, Scaled(120), [&] {
+        prices.assign(prices.size(), k);
+        tracker.SetStaticPrices(prices);
+        k += 1.0;
+      });
+  std::printf("  cold (rebuild+re-encode each):     %10.0f req/s   p50 %7.1f us   p99 %7.1f us\n",
+              cold.rps, cold.p50_us, cold.p99_us);
+
+  const double speedup = baseline.rps > 0 ? hit.rps / baseline.rps : 0.0;
+  std::printf("\n  version-hit vs baseline speedup: %.1fx\n", speedup);
+
+  PrintComparisons({
+      {"version-hit speedup over thread/conn+re-encode", ">= 10x", Fmt("%.1fx", speedup),
+       speedup >= 10.0},
+  });
+
+  WriteBenchJson("BENCH_portal.json", {
+                                          {"num_pids", tracker.num_pids()},
+                                          {"client_threads", clients},
+                                          {"baseline_view_rps", baseline.rps},
+                                          {"baseline_view_p99_us", baseline.p99_us},
+                                          {"epoll_view_hit_rps", hit.rps},
+                                          {"epoll_view_hit_p50_us", hit.p50_us},
+                                          {"epoll_view_hit_p99_us", hit.p99_us},
+                                          {"view_hit_speedup", speedup},
+                                          {"cold_view_rps", cold.rps},
+                                          {"cold_view_p99_us", cold.p99_us},
+                                          {"validation_rps", validation.rps},
+                                          {"validation_p50_us", validation.p50_us},
+                                          {"validation_p99_us", validation.p99_us},
+                                      });
+  return 0;
+}
+
+}  // namespace
+}  // namespace p4p::bench
+
+int main() { return p4p::bench::Run(); }

@@ -39,14 +39,17 @@ void ITracker::set_background_bps(std::span<const double> bps) {
   if (bps.size() != background_.size()) {
     throw std::invalid_argument("ITracker: background size mismatch");
   }
-  for (std::size_t l = 0; l < bps.size(); ++l) {
-    if (bps[l] < 0 || std::isnan(bps[l])) {
+  for (double b : bps) {
+    if (b < 0 || std::isnan(b)) {
       throw std::invalid_argument("ITracker: negative background traffic");
     }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::size_t l = 0; l < bps.size(); ++l) {
     background_[l] = bps[l];
     peak_background_[l] = std::max(peak_background_[l], bps[l]);
   }
-  ++version_;
+  BumpVersionLocked();
 }
 
 double ITracker::price_unit() const {
@@ -67,8 +70,9 @@ void ITracker::SetUniformPrices() {
   double cap_sum = 0.0;
   for (const auto& l : graph_.links()) cap_sum += l.capacity_bps;
   const double p = cap_sum > 0 ? 1.0 / cap_sum : 0.0;
+  std::lock_guard<std::mutex> lock(mu_);
   std::fill(prices_.begin(), prices_.end(), p);
-  ++version_;
+  BumpVersionLocked();
 }
 
 void ITracker::SetPricesFromOspf() {
@@ -78,10 +82,11 @@ void ITracker::SetPricesFromOspf() {
   if (denom <= 0) {
     throw std::runtime_error("ITracker: degenerate OSPF weights");
   }
+  std::lock_guard<std::mutex> lock(mu_);
   for (std::size_t e = 0; e < prices_.size(); ++e) {
     prices_[e] = graph_.link(static_cast<net::LinkId>(e)).ospf_weight / denom;
   }
-  ++version_;
+  BumpVersionLocked();
 }
 
 void ITracker::SetStaticPrices(std::span<const double> prices) {
@@ -93,14 +98,16 @@ void ITracker::SetStaticPrices(std::span<const double> prices) {
       throw std::invalid_argument("ITracker: prices must be non-negative");
     }
   }
+  std::lock_guard<std::mutex> lock(mu_);
   std::copy(prices.begin(), prices.end(), prices_.begin());
-  ++version_;
+  BumpVersionLocked();
 }
 
 void ITracker::ProtectLink(net::LinkId link, ProtectedLinkRule rule) {
   if (link < 0 || static_cast<std::size_t>(link) >= graph_.link_count()) {
     throw std::invalid_argument("ITracker: unknown link");
   }
+  std::lock_guard<std::mutex> lock(mu_);
   protected_[link] = rule;
 }
 
@@ -111,26 +118,30 @@ void ITracker::DeclareInterdomainLink(net::LinkId link, double virtual_capacity_
   if (virtual_capacity_bps < 0) {
     throw std::invalid_argument("ITracker: negative virtual capacity");
   }
+  std::lock_guard<std::mutex> lock(mu_);
   interdomain_[link] = InterdomainState{virtual_capacity_bps, 0.0};
 }
 
 void ITracker::set_virtual_capacity(net::LinkId link, double bps) {
+  if (bps < 0) {
+    throw std::invalid_argument("ITracker: negative virtual capacity");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = interdomain_.find(link);
   if (it == interdomain_.end()) {
     throw std::invalid_argument("ITracker: link not declared interdomain");
-  }
-  if (bps < 0) {
-    throw std::invalid_argument("ITracker: negative virtual capacity");
   }
   it->second.virtual_capacity_bps = bps;
 }
 
 double ITracker::virtual_capacity(net::LinkId link) const {
+  std::lock_guard<std::mutex> lock(mu_);
   const auto it = interdomain_.find(link);
   return it == interdomain_.end() ? 0.0 : it->second.virtual_capacity_bps;
 }
 
 double ITracker::interdomain_price(net::LinkId link) const {
+  std::lock_guard<std::mutex> lock(mu_);
   const auto it = interdomain_.find(link);
   return it == interdomain_.end() ? 0.0 : it->second.price;
 }
@@ -139,8 +150,9 @@ double ITracker::Mlu(std::span<const double> p4p_bps) const {
   if (p4p_bps.size() != prices_.size()) {
     throw std::invalid_argument("ITracker: traffic vector size mismatch");
   }
+  std::lock_guard<std::mutex> lock(mu_);
   double mlu = 0.0;
-  for (std::size_t e = 0; e < prices_.size(); ++e) {
+  for (std::size_t e = 0; e < p4p_bps.size(); ++e) {
     const double cap = graph_.link(static_cast<net::LinkId>(e)).capacity_bps;
     mlu = std::max(mlu, (background_[e] + p4p_bps[e]) / cap);
   }
@@ -151,6 +163,7 @@ void ITracker::Update(std::span<const double> p4p_bps) {
   if (p4p_bps.size() != prices_.size()) {
     throw std::invalid_argument("ITracker: traffic vector size mismatch");
   }
+  std::lock_guard<std::mutex> lock(mu_);
   const std::size_t num_links = prices_.size();
   const double unit = price_unit();
 
@@ -218,7 +231,7 @@ void ITracker::Update(std::span<const double> p4p_bps) {
     state.price = std::max(0.0, state.price + config_.interdomain_step * violation * unit);
   }
 
-  ++version_;
+  BumpVersionLocked();
 }
 
 double ITracker::perturb(Pid i, Pid j, double value) const {
@@ -231,8 +244,7 @@ double ITracker::perturb(Pid i, Pid j, double value) const {
   return value * (1.0 + config_.privacy_noise * u);
 }
 
-const PDistanceMatrix& ITracker::cached_view() const {
-  if (view_cache_valid_ && view_cache_version_ == version_) return view_cache_;
+PDistanceMatrix ITracker::BuildViewLocked() const {
   const int n = num_pids();
   // Per-link revealed cost: congestion dual, plus the BDP distance term and
   // the interdomain dual where applicable. Folding these into one vector
@@ -263,10 +275,27 @@ const PDistanceMatrix& ITracker::cached_view() const {
       }
     }
   }
-  view_cache_ = std::move(m);
-  view_cache_version_ = version_;
-  view_cache_valid_ = true;
-  return view_cache_;
+  return m;
+}
+
+std::shared_ptr<const PriceSnapshot> ITracker::snapshot() const {
+  // Fast path: the published snapshot matches the current version. This is
+  // the whole steady-state read path — one acquire load, no lock.
+  auto snap = snapshot_.load(std::memory_order_acquire);
+  const std::uint64_t v = version_.load(std::memory_order_acquire);
+  if (snap && snap->version == v) return snap;
+  // Slow path (once per version): rebuild off to the side under the same
+  // mutex the mutators hold, then publish. A mutator that slips in between
+  // our build and a reader's check just triggers another rebuild.
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t locked_v = version_.load(std::memory_order_relaxed);
+  snap = snapshot_.load(std::memory_order_acquire);
+  if (snap && snap->version == locked_v) return snap;
+  auto next = std::make_shared<PriceSnapshot>();
+  next->version = locked_v;
+  next->view = BuildViewLocked();
+  snapshot_.store(next, std::memory_order_release);
+  return next;
 }
 
 double ITracker::pdistance(Pid i, Pid j) const {
@@ -278,17 +307,21 @@ double ITracker::pdistance(Pid i, Pid j) const {
     throw std::runtime_error("ITracker: PID " + std::to_string(j) +
                              " unreachable from " + std::to_string(i));
   }
-  return cached_view().at(i, j);
+  return snapshot()->view.at(i, j);
 }
 
 std::vector<double> ITracker::GetPDistances(Pid i) const {
+  if (i < 0 || i >= num_pids()) {
+    throw std::out_of_range("ITracker: PID out of range");
+  }
+  const auto snap = snapshot();
   std::vector<double> row(static_cast<std::size_t>(num_pids()), 0.0);
   for (Pid j = 0; j < num_pids(); ++j) {
-    row[static_cast<std::size_t>(j)] = pdistance(i, j);
+    row[static_cast<std::size_t>(j)] = snap->view.at(i, j);
   }
   return row;
 }
 
-PDistanceMatrix ITracker::external_view() const { return cached_view(); }
+PDistanceMatrix ITracker::external_view() const { return snapshot()->view; }
 
 }  // namespace p4p::core

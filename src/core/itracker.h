@@ -26,7 +26,10 @@
 // designated links as observed utilization approaches a threshold).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <unordered_map>
@@ -74,6 +77,15 @@ struct ProtectedLinkRule {
   double decay = 0.1;  ///< relative price decay per update when below
 };
 
+/// An immutable, internally consistent view of the priced state: the full
+/// p-distance mesh together with the price version it was computed at.
+/// Published by the ITracker through an atomic shared_ptr so any number of
+/// server threads can read it while the optimizer keeps iterating.
+struct PriceSnapshot {
+  std::uint64_t version = 0;
+  PDistanceMatrix view{0};
+};
+
 class ITracker {
  public:
   /// `graph` and `routing` must outlive the tracker.
@@ -116,30 +128,45 @@ class ITracker {
   double Mlu(std::span<const double> p4p_bps) const;
 
   // --- external view ---
-  // The full p-distance mesh is memoized keyed on version(): the first query
-  // after a price/background mutation materializes the matrix from the
-  // routing table's flattened path arena, and every later pdistance /
-  // GetPDistances / external_view call until the next mutation is a cache
-  // read. The cache is rebuilt lazily from const accessors, so concurrent
-  // readers need external synchronization.
+  // The full p-distance mesh is published as an immutable PriceSnapshot via
+  // an atomic shared_ptr: the first query after a price/background mutation
+  // materializes the matrix from the routing table's flattened path arena
+  // (serialized on an internal mutex with the mutators), swaps it in, and
+  // every later pdistance / GetPDistances / external_view / snapshot call
+  // until the next mutation is one acquire load. Readers never contend with
+  // the optimizer thread in the steady state, so the tracker is safe to
+  // query from N server threads while Update() runs elsewhere.
+  /// Current revealed price of one link. Control-plane accessor: callers
+  /// must not race it with mutators (serving threads use snapshot()).
   double link_price(net::LinkId link) const {
     return prices_.at(static_cast<std::size_t>(link));
   }
+  /// The currently published (version, view) pair. One atomic load in the
+  /// steady state; never returns null.
+  std::shared_ptr<const PriceSnapshot> snapshot() const;
   /// p-distance between two PIDs, including BDP distance terms, interdomain
   /// duals, and privacy perturbation. Throws std::runtime_error when j is
   /// unreachable from i.
   double pdistance(Pid i, Pid j) const;
   /// One row of the external view (distances from `i` to every PID).
+  /// Unreachable destinations carry +infinity.
   std::vector<double> GetPDistances(Pid i) const;
   /// Full-mesh snapshot. Unreachable pairs carry +infinity.
   PDistanceMatrix external_view() const;
 
-  std::uint64_t version() const { return version_; }
+  std::uint64_t version() const { return version_.load(std::memory_order_acquire); }
 
  private:
   double price_unit() const;
   double perturb(Pid i, Pid j, double value) const;
-  const PDistanceMatrix& cached_view() const;
+  /// Builds the p-distance mesh from the current priced state. Caller must
+  /// hold mu_.
+  PDistanceMatrix BuildViewLocked() const;
+  /// Bumps the version after a mutation. Caller must hold mu_.
+  void BumpVersionLocked() {
+    version_.store(version_.load(std::memory_order_relaxed) + 1,
+                   std::memory_order_release);
+  }
 
   const net::Graph& graph_;
   const net::RoutingTable& routing_;
@@ -153,11 +180,12 @@ class ITracker {
     double price = 0.0;  // q_e
   };
   std::unordered_map<net::LinkId, InterdomainState> interdomain_;
-  std::uint64_t version_ = 0;
-  // Version-keyed memo of the full external view (see "external view" above).
-  mutable PDistanceMatrix view_cache_{0};
-  mutable std::uint64_t view_cache_version_ = 0;
-  mutable bool view_cache_valid_ = false;
+  std::atomic<std::uint64_t> version_{0};
+  /// Serializes mutators with each other and with snapshot rebuilds. Held
+  /// only during mutations and the once-per-version rebuild, never on the
+  /// steady-state read path.
+  mutable std::mutex mu_;
+  mutable std::atomic<std::shared_ptr<const PriceSnapshot>> snapshot_;
 };
 
 }  // namespace p4p::core

@@ -2,6 +2,7 @@
 // p-distances between externally visible PIDs.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "core/pid.h"
@@ -19,6 +20,10 @@ class PDistanceMatrix {
   void set(Pid i, Pid j, double value);
 
   int size() const { return n_; }
+
+  /// Row-major view of all n*n entries (entry (i,j) at index i*n+j). Used
+  /// by the wire encoders to serialize the matrix without per-cell calls.
+  std::span<const double> values() const { return values_; }
 
   /// The coarsest usage in the paper's ISP use cases: given PID i, rank all
   /// PIDs by ascending distance (most preferred first, i itself first).

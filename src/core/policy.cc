@@ -14,6 +14,7 @@ void PolicyRegistry::AddTimeOfDayPolicy(TimeOfDayPolicy policy) {
     throw std::invalid_argument("PolicyRegistry: utilization cap out of [0,1]");
   }
   policies_.push_back(policy);
+  ++version_;
 }
 
 bool PolicyRegistry::InWindow(const TimeOfDayPolicy& policy, int hour) {

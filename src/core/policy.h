@@ -34,10 +34,18 @@ struct UsageThresholds {
 class PolicyRegistry {
  public:
   void AddTimeOfDayPolicy(TimeOfDayPolicy policy);
-  void SetThresholds(UsageThresholds thresholds) { thresholds_ = thresholds; }
+  void SetThresholds(UsageThresholds thresholds) {
+    thresholds_ = thresholds;
+    ++version_;
+  }
 
   const UsageThresholds& thresholds() const { return thresholds_; }
   const std::vector<TimeOfDayPolicy>& time_of_day_policies() const { return policies_; }
+
+  /// Bumped on every mutation; the portal service keys its pre-encoded
+  /// GetPolicy response on it. Mutations are control-plane operations and
+  /// must not race queries.
+  std::uint64_t version() const { return version_; }
 
   /// Utilization cap in force for `link` at local hour `hour` (the tightest
   /// applicable policy; 1.0 when none applies).
@@ -49,6 +57,7 @@ class PolicyRegistry {
  private:
   std::vector<TimeOfDayPolicy> policies_;
   UsageThresholds thresholds_;
+  std::uint64_t version_ = 1;
 };
 
 }  // namespace p4p::core

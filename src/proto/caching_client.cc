@@ -22,6 +22,19 @@ const core::PDistanceMatrix& CachingPortalClient::GetExternalView() {
     ++hit_count_;
     return view_->view;
   }
+  if (view_) {
+    // TTL expired but we still hold a matrix: validate it with the version
+    // token instead of re-transferring it.
+    auto fresh = client_.GetExternalViewIfModified(view_->version);
+    if (!fresh) {
+      ++validation_count_;
+      view_->fetched_at = now;
+      return view_->view;
+    }
+    ++fetch_count_;
+    view_ = CachedView{std::move(fresh->first), fresh->second, now};
+    return view_->view;
+  }
   auto [view, version] = client_.GetExternalViewWithVersion();
   ++fetch_count_;
   view_ = CachedView{std::move(view), version, now};

@@ -5,7 +5,10 @@
 // networks" (Section 4): responses carry the iTracker's price version, so
 // an appTracker can serve thousands of peer selections from one fetched
 // view, refreshing on a TTL and keeping the old data when the version has
-// not moved.
+// not moved. TTL refreshes are conditional: the client presents its held
+// version token and the portal answers with a ~16-byte NotModified when
+// prices have not changed, so a steady-state refresh costs neither a
+// matrix encode nor a matrix transfer.
 #pragma once
 
 #include <functional>
@@ -28,11 +31,15 @@ class CachingPortalClient {
   /// Cached full-mesh view.
   const core::PDistanceMatrix& GetExternalView();
 
-  /// Forces the next access to refetch.
+  /// Forces the next access to refetch unconditionally.
   void Invalidate();
 
+  /// Full matrix transfers (cold fetches and version-miss refreshes).
   std::size_t fetch_count() const { return fetch_count_; }
+  /// Accesses served from the in-memory cache within the TTL.
   std::size_t hit_count() const { return hit_count_; }
+  /// TTL refreshes answered NotModified (cached matrix kept).
+  std::size_t validation_count() const { return validation_count_; }
 
  private:
   struct CachedView {
@@ -47,6 +54,7 @@ class CachingPortalClient {
   std::optional<CachedView> view_;
   std::size_t fetch_count_ = 0;
   std::size_t hit_count_ = 0;
+  std::size_t validation_count_ = 0;
 };
 
 }  // namespace p4p::proto

@@ -6,7 +6,10 @@ namespace {
 
 void EncodeBody(const ErrorMsg& m, Writer& w) { w.str(m.message); }
 
-void EncodeBody(const GetPDistancesReq& m, Writer& w) { w.i32(m.from); }
+void EncodeBody(const GetPDistancesReq& m, Writer& w) {
+  w.i32(m.from);
+  w.u64(m.if_version);
+}
 
 void EncodeBody(const GetPDistancesResp& m, Writer& w) {
   w.i32(m.from);
@@ -14,7 +17,7 @@ void EncodeBody(const GetPDistancesResp& m, Writer& w) {
   w.f64_vec(m.distances);
 }
 
-void EncodeBody(const GetExternalViewReq&, Writer&) {}
+void EncodeBody(const GetExternalViewReq& m, Writer& w) { w.u64(m.if_version); }
 
 void EncodeBody(const GetExternalViewResp& m, Writer& w) {
   w.i32(m.num_pids);
@@ -24,9 +27,12 @@ void EncodeBody(const GetExternalViewResp& m, Writer& w) {
 
 void EncodeBody(const GetPolicyReq&, Writer&) {}
 
+void EncodeBody(const NotModifiedResp& m, Writer& w) { w.u64(m.version); }
+
 void EncodeBody(const GetPolicyResp& m, Writer& w) {
   w.f64(m.thresholds.near_congestion_utilization);
   w.f64(m.thresholds.heavy_usage_utilization);
+  w.reserve(8 + 8 + 4 + m.time_of_day.size() * (4 + 1 + 1 + 8));
   w.u32(static_cast<std::uint32_t>(m.time_of_day.size()));
   for (const auto& p : m.time_of_day) {
     w.i32(p.link);
@@ -42,6 +48,9 @@ void EncodeBody(const GetCapabilityReq& m, Writer& w) {
 }
 
 void EncodeBody(const GetCapabilityResp& m, Writer& w) {
+  // Reserve the fixed-width footprint; the per-capability str() appends
+  // reserve for their own payloads.
+  w.reserve(4 + m.capabilities.size() * (1 + 4 + 8));
   w.u32(static_cast<std::uint32_t>(m.capabilities.size()));
   for (const auto& c : m.capabilities) {
     w.u8(static_cast<std::uint8_t>(c.type));
@@ -74,6 +83,9 @@ template <>
 std::optional<Message> DecodeAs<GetPDistancesReq>(Reader& r) {
   GetPDistancesReq m;
   m.from = r.i32();
+  // The version token was appended in a compatible revision: absent bytes
+  // decode as 0 (unconditional), so pre-token encoders still parse.
+  if (r.ok() && r.remaining() > 0) m.if_version = r.u64();
   if (!r.done()) return std::nullopt;
   return m;
 }
@@ -90,8 +102,19 @@ std::optional<Message> DecodeAs<GetPDistancesResp>(Reader& r) {
 
 template <>
 std::optional<Message> DecodeAs<GetExternalViewReq>(Reader& r) {
+  GetExternalViewReq m;
+  // Optional version token, as in GetPDistancesReq.
+  if (r.ok() && r.remaining() > 0) m.if_version = r.u64();
   if (!r.done()) return std::nullopt;
-  return GetExternalViewReq{};
+  return m;
+}
+
+template <>
+std::optional<Message> DecodeAs<NotModifiedResp>(Reader& r) {
+  NotModifiedResp m;
+  m.version = r.u64();
+  if (!r.done()) return std::nullopt;
+  return m;
 }
 
 template <>
@@ -201,6 +224,7 @@ MsgType TypeOf(const Message& message) {
         if constexpr (std::is_same_v<T, GetCapabilityResp>) return MsgType::kGetCapabilityResp;
         if constexpr (std::is_same_v<T, GetPidMapReq>) return MsgType::kGetPidMapReq;
         if constexpr (std::is_same_v<T, GetPidMapResp>) return MsgType::kGetPidMapResp;
+        if constexpr (std::is_same_v<T, NotModifiedResp>) return MsgType::kNotModified;
       },
       message);
 }
@@ -230,6 +254,7 @@ std::optional<Message> Decode(std::span<const std::uint8_t> bytes) {
     case MsgType::kGetCapabilityResp: return DecodeAs<GetCapabilityResp>(r);
     case MsgType::kGetPidMapReq: return DecodeAs<GetPidMapReq>(r);
     case MsgType::kGetPidMapResp: return DecodeAs<GetPidMapResp>(r);
+    case MsgType::kNotModified: return DecodeAs<NotModifiedResp>(r);
   }
   return std::nullopt;
 }

@@ -30,15 +30,20 @@ enum class MsgType : std::uint8_t {
   kGetCapabilityResp = 8,
   kGetPidMapReq = 9,
   kGetPidMapResp = 10,
+  kNotModified = 11,
 };
 
 struct ErrorMsg {
   std::string message;
 };
 
-/// p4p-distance: one row of the external view.
+/// p4p-distance: one row of the external view. `if_version` carries the
+/// version token of the data the client already holds (0 = none): when it
+/// matches the server's current price version, the server answers
+/// NotModifiedResp instead of re-sending the row.
 struct GetPDistancesReq {
   core::Pid from = core::kInvalidPid;
+  std::uint64_t if_version = 0;
 };
 struct GetPDistancesResp {
   core::Pid from = core::kInvalidPid;
@@ -46,13 +51,22 @@ struct GetPDistancesResp {
   std::vector<double> distances;
 };
 
-/// p4p-distance: full-mesh snapshot.
-struct GetExternalViewReq {};
+/// p4p-distance: full-mesh snapshot. `if_version` as in GetPDistancesReq.
+struct GetExternalViewReq {
+  std::uint64_t if_version = 0;
+};
 struct GetExternalViewResp {
   std::int32_t num_pids = 0;
   std::uint64_t version = 0;
   /// Row-major distances, num_pids^2 entries.
   std::vector<double> distances;
+};
+
+/// Tiny answer to a conditional p4p-distance request whose version token is
+/// still current: the client's cached data is valid through `version`. This
+/// turns periodic cache refreshes into ~16-byte validations.
+struct NotModifiedResp {
+  std::uint64_t version = 0;
 };
 
 /// policy interface.
@@ -84,7 +98,7 @@ struct GetPidMapResp {
 using Message =
     std::variant<ErrorMsg, GetPDistancesReq, GetPDistancesResp, GetExternalViewReq,
                  GetExternalViewResp, GetPolicyReq, GetPolicyResp, GetCapabilityReq,
-                 GetCapabilityResp, GetPidMapReq, GetPidMapResp>;
+                 GetCapabilityResp, GetPidMapReq, GetPidMapResp, NotModifiedResp>;
 
 /// Serializes a message (version byte + type byte + payload).
 std::vector<std::uint8_t> Encode(const Message& message);

@@ -4,14 +4,134 @@
 
 namespace p4p::proto {
 
+namespace {
+
+/// Decodes the 2-byte message header without touching the payload.
+/// Returns the type, or std::nullopt when the header is malformed.
+std::optional<MsgType> PeekType(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < 2 || bytes[0] != kProtocolVersion) return std::nullopt;
+  return static_cast<MsgType>(bytes[1]);
+}
+
+/// Aliases a buffer owned by `owner` as a SharedResponse (no copy).
+template <typename Owner>
+SharedResponse Alias(const std::shared_ptr<Owner>& owner,
+                     const std::vector<std::uint8_t>& bytes) {
+  return SharedResponse(owner, &bytes);
+}
+
+}  // namespace
+
 ITrackerService::ITrackerService(const core::ITracker* tracker,
                                  const core::PolicyRegistry* policy,
                                  const core::CapabilityRegistry* capabilities,
-                                 const core::PidMap* pid_map)
+                                 const core::PidMap* pid_map, ServiceOptions options)
     : tracker_(tracker), policy_(policy), capabilities_(capabilities),
-      pid_map_(pid_map) {
+      pid_map_(pid_map), options_(options) {
   if (tracker_ == nullptr) {
     throw std::invalid_argument("ITrackerService: null tracker");
+  }
+}
+
+std::shared_ptr<const ITrackerService::EncodedState>
+ITrackerService::encoded_state() const {
+  // Fast path: the published buffers match the tracker's current snapshot.
+  const auto snap = tracker_->snapshot();
+  auto state = state_.load(std::memory_order_acquire);
+  if (state && state->version == snap->version) return state;
+
+  // Encode once for this version; concurrent readers keep serving the old
+  // buffers until the swap, and at most one thread pays the encode.
+  std::lock_guard<std::mutex> lock(rebuild_mu_);
+  state = state_.load(std::memory_order_acquire);
+  if (state && state->version == snap->version) return state;
+
+  auto next = std::make_shared<EncodedState>();
+  next->version = snap->version;
+  next->not_modified = Encode(NotModifiedResp{snap->version});
+
+  const int n = snap->view.size();
+  GetExternalViewResp view;
+  view.num_pids = n;
+  view.version = snap->version;
+  view.distances.assign(snap->view.values().begin(), snap->view.values().end());
+  next->external_view = Encode(view);
+
+  next->rows.reserve(static_cast<std::size_t>(n));
+  GetPDistancesResp row;
+  row.version = snap->version;
+  row.distances.resize(static_cast<std::size_t>(n));
+  for (core::Pid i = 0; i < n; ++i) {
+    row.from = i;
+    const auto values = snap->view.values().subspan(
+        static_cast<std::size_t>(i) * static_cast<std::size_t>(n),
+        static_cast<std::size_t>(n));
+    row.distances.assign(values.begin(), values.end());
+    next->rows.push_back(Encode(row));
+  }
+
+  state_.store(next, std::memory_order_release);
+  return next;
+}
+
+std::shared_ptr<const ITrackerService::EncodedPolicy>
+ITrackerService::encoded_policy() const {
+  const std::uint64_t version = policy_->version();
+  auto cached = policy_cache_.load(std::memory_order_acquire);
+  if (cached && cached->version == version) return cached;
+
+  std::lock_guard<std::mutex> lock(rebuild_mu_);
+  cached = policy_cache_.load(std::memory_order_acquire);
+  if (cached && cached->version == version) return cached;
+
+  auto next = std::make_shared<EncodedPolicy>();
+  next->version = version;
+  GetPolicyResp resp;
+  resp.thresholds = policy_->thresholds();
+  resp.time_of_day = policy_->time_of_day_policies();
+  next->bytes = Encode(resp);
+  policy_cache_.store(next, std::memory_order_release);
+  return next;
+}
+
+SharedResponse ITrackerService::TryServeCached(
+    std::span<const std::uint8_t> request) const {
+  if (!options_.enable_response_cache) return nullptr;
+  const auto type = PeekType(request);
+  if (!type) return nullptr;
+  switch (*type) {
+    case MsgType::kGetExternalViewReq: {
+      const auto decoded = Decode(request);
+      if (!decoded) return nullptr;
+      const auto& req = std::get<GetExternalViewReq>(*decoded);
+      const auto state = encoded_state();
+      if (req.if_version != 0 && req.if_version == state->version) {
+        return Alias(state, state->not_modified);
+      }
+      return Alias(state, state->external_view);
+    }
+    case MsgType::kGetPDistancesReq: {
+      const auto decoded = Decode(request);
+      if (!decoded) return nullptr;
+      const auto& req = std::get<GetPDistancesReq>(*decoded);
+      if (req.from < 0 || req.from >= tracker_->num_pids()) {
+        return nullptr;  // slow path answers with ErrorMsg
+      }
+      const auto state = encoded_state();
+      if (req.if_version != 0 && req.if_version == state->version) {
+        return Alias(state, state->not_modified);
+      }
+      return Alias(state, state->rows[static_cast<std::size_t>(req.from)]);
+    }
+    case MsgType::kGetPolicyReq: {
+      if (policy_ == nullptr) return nullptr;
+      const auto decoded = Decode(request);
+      if (!decoded) return nullptr;
+      const auto policy = encoded_policy();
+      return Alias(policy, policy->bytes);
+    }
+    default:
+      return nullptr;
   }
 }
 
@@ -20,23 +140,28 @@ Message ITrackerService::Dispatch(const Message& request) const {
     if (req->from < 0 || req->from >= tracker_->num_pids()) {
       return ErrorMsg{"unknown PID"};
     }
+    const auto snap = tracker_->snapshot();
+    if (req->if_version != 0 && req->if_version == snap->version) {
+      return NotModifiedResp{snap->version};
+    }
     GetPDistancesResp resp;
     resp.from = req->from;
-    resp.version = tracker_->version();
-    resp.distances = tracker_->GetPDistances(req->from);
+    resp.version = snap->version;
+    const auto n = static_cast<std::size_t>(snap->view.size());
+    const auto values =
+        snap->view.values().subspan(static_cast<std::size_t>(req->from) * n, n);
+    resp.distances.assign(values.begin(), values.end());
     return resp;
   }
-  if (std::get_if<GetExternalViewReq>(&request) != nullptr) {
-    GetExternalViewResp resp;
-    resp.num_pids = tracker_->num_pids();
-    resp.version = tracker_->version();
-    resp.distances.reserve(static_cast<std::size_t>(resp.num_pids) *
-                           static_cast<std::size_t>(resp.num_pids));
-    for (core::Pid i = 0; i < resp.num_pids; ++i) {
-      for (core::Pid j = 0; j < resp.num_pids; ++j) {
-        resp.distances.push_back(tracker_->pdistance(i, j));
-      }
+  if (const auto* req = std::get_if<GetExternalViewReq>(&request)) {
+    const auto snap = tracker_->snapshot();
+    if (req->if_version != 0 && req->if_version == snap->version) {
+      return NotModifiedResp{snap->version};
     }
+    GetExternalViewResp resp;
+    resp.num_pids = snap->view.size();
+    resp.version = snap->version;
+    resp.distances.assign(snap->view.values().begin(), snap->view.values().end());
     return resp;
   }
   if (std::get_if<GetPolicyReq>(&request) != nullptr) {
@@ -67,11 +192,23 @@ Message ITrackerService::Dispatch(const Message& request) const {
 
 std::vector<std::uint8_t> ITrackerService::Handle(
     std::span<const std::uint8_t> request) const {
+  if (const auto cached = TryServeCached(request)) return *cached;
   const auto decoded = Decode(request);
   if (!decoded) {
     return Encode(ErrorMsg{"malformed request"});
   }
   return Encode(Dispatch(*decoded));
+}
+
+SharedResponse ITrackerService::HandleShared(
+    std::span<const std::uint8_t> request) const {
+  if (auto cached = TryServeCached(request)) return cached;
+  const auto decoded = Decode(request);
+  if (!decoded) {
+    return std::make_shared<const std::vector<std::uint8_t>>(
+        Encode(ErrorMsg{"malformed request"}));
+  }
+  return std::make_shared<const std::vector<std::uint8_t>>(Encode(Dispatch(*decoded)));
 }
 
 PortalClient::PortalClient(std::unique_ptr<Transport> transport)
@@ -104,21 +241,38 @@ core::PDistanceMatrix PortalClient::GetExternalView() {
   return GetExternalViewWithVersion().first;
 }
 
+namespace {
+
+core::PDistanceMatrix MatrixFromResp(const GetExternalViewResp& r) {
+  core::PDistanceMatrix m(r.num_pids);
+  for (core::Pid i = 0; i < r.num_pids; ++i) {
+    for (core::Pid j = 0; j < r.num_pids; ++j) {
+      m.set(i, j,
+            r.distances[static_cast<std::size_t>(i) *
+                            static_cast<std::size_t>(r.num_pids) +
+                        static_cast<std::size_t>(j)]);
+    }
+  }
+  return m;
+}
+
+}  // namespace
+
 std::pair<core::PDistanceMatrix, std::uint64_t>
 PortalClient::GetExternalViewWithVersion() {
   const auto resp = Call(GetExternalViewReq{});
   const auto* r = std::get_if<GetExternalViewResp>(&resp);
   if (r == nullptr) throw std::runtime_error("PortalClient: wrong response type");
-  core::PDistanceMatrix m(r->num_pids);
-  for (core::Pid i = 0; i < r->num_pids; ++i) {
-    for (core::Pid j = 0; j < r->num_pids; ++j) {
-      m.set(i, j,
-            r->distances[static_cast<std::size_t>(i) *
-                             static_cast<std::size_t>(r->num_pids) +
-                         static_cast<std::size_t>(j)]);
-    }
-  }
-  return {std::move(m), r->version};
+  return {MatrixFromResp(*r), r->version};
+}
+
+std::optional<std::pair<core::PDistanceMatrix, std::uint64_t>>
+PortalClient::GetExternalViewIfModified(std::uint64_t known_version) {
+  const auto resp = Call(GetExternalViewReq{known_version});
+  if (std::get_if<NotModifiedResp>(&resp) != nullptr) return std::nullopt;
+  const auto* r = std::get_if<GetExternalViewResp>(&resp);
+  if (r == nullptr) throw std::runtime_error("PortalClient: wrong response type");
+  return std::make_pair(MatrixFromResp(*r), r->version);
 }
 
 GetPolicyResp PortalClient::GetPolicy() {

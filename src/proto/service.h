@@ -3,6 +3,16 @@
 // applications. This realizes Figure 3 of the paper: appTrackers (or peers
 // in trackerless systems) query iTracker portals for policy and
 // p-distances.
+//
+// Serving path: the p-distance responses (full external view and every
+// per-PID row) are encoded once per price version into shared byte buffers
+// keyed on the tracker's PriceSnapshot version. The steady-state request
+// path is: decode the (tiny) request -> one atomic snapshot load -> cache
+// version check -> write the pre-encoded bytes. Clients presenting a
+// current version token get a ~16-byte NotModifiedResp instead of the
+// matrix. This is the paper's Section 4 mandate ("information should be
+// aggregated and allow caching to avoid handling per client query to
+// networks") applied to the server side.
 #pragma once
 
 #include <memory>
@@ -16,33 +26,77 @@
 
 namespace p4p::proto {
 
+struct ServiceOptions {
+  /// Serve p4p-distance and policy queries from version-keyed pre-encoded
+  /// buffers. Disable only to measure the re-encode-per-request baseline.
+  bool enable_response_cache = true;
+};
+
 /// Server-side dispatcher. The referenced components must outlive the
 /// service. Any of policy/capabilities/pid_map may be null, in which case
 /// the corresponding interface answers with an ErrorMsg ("a network
 /// provider may choose to implement a subset of the interfaces").
+///
+/// Thread safety: Handle/HandleShared may be called from any number of
+/// server threads concurrently with ITracker mutations on a control
+/// thread. Policy/capability/pid-map mutations remain control-plane
+/// operations that must not race queries.
 class ITrackerService {
  public:
   explicit ITrackerService(const core::ITracker* tracker,
                            const core::PolicyRegistry* policy = nullptr,
                            const core::CapabilityRegistry* capabilities = nullptr,
-                           const core::PidMap* pid_map = nullptr);
+                           const core::PidMap* pid_map = nullptr,
+                           ServiceOptions options = {});
 
   /// Handles one encoded request, returns the encoded response. Malformed
   /// requests yield an encoded ErrorMsg.
   std::vector<std::uint8_t> Handle(std::span<const std::uint8_t> request) const;
 
+  /// As Handle, but returns a shared buffer: cached responses are served
+  /// zero-copy (the same buffer goes to every connection asking for the
+  /// current version).
+  SharedResponse HandleShared(std::span<const std::uint8_t> request) const;
+
   /// Adapter for the transports.
   Handler handler() const {
     return [this](std::span<const std::uint8_t> req) { return Handle(req); };
   }
+  /// Zero-copy adapter for TcpServer.
+  SharedHandler shared_handler() const {
+    return [this](std::span<const std::uint8_t> req) { return HandleShared(req); };
+  }
 
  private:
+  /// All p4p-distance responses for one price version, encoded once.
+  struct EncodedState {
+    std::uint64_t version = 0;
+    std::vector<std::uint8_t> not_modified;        // NotModifiedResp{version}
+    std::vector<std::uint8_t> external_view;       // GetExternalViewResp
+    std::vector<std::vector<std::uint8_t>> rows;   // GetPDistancesResp per PID
+  };
+  struct EncodedPolicy {
+    std::uint64_t version = 0;
+    std::vector<std::uint8_t> bytes;  // GetPolicyResp
+  };
+
   Message Dispatch(const Message& request) const;
+  /// Serves a request from the pre-encoded caches when possible; null means
+  /// "fall through to Dispatch". Rebuilds the cache on version mismatch.
+  SharedResponse TryServeCached(std::span<const std::uint8_t> request) const;
+  std::shared_ptr<const EncodedState> encoded_state() const;
+  std::shared_ptr<const EncodedPolicy> encoded_policy() const;
 
   const core::ITracker* tracker_;
   const core::PolicyRegistry* policy_;
   const core::CapabilityRegistry* capabilities_;
   const core::PidMap* pid_map_;
+  ServiceOptions options_;
+  mutable std::atomic<std::shared_ptr<const EncodedState>> state_;
+  mutable std::atomic<std::shared_ptr<const EncodedPolicy>> policy_cache_;
+  /// Serializes cache rebuilds (not lookups) so one thread encodes per
+  /// version while the rest keep serving the old buffers.
+  mutable std::mutex rebuild_mu_;
 };
 
 /// Typed client over any Transport. Methods throw std::runtime_error on
@@ -56,6 +110,12 @@ class PortalClient {
   /// As GetExternalView, but also returns the iTracker's price version —
   /// the cache-coherence token of the protocol.
   std::pair<core::PDistanceMatrix, std::uint64_t> GetExternalViewWithVersion();
+  /// Conditional fetch: presents `known_version` to the portal and returns
+  /// std::nullopt when the server's view has not changed (NotModified) —
+  /// the caller keeps its cached matrix. Otherwise returns the fresh
+  /// (matrix, version) pair.
+  std::optional<std::pair<core::PDistanceMatrix, std::uint64_t>>
+  GetExternalViewIfModified(std::uint64_t known_version);
   GetPolicyResp GetPolicy();
   std::vector<core::Capability> GetCapabilities(core::CapabilityType type,
                                                 const std::string& content_id = {});

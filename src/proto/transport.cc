@@ -3,13 +3,17 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <array>
 #include <cerrno>
 #include <cstring>
-#include <mutex>
+#include <deque>
+#include <unordered_map>
 
 namespace p4p::proto {
 
@@ -46,29 +50,39 @@ bool ReadAll(int fd, std::uint8_t* data, std::size_t len) {
   return true;
 }
 
-bool WriteFrame(int fd, std::span<const std::uint8_t> payload) {
-  if (payload.size() > kMaxFrameBytes) return false;
-  std::uint8_t header[4];
-  const auto len = static_cast<std::uint32_t>(payload.size());
-  header[0] = static_cast<std::uint8_t>(len >> 24);
-  header[1] = static_cast<std::uint8_t>(len >> 16);
-  header[2] = static_cast<std::uint8_t>(len >> 8);
-  header[3] = static_cast<std::uint8_t>(len);
-  return WriteAll(fd, header, 4) && WriteAll(fd, payload.data(), payload.size());
+std::array<std::uint8_t, 4> FrameHeader(std::uint32_t len) {
+  return {static_cast<std::uint8_t>(len >> 24), static_cast<std::uint8_t>(len >> 16),
+          static_cast<std::uint8_t>(len >> 8), static_cast<std::uint8_t>(len)};
 }
 
-bool ReadFrame(int fd, std::vector<std::uint8_t>& out) {
+std::uint32_t ParseFrameLen(const std::uint8_t* p) {
+  return (static_cast<std::uint32_t>(p[0]) << 24) |
+         (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) | p[3];
+}
+
+void SetNoDelay(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+bool WriteFrameBlocking(int fd, std::span<const std::uint8_t> payload) {
+  if (payload.size() > kMaxFrameBytes) return false;
+  const auto header = FrameHeader(static_cast<std::uint32_t>(payload.size()));
+  return WriteAll(fd, header.data(), header.size()) &&
+         WriteAll(fd, payload.data(), payload.size());
+}
+
+bool ReadFrameBlocking(int fd, std::vector<std::uint8_t>& out) {
   std::uint8_t header[4];
   if (!ReadAll(fd, header, 4)) return false;
-  const std::uint32_t len = (static_cast<std::uint32_t>(header[0]) << 24) |
-                            (static_cast<std::uint32_t>(header[1]) << 16) |
-                            (static_cast<std::uint32_t>(header[2]) << 8) | header[3];
+  const std::uint32_t len = ParseFrameLen(header);
   if (len > kMaxFrameBytes) return false;
   out.resize(len);
   return len == 0 || ReadAll(fd, out.data(), len);
 }
-
-}  // namespace
 
 InProcessTransport::InProcessTransport(Handler handler) : handler_(std::move(handler)) {
   if (!handler_) {
@@ -81,11 +95,57 @@ std::vector<std::uint8_t> InProcessTransport::Call(
   return handler_(request);
 }
 
-TcpServer::TcpServer(std::uint16_t port, Handler handler)
+// ---------------------------------------------------------------------------
+// TcpServer: fixed epoll worker pool.
+// ---------------------------------------------------------------------------
+
+/// One multiplexed connection. Owned by exactly one worker; only that
+/// worker's thread touches it after registration.
+struct TcpServer::Connection {
+  int fd = -1;
+  /// Inbound bytes; frames are parsed from `consumed` onward.
+  std::vector<std::uint8_t> in;
+  std::size_t consumed = 0;
+  /// Outbound frame queue. Each entry is a 4-byte header plus a shared
+  /// payload buffer written in place (zero-copy for cached responses).
+  struct OutFrame {
+    std::array<std::uint8_t, 4> header;
+    std::size_t header_off = 0;
+    SharedResponse payload;
+    std::size_t payload_off = 0;
+  };
+  std::deque<OutFrame> out;
+  bool want_write = false;  // EPOLLOUT currently registered
+};
+
+struct TcpServer::Worker {
+  int epoll_fd = -1;
+  int wake_fd = -1;
+  std::thread thread;
+  std::mutex mu;                  // guards pending
+  std::vector<int> pending;       // fds handed over by the accept thread
+  std::unordered_map<int, std::unique_ptr<Connection>> conns;  // worker thread only
+};
+
+TcpServer::TcpServer(std::uint16_t port, Handler handler, int num_workers) {
+  if (!handler) {
+    throw std::invalid_argument("TcpServer: null handler");
+  }
+  handler_ = [h = std::move(handler)](std::span<const std::uint8_t> req) {
+    return std::make_shared<const std::vector<std::uint8_t>>(h(req));
+  };
+  Init(port, num_workers);
+}
+
+TcpServer::TcpServer(std::uint16_t port, SharedHandler handler, int num_workers)
     : handler_(std::move(handler)) {
   if (!handler_) {
     throw std::invalid_argument("TcpServer: null handler");
   }
+  Init(port, num_workers);
+}
+
+void TcpServer::Init(std::uint16_t port, int num_workers) {
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) ThrowErrno("socket");
   const int one = 1;
@@ -104,50 +164,222 @@ TcpServer::TcpServer(std::uint16_t port, Handler handler)
     ThrowErrno("getsockname");
   }
   port_ = ntohs(addr.sin_port);
-  if (::listen(listen_fd_, 16) != 0) {
+  if (::listen(listen_fd_, 128) != 0) {
     ::close(listen_fd_);
     ThrowErrno("listen");
+  }
+
+  if (num_workers <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    num_workers = static_cast<int>(std::clamp(hw, 2u, 8u));
+  }
+  for (int i = 0; i < num_workers; ++i) {
+    auto w = std::make_unique<Worker>();
+    w->epoll_fd = ::epoll_create1(0);
+    if (w->epoll_fd < 0) ThrowErrno("epoll_create1");
+    w->wake_fd = ::eventfd(0, EFD_NONBLOCK);
+    if (w->wake_fd < 0) ThrowErrno("eventfd");
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = w->wake_fd;
+    if (::epoll_ctl(w->epoll_fd, EPOLL_CTL_ADD, w->wake_fd, &ev) != 0) {
+      ThrowErrno("epoll_ctl(wake)");
+    }
+    workers_.push_back(std::move(w));
+  }
+  for (auto& w : workers_) {
+    w->thread = std::thread([this, worker = w.get()] { WorkerLoop(*worker); });
   }
   accept_thread_ = std::thread([this] { AcceptLoop(); });
 }
 
 void TcpServer::AcceptLoop() {
   while (!stopping_.load()) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK);
     if (fd < 0) {
       if (errno == EINTR) continue;
       break;  // listen socket closed during Stop()
     }
-    std::lock_guard<std::mutex> lock(workers_mu_);
     if (stopping_.load()) {
       ::close(fd);
       break;
     }
-    conn_fds_.push_back(fd);
-    workers_.emplace_back([this, fd] { Serve(fd); });
+    SetNoDelay(fd);
+    // Hand the fd to a worker round-robin; the worker registers it with its
+    // epoll the next time it wakes.
+    Worker& w = *workers_[next_worker_];
+    next_worker_ = (next_worker_ + 1) % workers_.size();
+    {
+      std::lock_guard<std::mutex> lock(w.mu);
+      w.pending.push_back(fd);
+    }
+    const std::uint64_t one = 1;
+    [[maybe_unused]] const ssize_t n = ::write(w.wake_fd, &one, sizeof(one));
   }
 }
 
-void TcpServer::Serve(int fd) {
-  const int one = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  std::vector<std::uint8_t> request;
-  while (!stopping_.load() && ReadFrame(fd, request)) {
-    std::vector<std::uint8_t> response;
+bool TcpServer::DrainFrames(Connection& conn) {
+  while (conn.in.size() - conn.consumed >= 4) {
+    const std::uint32_t len = ParseFrameLen(conn.in.data() + conn.consumed);
+    if (len > kMaxFrameBytes) return false;  // hostile length prefix
+    if (conn.in.size() - conn.consumed - 4 < len) break;  // incomplete frame
+    const std::span<const std::uint8_t> payload(conn.in.data() + conn.consumed + 4, len);
+    SharedResponse response;
     try {
-      response = handler_(request);
+      response = handler_(payload);
     } catch (const std::exception&) {
-      break;  // handler failure: drop the connection
+      return false;  // handler failure: drop the connection
     }
-    if (!WriteFrame(fd, response)) break;
+    if (!response || response->size() > kMaxFrameBytes) return false;
+    Connection::OutFrame frame;
+    frame.header = FrameHeader(static_cast<std::uint32_t>(response->size()));
+    frame.payload = std::move(response);
+    conn.out.push_back(std::move(frame));
+    conn.consumed += 4 + len;
   }
-  // Deregister before closing so Stop() never touches a reused fd number.
+  // Compact: drop fully parsed bytes so the buffer doesn't grow without
+  // bound across a long-lived connection.
+  if (conn.consumed == conn.in.size()) {
+    conn.in.clear();
+    conn.consumed = 0;
+  } else if (conn.consumed >= (64u << 10)) {
+    conn.in.erase(conn.in.begin(),
+                  conn.in.begin() + static_cast<std::ptrdiff_t>(conn.consumed));
+    conn.consumed = 0;
+  }
+  return true;
+}
+
+bool TcpServer::FlushWrites(Connection& conn) {
+  while (!conn.out.empty()) {
+    auto& f = conn.out.front();
+    while (f.header_off < f.header.size()) {
+      const ssize_t n = ::send(conn.fd, f.header.data() + f.header_off,
+                               f.header.size() - f.header_off, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+        return false;
+      }
+      f.header_off += static_cast<std::size_t>(n);
+    }
+    while (f.payload_off < f.payload->size()) {
+      const ssize_t n = ::send(conn.fd, f.payload->data() + f.payload_off,
+                               f.payload->size() - f.payload_off, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+        return false;
+      }
+      f.payload_off += static_cast<std::size_t>(n);
+    }
+    conn.out.pop_front();
+  }
+  return true;
+}
+
+void TcpServer::WorkerLoop(Worker& worker) {
+  std::array<epoll_event, 64> events;
+  std::vector<std::uint8_t> scratch(64u << 10);
+
+  const auto close_conn = [&worker](int fd) {
+    ::epoll_ctl(worker.epoll_fd, EPOLL_CTL_DEL, fd, nullptr);
+    ::close(fd);
+    worker.conns.erase(fd);
+  };
+
+  while (true) {
+    const int n = ::epoll_wait(worker.epoll_fd, events.data(),
+                               static_cast<int>(events.size()), -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (stopping_.load()) break;
+
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[static_cast<std::size_t>(i)].data.fd;
+      const std::uint32_t ev = events[static_cast<std::size_t>(i)].events;
+      if (fd == worker.wake_fd) {
+        std::uint64_t drained = 0;
+        [[maybe_unused]] const ssize_t r =
+            ::read(worker.wake_fd, &drained, sizeof(drained));
+        continue;
+      }
+      const auto it = worker.conns.find(fd);
+      if (it == worker.conns.end()) continue;
+      Connection& conn = *it->second;
+
+      bool ok = (ev & (EPOLLHUP | EPOLLERR)) == 0;
+      bool peer_closed = false;
+      if (ok && (ev & EPOLLIN) != 0) {
+        while (true) {
+          const ssize_t r = ::recv(conn.fd, scratch.data(), scratch.size(), 0);
+          if (r > 0) {
+            conn.in.insert(conn.in.end(), scratch.data(), scratch.data() + r);
+            continue;
+          }
+          if (r == 0) {
+            peer_closed = true;
+            break;
+          }
+          if (errno == EINTR) continue;
+          if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+          ok = false;
+          break;
+        }
+      }
+      if (ok) ok = DrainFrames(conn);
+      if (ok) ok = FlushWrites(conn);
+      if (!ok || peer_closed) {
+        // On a clean peer close, pending responses are best-effort flushed
+        // above; our request/response clients never half-close, so there is
+        // no one left to read them.
+        close_conn(fd);
+        continue;
+      }
+      const bool want_write = !conn.out.empty();
+      if (want_write != conn.want_write) {
+        epoll_event change{};
+        change.events = EPOLLIN | (want_write ? EPOLLOUT : 0u);
+        change.data.fd = fd;
+        ::epoll_ctl(worker.epoll_fd, EPOLL_CTL_MOD, fd, &change);
+        conn.want_write = want_write;
+      }
+    }
+
+    // Register connections handed over by the accept thread.
+    std::vector<int> pending;
+    {
+      std::lock_guard<std::mutex> lock(worker.mu);
+      pending.swap(worker.pending);
+    }
+    for (const int fd : pending) {
+      auto conn = std::make_unique<Connection>();
+      conn->fd = fd;
+      epoll_event ev{};
+      ev.events = EPOLLIN;
+      ev.data.fd = fd;
+      if (::epoll_ctl(worker.epoll_fd, EPOLL_CTL_ADD, fd, &ev) != 0) {
+        ::close(fd);
+        continue;
+      }
+      worker.conns.emplace(fd, std::move(conn));
+    }
+  }
+
+  for (auto& [fd, conn] : worker.conns) {
+    ::epoll_ctl(worker.epoll_fd, EPOLL_CTL_DEL, fd, nullptr);
+    ::close(fd);
+  }
+  worker.conns.clear();
   {
-    std::lock_guard<std::mutex> lock(workers_mu_);
-    conn_fds_.erase(std::remove(conn_fds_.begin(), conn_fds_.end(), fd),
-                    conn_fds_.end());
+    // Connections assigned after the final epoll_wait never got registered;
+    // close them too.
+    std::lock_guard<std::mutex> lock(worker.mu);
+    for (const int fd : worker.pending) ::close(fd);
+    worker.pending.clear();
   }
-  ::close(fd);
 }
 
 void TcpServer::Stop() {
@@ -155,18 +387,14 @@ void TcpServer::Stop() {
   ::shutdown(listen_fd_, SHUT_RDWR);
   ::close(listen_fd_);
   if (accept_thread_.joinable()) accept_thread_.join();
-  // Unblock workers stuck in recv() on idle connections.
-  {
-    std::lock_guard<std::mutex> lock(workers_mu_);
-    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+  for (auto& w : workers_) {
+    const std::uint64_t one = 1;
+    [[maybe_unused]] const ssize_t n = ::write(w->wake_fd, &one, sizeof(one));
   }
-  std::vector<std::thread> workers;
-  {
-    std::lock_guard<std::mutex> lock(workers_mu_);
-    workers.swap(workers_);
-  }
-  for (auto& t : workers) {
-    if (t.joinable()) t.join();
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+    ::close(w->wake_fd);
+    ::close(w->epoll_fd);
   }
 }
 
@@ -184,8 +412,7 @@ TcpClient::TcpClient(std::uint16_t port) {
     fd_ = -1;
     ThrowErrno("connect");
   }
-  const int one = 1;
-  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  SetNoDelay(fd_);
 }
 
 TcpClient::~TcpClient() {
@@ -193,11 +420,11 @@ TcpClient::~TcpClient() {
 }
 
 std::vector<std::uint8_t> TcpClient::Call(std::span<const std::uint8_t> request) {
-  if (!WriteFrame(fd_, request)) {
+  if (!WriteFrameBlocking(fd_, request)) {
     throw std::runtime_error("TcpClient: send failed");
   }
   std::vector<std::uint8_t> response;
-  if (!ReadFrame(fd_, response)) {
+  if (!ReadFrameBlocking(fd_, response)) {
     throw std::runtime_error("TcpClient: receive failed");
   }
   return response;

@@ -2,10 +2,13 @@
 // with u32 length framing, and a zero-copy in-process transport for tests
 // and single-binary deployments.
 //
-// The server is intentionally simple (blocking sockets, one thread per
-// connection): iTracker queries are coarse-grained and cacheable by design
-// ("network information should be aggregated and allow caching to avoid
-// handling per client query"), so connection counts stay small.
+// The server multiplexes all connections over a fixed pool of epoll worker
+// threads (nonblocking sockets, per-connection read/write buffers), so
+// announce-scale query rates from thousands of clients cost a handful of
+// threads, not one thread per connection. Responses produced by a
+// SharedHandler are written straight from the shared buffer — the portal
+// serves its pre-encoded, version-keyed responses without copying them per
+// connection.
 #pragma once
 
 #include <atomic>
@@ -23,8 +26,23 @@ namespace p4p::proto {
 /// Handles one request payload, returns the response payload.
 using Handler = std::function<std::vector<std::uint8_t>(std::span<const std::uint8_t>)>;
 
+/// A response that may be shared between connections (and with a cache that
+/// outlives them). Never null on success.
+using SharedResponse = std::shared_ptr<const std::vector<std::uint8_t>>;
+
+/// Handler variant returning a shareable buffer: the server writes the
+/// bytes without copying them into the connection, so one pre-encoded
+/// response can be in flight on any number of connections at once.
+using SharedHandler = std::function<SharedResponse(std::span<const std::uint8_t>)>;
+
 /// Largest accepted frame (16 MiB) — guards against hostile length prefixes.
 inline constexpr std::uint32_t kMaxFrameBytes = 16u << 20;
+
+/// Frame helpers for blocking sockets (u32 big-endian length prefix). Used
+/// by TcpClient and by out-of-tree blocking servers (benchmark baselines).
+/// Both return false on short reads/writes or frames over kMaxFrameBytes.
+bool WriteFrameBlocking(int fd, std::span<const std::uint8_t> payload);
+bool ReadFrameBlocking(int fd, std::vector<std::uint8_t>& out);
 
 /// Abstract request/response channel.
 class Transport {
@@ -46,30 +64,45 @@ class InProcessTransport final : public Transport {
 };
 
 /// Loopback TCP server. Starts listening on construction (port 0 picks an
-/// ephemeral port); joins all threads on destruction.
+/// ephemeral port); a fixed pool of epoll workers multiplexes every
+/// accepted connection. Stops and joins all threads on destruction.
 class TcpServer {
  public:
-  TcpServer(std::uint16_t port, Handler handler);
+  /// `num_workers` <= 0 picks a small default from the hardware
+  /// concurrency. The worker count is fixed for the server's lifetime —
+  /// accepting more connections never spawns more threads.
+  TcpServer(std::uint16_t port, Handler handler, int num_workers = 0);
+  TcpServer(std::uint16_t port, SharedHandler handler, int num_workers = 0);
   ~TcpServer();
 
   TcpServer(const TcpServer&) = delete;
   TcpServer& operator=(const TcpServer&) = delete;
 
   std::uint16_t port() const { return port_; }
+  int worker_count() const { return static_cast<int>(workers_.size()); }
   void Stop();
 
  private:
-  void AcceptLoop();
-  void Serve(int fd);
+  struct Connection;
+  struct Worker;
 
-  Handler handler_;
+  void Init(std::uint16_t port, int num_workers);
+  void AcceptLoop();
+  void WorkerLoop(Worker& worker);
+  /// Parses complete frames out of the connection's read buffer and runs
+  /// the handler on each. Returns false when the connection must close.
+  bool DrainFrames(Connection& conn);
+  /// Flushes as much pending output as the socket accepts. Returns false on
+  /// write error; sets conn.want_write when output remains.
+  bool FlushWrites(Connection& conn);
+
+  SharedHandler handler_;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
   std::atomic<bool> stopping_{false};
   std::thread accept_thread_;
-  std::vector<std::thread> workers_;
-  std::vector<int> conn_fds_;  // open connection sockets, for Stop()
-  std::mutex workers_mu_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::size_t next_worker_ = 0;  // round-robin assignment, accept thread only
 };
 
 /// Blocking TCP client for the framed protocol.

@@ -28,6 +28,7 @@ void Writer::str(std::string_view s) {
   if (s.size() > 0xFFFF) {
     throw std::length_error("Writer::str: string too long");
   }
+  reserve(2 + s.size());
   u16(static_cast<std::uint16_t>(s.size()));
   buf_.insert(buf_.end(), s.begin(), s.end());
 }
@@ -36,6 +37,10 @@ void Writer::f64_vec(std::span<const double> values) {
   if (values.size() > 0xFFFFFFFFULL) {
     throw std::length_error("Writer::f64_vec: vector too long");
   }
+  // One allocation for the whole vector; the per-element f64 appends below
+  // then never reallocate. This is the hot encoder: a portal external view
+  // is one n^2-element f64_vec.
+  reserve(4 + values.size() * 8);
   u32(static_cast<std::uint32_t>(values.size()));
   for (double v : values) f64(v);
 }

@@ -18,6 +18,12 @@ namespace p4p::proto {
 
 class Writer {
  public:
+  /// Pre-allocates room for `n` more bytes. The bulk appenders (str,
+  /// f64_vec) reserve for themselves; message encoders with per-element
+  /// loops of scalar writes should reserve their exact footprint up front
+  /// so encoding is a single allocation.
+  void reserve(std::size_t n) { buf_.reserve(buf_.size() + n); }
+
   void u8(std::uint8_t v) { buf_.push_back(v); }
   void u16(std::uint16_t v);
   void u32(std::uint32_t v);

@@ -56,12 +56,30 @@ TEST_F(CachingClientTest, RepeatAccessHitsCache) {
   EXPECT_EQ(client.hit_count(), 10u);
 }
 
-TEST_F(CachingClientTest, TtlExpiryRefetches) {
+TEST_F(CachingClientTest, TtlExpiryValidatesWhenVersionUnchanged) {
+  // Past the TTL with unchanged server prices, the refresh is a conditional
+  // request answered NotModified: the matrix is kept, no re-transfer.
   auto client = MakeClient(10.0);
   client.GetExternalView();
   now_ = 10.5;
   client.GetExternalView();
+  EXPECT_EQ(client.fetch_count(), 1u);
+  EXPECT_EQ(client.validation_count(), 1u);
+  // The validation restarts the TTL window.
+  now_ = 15.0;
+  client.GetExternalView();
+  EXPECT_EQ(client.hit_count(), 1u);
+}
+
+TEST_F(CachingClientTest, TtlExpiryRefetchesWhenVersionMoved) {
+  auto client = MakeClient(10.0);
+  client.GetExternalView();
+  std::vector<double> traffic(graph_.link_count(), 1e9);
+  tracker_.Update(traffic);
+  now_ = 10.5;
+  client.GetExternalView();
   EXPECT_EQ(client.fetch_count(), 2u);
+  EXPECT_EQ(client.validation_count(), 0u);
 }
 
 TEST_F(CachingClientTest, RefetchSeesUpdatedPrices) {

@@ -1,0 +1,170 @@
+// Concurrency hammer for the portal serving path: N client threads fetch
+// views over real TCP while a writer thread keeps mutating prices. Every
+// response must decode to a self-consistent (version, matrix) pair — a torn
+// read would surface as a matrix mixing two price vectors.
+//
+// The check exploits static-price mode: with every link priced k, each
+// p-distance is exactly k * hopcount(i, j). A response matrix is therefore
+// consistent iff a single scalar lambda satisfies m = lambda * hopcount for
+// the whole mesh. Runs under TSan in CI to catch data races the assertion
+// itself cannot see.
+#include <atomic>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/itracker.h"
+#include "net/topology.h"
+#include "proto/service.h"
+#include "proto/transport.h"
+
+namespace p4p::proto {
+namespace {
+
+// True iff `m` equals lambda * `hops` for one scalar lambda >= 0.
+bool SelfConsistent(const core::PDistanceMatrix& m,
+                    const core::PDistanceMatrix& hops) {
+  if (m.size() != hops.size()) return false;
+  double lambda = -1.0;
+  for (core::Pid i = 0; i < m.size(); ++i) {
+    for (core::Pid j = 0; j < m.size(); ++j) {
+      const double h = hops.at(i, j);
+      if (h == 0.0) {
+        if (m.at(i, j) != 0.0) return false;
+        continue;
+      }
+      const double ratio = m.at(i, j) / h;
+      if (lambda < 0.0) {
+        lambda = ratio;
+      } else if (std::abs(ratio - lambda) > 1e-9 * std::max(1.0, lambda)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+TEST(PortalConcurrency, HammeredServiceServesConsistentSnapshots) {
+  net::Graph graph = net::MakeAbilene();
+  net::RoutingTable routing(graph);
+  core::ITrackerConfig config;
+  config.mode = core::PriceMode::kStatic;
+  core::ITracker tracker(graph, routing, config);
+
+  // Unit prices give the pure hopcount mesh as the reference shape.
+  std::vector<double> ones(graph.link_count(), 1.0);
+  tracker.SetStaticPrices(ones);
+  const core::PDistanceMatrix hops = tracker.external_view();
+
+  ITrackerService service(&tracker);
+  TcpServer server(0, service.shared_handler(), 2);
+
+  constexpr int kClients = 8;
+  constexpr int kRequestsPerClient = 60;
+  std::atomic<bool> stop{false};
+  std::atomic<int> inconsistent{0};
+  std::atomic<int> version_regressions{0};
+
+  std::thread writer([&] {
+    double k = 2.0;
+    std::vector<double> prices(graph.link_count());
+    while (!stop.load(std::memory_order_acquire)) {
+      prices.assign(prices.size(), k);
+      tracker.SetStaticPrices(prices);
+      k = (k < 1e6) ? k + 1.0 : 2.0;
+      std::this_thread::yield();  // don't starve readers on small machines
+    }
+  });
+
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      PortalClient client(std::make_unique<TcpClient>(server.port()));
+      std::uint64_t last_version = 0;
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        const auto full = client.GetExternalViewIfModified(0);
+        ASSERT_TRUE(full.has_value());
+        if (!SelfConsistent(full->first, hops)) ++inconsistent;
+        if (full->second < last_version) ++version_regressions;
+        last_version = full->second;
+        // Conditional revalidation: either NotModified or a newer,
+        // equally consistent snapshot.
+        const auto cond = client.GetExternalViewIfModified(last_version);
+        if (cond.has_value()) {
+          if (!SelfConsistent(cond->first, hops)) ++inconsistent;
+          if (cond->second <= last_version) ++version_regressions;
+          last_version = cond->second;
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  stop.store(true, std::memory_order_release);
+  writer.join();
+
+  EXPECT_EQ(inconsistent.load(), 0);
+  EXPECT_EQ(version_regressions.load(), 0);
+}
+
+TEST(PortalConcurrency, InProcessReadersRaceWriter) {
+  // Same invariant without the socket layer: readers hit the service's
+  // handler directly, maximizing pressure on the snapshot/cache path.
+  net::Graph graph = net::MakeAbilene();
+  net::RoutingTable routing(graph);
+  core::ITrackerConfig config;
+  config.mode = core::PriceMode::kStatic;
+  core::ITracker tracker(graph, routing, config);
+  std::vector<double> ones(graph.link_count(), 1.0);
+  tracker.SetStaticPrices(ones);
+  const core::PDistanceMatrix hops = tracker.external_view();
+
+  ITrackerService service(&tracker);
+  const auto handler = service.shared_handler();
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> inconsistent{0};
+  std::thread writer([&] {
+    double k = 2.0;
+    std::vector<double> prices(graph.link_count());
+    while (!stop.load(std::memory_order_acquire)) {
+      prices.assign(prices.size(), k);
+      tracker.SetStaticPrices(prices);
+      k += 1.0;
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> readers;
+  for (int c = 0; c < 4; ++c) {
+    readers.emplace_back([&] {
+      const auto req = Encode(GetExternalViewReq{});
+      for (int i = 0; i < 200; ++i) {
+        const auto resp = handler(req);
+        ASSERT_NE(resp, nullptr);
+        const auto decoded = Decode(*resp);
+        ASSERT_TRUE(decoded.has_value());
+        const auto* view = std::get_if<GetExternalViewResp>(&*decoded);
+        ASSERT_NE(view, nullptr);
+        core::PDistanceMatrix m(view->num_pids);
+        for (core::Pid a = 0; a < view->num_pids; ++a) {
+          for (core::Pid b = 0; b < view->num_pids; ++b) {
+            m.set(a, b,
+                  view->distances[static_cast<std::size_t>(a) *
+                                      static_cast<std::size_t>(view->num_pids) +
+                                  static_cast<std::size_t>(b)]);
+          }
+        }
+        if (!SelfConsistent(m, hops)) ++inconsistent;
+      }
+    });
+  }
+  for (auto& t : readers) t.join();
+  stop.store(true, std::memory_order_release);
+  writer.join();
+  EXPECT_EQ(inconsistent.load(), 0);
+}
+
+}  // namespace
+}  // namespace p4p::proto

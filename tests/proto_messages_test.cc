@@ -25,6 +25,48 @@ TEST(Messages, ErrorRoundTrip) {
 TEST(Messages, GetPDistancesReqRoundTrip) {
   const auto out = RoundTrip(GetPDistancesReq{17});
   EXPECT_EQ(out.from, 17);
+  EXPECT_EQ(out.if_version, 0u);
+}
+
+TEST(Messages, ConditionalRequestsCarryVersionToken) {
+  const auto row = RoundTrip(GetPDistancesReq{4, 77u});
+  EXPECT_EQ(row.from, 4);
+  EXPECT_EQ(row.if_version, 77u);
+  const auto view = RoundTrip(GetExternalViewReq{123456789u});
+  EXPECT_EQ(view.if_version, 123456789u);
+}
+
+TEST(Messages, PreTokenRequestsStillDecode) {
+  // Requests encoded before the if_version field existed (no trailing u64)
+  // must decode as unconditional.
+  const std::vector<std::uint8_t> old_view = {kProtocolVersion,
+                                              static_cast<std::uint8_t>(
+                                                  MsgType::kGetExternalViewReq)};
+  const auto view = Decode(old_view);
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ(std::get<GetExternalViewReq>(*view).if_version, 0u);
+
+  std::vector<std::uint8_t> old_row = {kProtocolVersion,
+                                       static_cast<std::uint8_t>(
+                                           MsgType::kGetPDistancesReq),
+                                       0, 0, 0, 9};
+  const auto row = Decode(old_row);
+  ASSERT_TRUE(row.has_value());
+  EXPECT_EQ(std::get<GetPDistancesReq>(*row).from, 9);
+  EXPECT_EQ(std::get<GetPDistancesReq>(*row).if_version, 0u);
+}
+
+TEST(Messages, NotModifiedRoundTrip) {
+  const auto out = RoundTrip(NotModifiedResp{42u});
+  EXPECT_EQ(out.version, 42u);
+  // The whole point: the encoded answer is tiny (frame header aside).
+  EXPECT_LE(Encode(NotModifiedResp{42u}).size(), 16u);
+}
+
+TEST(Messages, NotModifiedRejectsTruncation) {
+  auto bytes = Encode(NotModifiedResp{42u});
+  bytes.pop_back();
+  EXPECT_FALSE(Decode(bytes).has_value());
 }
 
 TEST(Messages, GetPDistancesRespRoundTrip) {

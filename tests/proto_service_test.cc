@@ -144,5 +144,102 @@ TEST(PortalClient, RejectsNullTransport) {
   EXPECT_THROW(PortalClient(nullptr), std::invalid_argument);
 }
 
+TEST_F(ServiceTest, ConditionalViewAnsweredNotModified) {
+  ITrackerService service(&tracker_);
+  const auto version = tracker_.version();
+  const auto resp = service.Handle(Encode(GetExternalViewReq{version}));
+  const auto decoded = Decode(resp);
+  ASSERT_TRUE(decoded.has_value());
+  const auto* nm = std::get_if<NotModifiedResp>(&*decoded);
+  ASSERT_NE(nm, nullptr);
+  EXPECT_EQ(nm->version, version);
+}
+
+TEST_F(ServiceTest, ConditionalRowAnsweredNotModified) {
+  ITrackerService service(&tracker_);
+  const auto version = tracker_.version();
+  const auto resp = service.Handle(Encode(GetPDistancesReq{2, version}));
+  const auto decoded = Decode(resp);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_NE(std::get_if<NotModifiedResp>(&*decoded), nullptr);
+}
+
+TEST_F(ServiceTest, StaleTokenGetsFullView) {
+  ITrackerService service(&tracker_);
+  const auto stale = tracker_.version();
+  std::vector<double> traffic(graph_.link_count(), 1e9);
+  tracker_.Update(traffic);
+  const auto decoded = Decode(service.Handle(Encode(GetExternalViewReq{stale})));
+  ASSERT_TRUE(decoded.has_value());
+  const auto* view = std::get_if<GetExternalViewResp>(&*decoded);
+  ASSERT_NE(view, nullptr);
+  EXPECT_EQ(view->version, tracker_.version());
+  EXPECT_EQ(view->distances.size(),
+            static_cast<std::size_t>(tracker_.num_pids()) * tracker_.num_pids());
+}
+
+TEST_F(ServiceTest, CacheDisabledMatchesCachedBytes) {
+  // The pre-encoded fast path must be byte-identical to the slow path for
+  // every cacheable request, including conditional ones.
+  ITrackerService cached(&tracker_, &policy_);
+  ITrackerService plain(&tracker_, &policy_, nullptr, nullptr,
+                        ServiceOptions{.enable_response_cache = false});
+  std::vector<double> traffic(graph_.link_count(), 5e8);
+  tracker_.Update(traffic);
+  const auto version = tracker_.version();
+
+  std::vector<std::vector<std::uint8_t>> requests;
+  requests.push_back(Encode(GetExternalViewReq{}));
+  requests.push_back(Encode(GetExternalViewReq{version}));
+  requests.push_back(Encode(GetPolicyReq{}));
+  for (core::Pid i = 0; i < tracker_.num_pids(); ++i) {
+    requests.push_back(Encode(GetPDistancesReq{i}));
+    requests.push_back(Encode(GetPDistancesReq{i, version}));
+  }
+  for (const auto& req : requests) {
+    EXPECT_EQ(cached.Handle(req), plain.Handle(req));
+  }
+}
+
+TEST_F(ServiceTest, SharedHandlerReturnsSameBufferForRepeatRequests) {
+  ITrackerService service(&tracker_);
+  const auto handler = service.shared_handler();
+  const auto req = Encode(GetExternalViewReq{});
+  const auto a = handler(req);
+  const auto b = handler(req);
+  ASSERT_NE(a, nullptr);
+  // Same snapshot version -> the very same pre-encoded buffer, no re-encode.
+  EXPECT_EQ(a->data(), b->data());
+  std::vector<double> traffic(graph_.link_count(), 1e9);
+  tracker_.Update(traffic);
+  const auto c = handler(req);
+  ASSERT_NE(c, nullptr);
+  EXPECT_NE(a->data(), c->data());
+}
+
+TEST_F(ServiceTest, ClientConditionalFetchHelper) {
+  ITrackerService service(&tracker_);
+  auto client = InProcessClient(service);
+  const auto first = client.GetExternalViewIfModified(0);
+  ASSERT_TRUE(first.has_value());
+  const auto version = first->second;
+  EXPECT_FALSE(client.GetExternalViewIfModified(version).has_value());
+  std::vector<double> traffic(graph_.link_count(), 1e9);
+  tracker_.Update(traffic);
+  const auto refreshed = client.GetExternalViewIfModified(version);
+  ASSERT_TRUE(refreshed.has_value());
+  EXPECT_GT(refreshed->second, version);
+}
+
+TEST_F(ServiceTest, PolicyCacheTracksRegistryVersion) {
+  ITrackerService service(&tracker_, &policy_);
+  auto client = InProcessClient(service);
+  EXPECT_DOUBLE_EQ(client.GetPolicy().thresholds.near_congestion_utilization,
+                   0.7);
+  policy_.SetThresholds({0.5, 0.8});
+  EXPECT_DOUBLE_EQ(client.GetPolicy().thresholds.near_congestion_utilization,
+                   0.5);
+}
+
 }  // namespace
 }  // namespace p4p::proto

@@ -2,10 +2,26 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <sstream>
+#include <string>
 #include <thread>
 
 namespace p4p::proto {
 namespace {
+
+// Live threads of this process, from /proc/self/status (Linux-only, as is
+// the epoll server itself).
+int CountProcessThreads() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("Threads:", 0) == 0) {
+      return std::stoi(line.substr(8));
+    }
+  }
+  return -1;
+}
 
 std::vector<std::uint8_t> EchoUpper(std::span<const std::uint8_t> in) {
   std::vector<std::uint8_t> out(in.begin(), in.end());
@@ -120,7 +136,68 @@ TEST(TcpTransport, HandlerExceptionDropsConnection) {
 }
 
 TEST(TcpTransport, RejectsNullHandler) {
-  EXPECT_THROW(TcpServer(0, nullptr), std::invalid_argument);
+  EXPECT_THROW(TcpServer(0, Handler(nullptr)), std::invalid_argument);
+  EXPECT_THROW(TcpServer(0, SharedHandler(nullptr)), std::invalid_argument);
+}
+
+TEST(TcpTransport, SharedHandlerServesSharedBuffer) {
+  // One pre-encoded buffer answers every request, zero-copy on the server.
+  const auto canned = std::make_shared<const std::vector<std::uint8_t>>(
+      std::vector<std::uint8_t>{'o', 'k'});
+  TcpServer server(0, SharedHandler([canned](std::span<const std::uint8_t>) {
+                     return canned;
+                   }));
+  TcpClient client(server.port());
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(client.Call(Bytes("q")), (std::vector<std::uint8_t>{'o', 'k'}));
+  }
+}
+
+TEST(TcpTransport, SharedHandlerNullResponseDropsConnection) {
+  TcpServer server(0, SharedHandler([](std::span<const std::uint8_t>) {
+                     return SharedResponse{};
+                   }));
+  TcpClient client(server.port());
+  EXPECT_THROW(client.Call(Bytes("x")), std::runtime_error);
+}
+
+TEST(TcpTransport, FixedWorkerPool) {
+  TcpServer server(0, EchoUpper, 3);
+  EXPECT_EQ(server.worker_count(), 3);
+}
+
+TEST(TcpTransport, SerialConnectionsDoNotAccumulateThreads) {
+  // Regression for the former thread-per-connection server, whose workers_
+  // vector grew one (never-reaped) thread per accepted connection. The
+  // epoll server must stay at its fixed pool no matter how many
+  // connections come and go.
+  TcpServer server(0, EchoUpper, 2);
+  {
+    TcpClient warmup(server.port());
+    warmup.Call(Bytes("w"));
+  }
+  const int before = CountProcessThreads();
+  ASSERT_GT(before, 0);
+  for (int i = 0; i < 200; ++i) {
+    TcpClient client(server.port());
+    client.Call(Bytes("x"));
+  }
+  const int after = CountProcessThreads();
+  // Identical modulo scheduling slack; 200 leaked threads trips this by a
+  // mile either way.
+  EXPECT_LE(after, before + 2);
+}
+
+TEST(TcpTransport, InterleavedClientsOnOneWorker) {
+  // Two connections multiplexed by a single worker must not block each
+  // other: alternate requests between them on one thread.
+  TcpServer server(0, EchoUpper, 1);
+  TcpClient a(server.port());
+  TcpClient b(server.port());
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(a.Call(Bytes("aa")), Bytes("AA"));
+    EXPECT_EQ(b.Call(Bytes("bb")), Bytes("BB"));
+  }
 }
 
 }  // namespace

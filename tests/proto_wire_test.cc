@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <random>
+
+#include "proto/messages.h"
 
 namespace p4p::proto {
 namespace {
@@ -129,6 +132,58 @@ TEST(Wire, TakeMovesBuffer) {
   const auto bytes = w.take();
   EXPECT_EQ(bytes.size(), 1u);
   EXPECT_TRUE(w.bytes().empty());
+}
+
+TEST(Wire, VectorEncodeReservesExactly) {
+  // The f64_vec appender must pre-reserve its whole footprint: the final
+  // buffer capacity equals its size instead of the up-to-2x slack that
+  // doubling growth leaves behind.
+  for (const std::size_t n : {1u, 7u, 64u, 1000u, 5000u}) {
+    Writer w;
+    w.f64_vec(std::vector<double>(n, 1.5));
+    EXPECT_EQ(w.bytes().capacity(), w.bytes().size()) << "n=" << n;
+  }
+}
+
+TEST(Wire, RandomMatrixMessagesRoundTripWithTightCapacity) {
+  // Fuzz-ish sweep: random matrix payloads of random sizes through the
+  // full message codec. Checks (a) exact round-trip, (b) the encoders'
+  // reserve() calls keep the final capacity at (or within one small header
+  // growth-step of) the final size.
+  std::mt19937_64 rng(20260806);
+  std::uniform_int_distribution<int> num_pids(1, 40);
+  std::uniform_real_distribution<double> dist(0.0, 1e6);
+  for (int iter = 0; iter < 50; ++iter) {
+    const int n = num_pids(rng);
+    GetExternalViewResp view;
+    view.num_pids = n;
+    view.version = rng();
+    view.distances.resize(static_cast<std::size_t>(n) * static_cast<std::size_t>(n));
+    for (auto& d : view.distances) d = dist(rng);
+
+    const auto bytes = Encode(view);
+    // version byte + type byte + i32 + u64 + (u32 + 8n^2).
+    EXPECT_EQ(bytes.size(), 2u + 4u + 8u + 4u + view.distances.size() * 8u);
+    EXPECT_LE(bytes.capacity(), bytes.size() + 32u) << "n=" << n;
+
+    const auto decoded = Decode(bytes);
+    ASSERT_TRUE(decoded.has_value());
+    const auto* out = std::get_if<GetExternalViewResp>(&*decoded);
+    ASSERT_NE(out, nullptr);
+    EXPECT_EQ(out->num_pids, view.num_pids);
+    EXPECT_EQ(out->version, view.version);
+    EXPECT_EQ(out->distances, view.distances);
+
+    GetPDistancesResp row;
+    row.from = n - 1;
+    row.version = rng();
+    row.distances.assign(static_cast<std::size_t>(n), dist(rng));
+    const auto row_bytes = Encode(row);
+    EXPECT_LE(row_bytes.capacity(), row_bytes.size() + 32u) << "n=" << n;
+    const auto row_decoded = Decode(row_bytes);
+    ASSERT_TRUE(row_decoded.has_value());
+    EXPECT_EQ(std::get<GetPDistancesResp>(*row_decoded).distances, row.distances);
+  }
 }
 
 }  // namespace

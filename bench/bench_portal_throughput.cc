@@ -25,6 +25,7 @@
 #include <chrono>
 #include <cstring>
 #include <limits>
+#include <memory>
 #include <stdexcept>
 #include <thread>
 #include <vector>
@@ -285,8 +286,51 @@ int Run() {
   std::printf("  cold (rebuild+re-encode each):     %10.0f req/s   p50 %7.1f us   p99 %7.1f us\n",
               cold.rps, cold.p50_us, cold.p99_us);
 
+  // --- UDP validation: one datagram each way, no handshake ---
+  ScenarioResult udp;
+  {
+    proto::UdpValidationServer udp_server(0, cached.validation_handler());
+    const std::uint64_t current = tracker.version();
+    const int per_client = Scaled(1500);
+    std::vector<std::thread> threads;
+    std::vector<std::vector<double>> latencies(static_cast<std::size_t>(clients));
+    const auto begin = Clock::now();
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        proto::UdpValidationOptions options;
+        options.max_tries = 8;
+        options.initial_timeout = std::chrono::milliseconds(100);
+        options.max_timeout = std::chrono::milliseconds(500);
+        proto::UdpValidationClient vclient(
+            std::make_unique<proto::UdpClientTransport>(udp_server.port()), options);
+        auto& lats = latencies[static_cast<std::size_t>(c)];
+        lats.reserve(static_cast<std::size_t>(per_client));
+        (void)vclient.Validate(current);  // warm-up
+        for (int i = 0; i < per_client; ++i) {
+          const auto t0 = Clock::now();
+          const auto outcome = vclient.Validate(current);
+          if (!outcome || !outcome->not_modified) continue;  // loopback loss
+          lats.push_back(
+              std::chrono::duration<double, std::micro>(Clock::now() - t0).count());
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    const double elapsed = std::chrono::duration<double>(Clock::now() - begin).count();
+    std::vector<double> all;
+    for (const auto& v : latencies) all.insert(all.end(), v.begin(), v.end());
+    std::sort(all.begin(), all.end());
+    udp.rps = elapsed > 0 ? static_cast<double>(all.size()) / elapsed : 0.0;
+    udp.p50_us = PercentileUs(all, 0.50);
+    udp.p99_us = PercentileUs(all, 0.99);
+  }
+  std::printf("  udp validation (NotModified):      %10.0f req/s   p50 %7.1f us   p99 %7.1f us\n",
+              udp.rps, udp.p50_us, udp.p99_us);
+
   const double speedup = baseline.rps > 0 ? hit.rps / baseline.rps : 0.0;
+  const double udp_vs_tcp = validation.rps > 0 ? udp.rps / validation.rps : 0.0;
   std::printf("\n  version-hit vs baseline speedup: %.1fx\n", speedup);
+  std::printf("  udp vs tcp validation:           %.2fx\n", udp_vs_tcp);
 
   PrintComparisons({
       {"version-hit speedup over thread/conn+re-encode", ">= 10x", Fmt("%.1fx", speedup),
@@ -307,6 +351,10 @@ int Run() {
                                           {"validation_rps", validation.rps},
                                           {"validation_p50_us", validation.p50_us},
                                           {"validation_p99_us", validation.p99_us},
+                                          {"udp_notmodified_per_sec", udp.rps},
+                                          {"udp_validation_p50_us", udp.p50_us},
+                                          {"udp_validation_p99_us", udp.p99_us},
+                                          {"udp_vs_tcp_validation_speedup", udp_vs_tcp},
                                       });
   return 0;
 }

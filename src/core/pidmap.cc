@@ -52,7 +52,13 @@ std::optional<Prefix> Prefix::Parse(std::string_view text) {
   Prefix p;
   p.addr = ip->addr;
   p.length = length;
-  if (length < 32) p.addr &= ~((1U << (32 - length)) - 1U);  // canonicalize
+  // Canonicalize: zero the host bits. Guard both ends — a shift by 32 on a
+  // 32-bit type is undefined behavior.
+  if (length == 0) {
+    p.addr = 0;
+  } else if (length < 32) {
+    p.addr &= ~((1U << (32 - length)) - 1U);
+  }
   return p;
 }
 

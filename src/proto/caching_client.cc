@@ -24,7 +24,20 @@ const core::PDistanceMatrix& CachingPortalClient::GetExternalView() {
   }
   if (view_) {
     // TTL expired but we still hold a matrix: validate it with the version
-    // token instead of re-transferring it.
+    // token instead of re-transferring it. The UDP fast path goes first
+    // when enabled — one datagram each way instead of a TCP round trip.
+    if (udp_) {
+      const auto answer = udp_->Validate(view_->version);
+      if (answer && answer->not_modified && answer->version == view_->version) {
+        ++validation_count_;
+        ++udp_validation_count_;
+        view_->fetched_at = now;
+        return view_->view;
+      }
+      if (!answer) ++udp_fallback_count_;
+      // A revalidate redirect (or any surprising answer) falls through to
+      // the TCP conditional request, which re-checks authoritatively.
+    }
     auto fresh = client_.GetExternalViewIfModified(view_->version);
     if (!fresh) {
       ++validation_count_;
@@ -54,5 +67,12 @@ std::vector<double> CachingPortalClient::GetPDistances(core::Pid from) {
 }
 
 void CachingPortalClient::Invalidate() { view_.reset(); }
+
+void CachingPortalClient::EnableUdpValidation(std::unique_ptr<UdpValidationClient> udp) {
+  if (!udp) {
+    throw std::invalid_argument("CachingPortalClient: null UDP validation client");
+  }
+  udp_ = std::move(udp);
+}
 
 }  // namespace p4p::proto

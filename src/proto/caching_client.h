@@ -34,12 +34,25 @@ class CachingPortalClient {
   /// Forces the next access to refetch unconditionally.
   void Invalidate();
 
+  /// Enables the validate-via-UDP fast path: a TTL refresh first asks the
+  /// UDP validation server (one datagram each way); only when UDP yields no
+  /// answer — drops, corruption, dead server — does the refresh fall back
+  /// to the TCP conditional request. Zero behavior change on failure: every
+  /// UDP outcome that is not a clean NotModified for the held version is
+  /// re-checked authoritatively over TCP.
+  void EnableUdpValidation(std::unique_ptr<UdpValidationClient> udp);
+  bool validate_via_udp() const { return udp_ != nullptr; }
+
   /// Full matrix transfers (cold fetches and version-miss refreshes).
   std::size_t fetch_count() const { return fetch_count_; }
   /// Accesses served from the in-memory cache within the TTL.
   std::size_t hit_count() const { return hit_count_; }
   /// TTL refreshes answered NotModified (cached matrix kept).
   std::size_t validation_count() const { return validation_count_; }
+  /// TTL refreshes validated over UDP (subset of validation_count).
+  std::size_t udp_validation_count() const { return udp_validation_count_; }
+  /// UDP validation attempts that fell back to the TCP path.
+  std::size_t udp_fallback_count() const { return udp_fallback_count_; }
 
  private:
   struct CachedView {
@@ -51,10 +64,13 @@ class CachingPortalClient {
   PortalClient client_;
   std::function<double()> clock_;
   double ttl_;
+  std::unique_ptr<UdpValidationClient> udp_;
   std::optional<CachedView> view_;
   std::size_t fetch_count_ = 0;
   std::size_t hit_count_ = 0;
   std::size_t validation_count_ = 0;
+  std::size_t udp_validation_count_ = 0;
+  std::size_t udp_fallback_count_ = 0;
 };
 
 }  // namespace p4p::proto

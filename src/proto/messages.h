@@ -109,4 +109,55 @@ std::optional<Message> Decode(std::span<const std::uint8_t> bytes);
 
 MsgType TypeOf(const Message& message);
 
+// --- UDP validation datagram codec -----------------------------------------
+//
+// The conditional (`if_version` -> NotModified) exchange compressed into one
+// datagram each way, for short-lived clients that would otherwise pay a TCP
+// handshake just to learn "nothing changed". The datagram layout is
+//   magic (u32) | protocol version (u8) | tag (u8) | ... | checksum (u32)
+// where the trailing checksum is FNV-1a over everything before it: UDP
+// corruption (and the fault injector's bit flips) must never decode into a
+// wrong answer. A response embeds the server's pre-encoded NotModifiedResp
+// frame verbatim, so the serving path reuses its version-keyed buffer.
+// Decoding is total, mirroring Decode(): malformed bytes yield std::nullopt.
+
+/// First four bytes of every validation datagram ("P4PV").
+inline constexpr std::uint32_t kValidationMagic = 0x50345056u;
+
+/// Hard cap on validation datagram size. Both directions are a few dozen
+/// bytes; anything larger is hostile and rejected before parsing.
+inline constexpr std::size_t kMaxValidationDatagramBytes = 64;
+
+enum class ValidationStatus : std::uint8_t {
+  /// The presented token is current: the client's cached matrix is valid.
+  kNotModified = 1,
+  /// The token is stale or absent: the data must be (re)fetched over TCP.
+  /// UDP never carries a matrix — any response that would not fit in one
+  /// datagram becomes this redirect.
+  kRevalidateOverTcp = 2,
+};
+
+struct ValidationRequest {
+  std::uint64_t nonce = 0;       ///< Echoed verbatim; pairs answer to question.
+  std::uint64_t if_version = 0;  ///< Version token the client holds (0 = none).
+};
+
+struct ValidationResponse {
+  std::uint64_t nonce = 0;
+  ValidationStatus status = ValidationStatus::kRevalidateOverTcp;
+  std::uint64_t version = 0;  ///< The server's current price version.
+};
+
+std::vector<std::uint8_t> EncodeValidationRequest(const ValidationRequest& request);
+/// `not_modified_frame` must be an encoded NotModifiedResp frame carrying
+/// the server's current version; it is embedded as the datagram tail (the
+/// service passes its pre-encoded version-keyed buffer).
+std::vector<std::uint8_t> EncodeValidationResponse(
+    std::uint64_t nonce, ValidationStatus status,
+    std::span<const std::uint8_t> not_modified_frame);
+std::optional<ValidationRequest> DecodeValidationRequest(
+    std::span<const std::uint8_t> datagram);
+std::optional<ValidationResponse> DecodeValidationResponse(
+    std::span<const std::uint8_t> datagram);
+
 }  // namespace p4p::proto

@@ -94,6 +94,41 @@ ITrackerService::encoded_policy() const {
   return next;
 }
 
+SharedResponse ITrackerService::ValidationFrame(std::uint64_t* version_out) const {
+  // version() is the cheap atomic counter; unlike snapshot() it never
+  // triggers a matrix rebuild, so the UDP answer stays O(1) even when the
+  // writer is republishing faster than anyone reads the matrix.
+  const std::uint64_t version = tracker_->version();
+  *version_out = version;
+  if (const auto state = state_.load(std::memory_order_acquire);
+      state && state->version == version) {
+    return Alias(state, state->not_modified);
+  }
+  if (const auto cached = validation_cache_.load(std::memory_order_acquire);
+      cached && cached->version == version) {
+    return Alias(cached, cached->not_modified);
+  }
+  // Racing rebuilds are harmless (last writer wins, both frames correct), so
+  // this tiny encode skips rebuild_mu_.
+  auto next = std::make_shared<EncodedValidation>();
+  next->version = version;
+  next->not_modified = Encode(NotModifiedResp{version});
+  validation_cache_.store(next, std::memory_order_release);
+  return Alias(next, next->not_modified);
+}
+
+std::optional<std::vector<std::uint8_t>> ITrackerService::HandleValidationDatagram(
+    std::span<const std::uint8_t> datagram) const {
+  const auto request = DecodeValidationRequest(datagram);
+  if (!request) return std::nullopt;
+  std::uint64_t version = 0;
+  const auto frame = ValidationFrame(&version);
+  const auto status = (request->if_version != 0 && request->if_version == version)
+                          ? ValidationStatus::kNotModified
+                          : ValidationStatus::kRevalidateOverTcp;
+  return EncodeValidationResponse(request->nonce, status, *frame);
+}
+
 SharedResponse ITrackerService::TryServeCached(
     std::span<const std::uint8_t> request) const {
   if (!options_.enable_response_cache) return nullptr;

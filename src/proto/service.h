@@ -58,6 +58,14 @@ class ITrackerService {
   /// current version).
   SharedResponse HandleShared(std::span<const std::uint8_t> request) const;
 
+  /// Answers one UDP validation datagram: one atomic version load plus the
+  /// pre-encoded NotModifiedResp frame (shared with the TCP serving path
+  /// when its cache is warm). Returns std::nullopt for anything that does
+  /// not parse as a validation request — the server stays silent instead of
+  /// amplifying garbage.
+  std::optional<std::vector<std::uint8_t>> HandleValidationDatagram(
+      std::span<const std::uint8_t> datagram) const;
+
   /// Adapter for the transports.
   Handler handler() const {
     return [this](std::span<const std::uint8_t> req) { return Handle(req); };
@@ -65,6 +73,12 @@ class ITrackerService {
   /// Zero-copy adapter for TcpServer.
   SharedHandler shared_handler() const {
     return [this](std::span<const std::uint8_t> req) { return HandleShared(req); };
+  }
+  /// Adapter for UdpValidationServer.
+  DatagramHandler validation_handler() const {
+    return [this](std::span<const std::uint8_t> d) {
+      return HandleValidationDatagram(d);
+    };
   }
 
  private:
@@ -79,6 +93,13 @@ class ITrackerService {
     std::uint64_t version = 0;
     std::vector<std::uint8_t> bytes;  // GetPolicyResp
   };
+  /// Frame-only cache for the UDP path: when the full EncodedState is stale
+  /// the validation answer re-encodes just the ~10-byte NotModifiedResp
+  /// frame instead of paying a whole matrix encode.
+  struct EncodedValidation {
+    std::uint64_t version = 0;
+    std::vector<std::uint8_t> not_modified;
+  };
 
   Message Dispatch(const Message& request) const;
   /// Serves a request from the pre-encoded caches when possible; null means
@@ -86,6 +107,9 @@ class ITrackerService {
   SharedResponse TryServeCached(std::span<const std::uint8_t> request) const;
   std::shared_ptr<const EncodedState> encoded_state() const;
   std::shared_ptr<const EncodedPolicy> encoded_policy() const;
+  /// The current-version NotModifiedResp frame, and that version, for the
+  /// UDP validation answer.
+  SharedResponse ValidationFrame(std::uint64_t* version_out) const;
 
   const core::ITracker* tracker_;
   const core::PolicyRegistry* policy_;
@@ -94,6 +118,7 @@ class ITrackerService {
   ServiceOptions options_;
   mutable std::atomic<std::shared_ptr<const EncodedState>> state_;
   mutable std::atomic<std::shared_ptr<const EncodedPolicy>> policy_cache_;
+  mutable std::atomic<std::shared_ptr<const EncodedValidation>> validation_cache_;
   /// Serializes cache rebuilds (not lookups) so one thread encodes per
   /// version while the rest keep serving the old buffers.
   mutable std::mutex rebuild_mu_;

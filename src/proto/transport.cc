@@ -3,6 +3,7 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
 #include <sys/socket.h>
@@ -14,6 +15,8 @@
 #include <cstring>
 #include <deque>
 #include <unordered_map>
+
+#include "proto/messages.h"
 
 namespace p4p::proto {
 
@@ -428,6 +431,204 @@ std::vector<std::uint8_t> TcpClient::Call(std::span<const std::uint8_t> request)
     throw std::runtime_error("TcpClient: receive failed");
   }
   return response;
+}
+
+// ---------------------------------------------------------------------------
+// UDP validation fast path.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+sockaddr_in LoopbackAddr(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  return addr;
+}
+
+/// Largest datagram the server/client will read. Validation datagrams are a
+/// few dozen bytes; reading more just lets the codec reject the excess.
+constexpr std::size_t kDatagramReadBytes = 2048;
+
+}  // namespace
+
+UdpValidationServer::UdpValidationServer(std::uint16_t port, DatagramHandler handler)
+    : handler_(std::move(handler)) {
+  if (!handler_) {
+    throw std::invalid_argument("UdpValidationServer: null handler");
+  }
+  fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd_ < 0) ThrowErrno("socket");
+  sockaddr_in addr = LoopbackAddr(port);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd_);
+    ThrowErrno("bind");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    ::close(fd_);
+    ThrowErrno("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void UdpValidationServer::Loop() {
+  std::vector<std::uint8_t> buf(kDatagramReadBytes);
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pollfd pfd{fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 200);  // backstop for a lost wake datagram
+    if (stopping_.load(std::memory_order_acquire)) break;
+    if (ready <= 0) continue;
+    sockaddr_in peer{};
+    socklen_t peer_len = sizeof(peer);
+    const ssize_t n = ::recvfrom(fd_, buf.data(), buf.size(), 0,
+                                 reinterpret_cast<sockaddr*>(&peer), &peer_len);
+    if (n < 0) continue;  // EINTR / transient; stopping_ is checked above
+    if (stopping_.load(std::memory_order_acquire)) break;
+    received_.fetch_add(1, std::memory_order_relaxed);
+    std::optional<std::vector<std::uint8_t>> response;
+    try {
+      response = handler_(std::span<const std::uint8_t>(
+          buf.data(), static_cast<std::size_t>(n)));
+    } catch (const std::exception&) {
+      response.reset();  // a throwing handler stays silent, never kills the loop
+    }
+    if (!response) {
+      ignored_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    (void)::sendto(fd_, response->data(), response->size(), MSG_NOSIGNAL,
+                   reinterpret_cast<sockaddr*>(&peer), peer_len);
+    answered_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void UdpValidationServer::Stop() {
+  if (stopping_.exchange(true)) return;
+  // Wake the loop instantly with a throwaway datagram; the poll timeout is
+  // only the backstop if this send is dropped.
+  const int s = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (s >= 0) {
+    sockaddr_in addr = LoopbackAddr(port_);
+    (void)::sendto(s, "", 0, MSG_NOSIGNAL, reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr));
+    ::close(s);
+  }
+  if (thread_.joinable()) thread_.join();
+  ::close(fd_);
+  fd_ = -1;
+}
+
+UdpValidationServer::~UdpValidationServer() { Stop(); }
+
+UdpClientTransport::UdpClientTransport(std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd_ < 0) ThrowErrno("socket");
+  sockaddr_in addr = LoopbackAddr(port);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    ThrowErrno("connect");
+  }
+}
+
+UdpClientTransport::~UdpClientTransport() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool UdpClientTransport::Send(std::span<const std::uint8_t> datagram) {
+  const ssize_t n = ::send(fd_, datagram.data(), datagram.size(), MSG_NOSIGNAL);
+  return n == static_cast<ssize_t>(datagram.size());
+}
+
+std::optional<std::vector<std::uint8_t>> UdpClientTransport::Receive(
+    std::chrono::milliseconds timeout) {
+  pollfd pfd{fd_, POLLIN, 0};
+  const int ms = static_cast<int>(std::clamp<long long>(timeout.count(), 0, 60'000));
+  const int ready = ::poll(&pfd, 1, ms);
+  if (ready <= 0) return std::nullopt;
+  std::vector<std::uint8_t> buf(kDatagramReadBytes);
+  const ssize_t n = ::recv(fd_, buf.data(), buf.size(), 0);
+  // n < 0 covers ECONNREFUSED from a dead server's ICMP bounce: report "no
+  // answer" and let the retry/fallback logic take it from there.
+  if (n < 0) return std::nullopt;
+  buf.resize(static_cast<std::size_t>(n));
+  return buf;
+}
+
+UdpValidationClient::UdpValidationClient(std::unique_ptr<DatagramTransport> transport,
+                                         UdpValidationOptions options,
+                                         std::function<std::uint64_t()> nonce_source)
+    : transport_(std::move(transport)), options_(options),
+      nonce_source_(std::move(nonce_source)), rng_(std::random_device{}()) {
+  if (!transport_) {
+    throw std::invalid_argument("UdpValidationClient: null transport");
+  }
+  if (options_.max_tries < 1) {
+    throw std::invalid_argument("UdpValidationClient: max_tries must be >= 1");
+  }
+  if (!(options_.backoff_factor >= 1.0)) {
+    throw std::invalid_argument("UdpValidationClient: backoff_factor must be >= 1");
+  }
+}
+
+std::chrono::milliseconds UdpValidationClient::TryTimeout(int attempt) const {
+  double ms = static_cast<double>(options_.initial_timeout.count());
+  for (int i = 0; i < attempt; ++i) ms *= options_.backoff_factor;
+  ms = std::min(ms, static_cast<double>(options_.max_timeout.count()));
+  return std::chrono::milliseconds(static_cast<long long>(ms));
+}
+
+std::optional<UdpValidationOutcome> UdpValidationClient::Validate(
+    std::uint64_t if_version) {
+  // Bound on datagrams consumed per try: a flood of garbage (or an injected
+  // duplicate storm) must not keep one try alive forever.
+  constexpr int kMaxReceivesPerTry = 64;
+
+  std::vector<std::uint64_t> nonces;
+  nonces.reserve(static_cast<std::size_t>(options_.max_tries));
+  for (int attempt = 0; attempt < options_.max_tries; ++attempt) {
+    const std::uint64_t nonce = nonce_source_ ? nonce_source_() : rng_();
+    nonces.push_back(nonce);
+    ++sent_;
+    if (!transport_->Send(EncodeValidationRequest({nonce, if_version}))) {
+      ++timeouts_;  // local send failure burns the try like a timeout
+      continue;
+    }
+    auto remaining = TryTimeout(attempt);
+    for (int receives = 0; receives < kMaxReceivesPerTry; ++receives) {
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto datagram = transport_->Receive(remaining);
+      if (!datagram) {
+        ++timeouts_;
+        break;
+      }
+      const auto response = DecodeValidationResponse(*datagram);
+      if (response &&
+          std::find(nonces.begin(), nonces.end(), response->nonce) != nonces.end()) {
+        ++answers_;
+        return UdpValidationOutcome{
+            response->status == ValidationStatus::kNotModified, response->version};
+      }
+      if (!response) {
+        ++rejected_;
+      } else {
+        ++nonce_mismatches_;
+      }
+      // Keep waiting out this try's remaining budget for a usable answer.
+      const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - t0);
+      remaining -= std::min(elapsed, remaining);
+      if (remaining <= std::chrono::milliseconds(0)) {
+        ++timeouts_;
+        break;
+      }
+    }
+  }
+  ++fallbacks_;
+  return std::nullopt;
 }
 
 }  // namespace p4p::proto

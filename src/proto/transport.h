@@ -12,10 +12,13 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
+#include <random>
 #include <span>
 #include <stdexcept>
 #include <thread>
@@ -119,6 +122,150 @@ class TcpClient final : public Transport {
 
  private:
   int fd_ = -1;
+};
+
+// --- UDP validation fast path ----------------------------------------------
+//
+// The conditional (`if_version` -> NotModified) exchange over one datagram
+// each way: no handshake, no connection state, one atomic version check per
+// answer. UDP drops, duplicates, reorders, and corrupts, so the client owns
+// retries (per-try timeout, exponential backoff, retry cap) and callers fall
+// back to the TCP path whenever Validate() returns no answer.
+
+/// Handles one request datagram and produces the response datagram, or
+/// std::nullopt to stay silent (garbage never gets amplified).
+using DatagramHandler =
+    std::function<std::optional<std::vector<std::uint8_t>>(std::span<const std::uint8_t>)>;
+
+/// Client-side best-effort datagram channel. Implemented by the UDP socket
+/// transport below and by the deterministic fault-injection transport in
+/// tests/support.
+class DatagramTransport {
+ public:
+  virtual ~DatagramTransport() = default;
+  /// Sends one datagram. Returns false on local failure only; true does not
+  /// imply delivery (the network may drop it silently).
+  virtual bool Send(std::span<const std::uint8_t> datagram) = 0;
+  /// Waits up to `timeout` for one datagram; std::nullopt when none arrived
+  /// (the caller treats that as this try's timeout).
+  virtual std::optional<std::vector<std::uint8_t>> Receive(
+      std::chrono::milliseconds timeout) = 0;
+};
+
+/// Loopback UDP server answering validation datagrams on a single socket.
+/// One receive loop thread: each accepted datagram costs the handler (for
+/// ITrackerService, one atomic version load + a pre-encoded frame), so a
+/// thread pool would only add cross-core handoffs to a ~30-byte exchange.
+class UdpValidationServer {
+ public:
+  /// Binds 127.0.0.1:port (0 picks an ephemeral port) and starts the
+  /// receive loop. Throws std::runtime_error on socket failure.
+  UdpValidationServer(std::uint16_t port, DatagramHandler handler);
+  ~UdpValidationServer();
+
+  UdpValidationServer(const UdpValidationServer&) = delete;
+  UdpValidationServer& operator=(const UdpValidationServer&) = delete;
+
+  std::uint16_t port() const { return port_; }
+  void Stop();
+
+  std::uint64_t received_count() const { return received_.load(); }
+  std::uint64_t answered_count() const { return answered_.load(); }
+  /// Datagrams the handler declined to answer (malformed / wrong magic).
+  std::uint64_t ignored_count() const { return ignored_.load(); }
+
+ private:
+  void Loop();
+
+  DatagramHandler handler_;
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> received_{0};
+  std::atomic<std::uint64_t> answered_{0};
+  std::atomic<std::uint64_t> ignored_{0};
+  std::thread thread_;
+};
+
+/// Connected UDP socket to 127.0.0.1:port. Receive uses poll(), so a
+/// blackholed server costs exactly the configured timeout, never a hang.
+class UdpClientTransport final : public DatagramTransport {
+ public:
+  explicit UdpClientTransport(std::uint16_t port);
+  ~UdpClientTransport() override;
+
+  UdpClientTransport(const UdpClientTransport&) = delete;
+  UdpClientTransport& operator=(const UdpClientTransport&) = delete;
+
+  bool Send(std::span<const std::uint8_t> datagram) override;
+  std::optional<std::vector<std::uint8_t>> Receive(
+      std::chrono::milliseconds timeout) override;
+
+ private:
+  int fd_ = -1;
+};
+
+struct UdpValidationOptions {
+  /// Total datagram attempts before giving up (>= 1).
+  int max_tries = 4;
+  /// Wait for the first try's answer; later tries back off geometrically.
+  std::chrono::milliseconds initial_timeout{20};
+  double backoff_factor = 2.0;
+  /// Cap on any single try's wait, so max_tries * max_timeout bounds the
+  /// whole call.
+  std::chrono::milliseconds max_timeout{250};
+};
+
+struct UdpValidationOutcome {
+  /// True: the presented token is current, the cached data is valid.
+  /// False: stale — refetch over TCP.
+  bool not_modified = false;
+  std::uint64_t version = 0;  ///< The server's current version.
+};
+
+/// One-datagram-each-way validation client over any DatagramTransport.
+/// Validate() either returns the server's answer or std::nullopt after the
+/// retry cap — callers then fall back to TCP, so a lossy or dead UDP path
+/// degrades to exactly the pre-UDP behavior. Answers are matched by nonce
+/// (any nonce sent within the same call is accepted, so a delayed answer to
+/// an earlier try still counts); mismatched or malformed datagrams are
+/// discarded without consuming the try's full timeout budget.
+///
+/// Not thread-safe: one instance per validating thread.
+class UdpValidationClient {
+ public:
+  /// `nonce_source` overrides the per-try nonce generator (deterministic
+  /// tests); by default nonces come from a randomly seeded PRNG.
+  explicit UdpValidationClient(std::unique_ptr<DatagramTransport> transport,
+                               UdpValidationOptions options = {},
+                               std::function<std::uint64_t()> nonce_source = {});
+
+  std::optional<UdpValidationOutcome> Validate(std::uint64_t if_version);
+
+  std::uint64_t sent_count() const { return sent_; }
+  std::uint64_t answer_count() const { return answers_; }
+  /// Tries that expired without a usable answer.
+  std::uint64_t timeout_count() const { return timeouts_; }
+  /// Datagrams discarded as malformed (bad magic/checksum/truncation).
+  std::uint64_t rejected_count() const { return rejected_; }
+  /// Well-formed responses whose nonce matched no outstanding request.
+  std::uint64_t nonce_mismatch_count() const { return nonce_mismatches_; }
+  /// Validate() calls that exhausted every try (caller fell back to TCP).
+  std::uint64_t fallback_count() const { return fallbacks_; }
+
+ private:
+  std::chrono::milliseconds TryTimeout(int attempt) const;
+
+  std::unique_ptr<DatagramTransport> transport_;
+  UdpValidationOptions options_;
+  std::function<std::uint64_t()> nonce_source_;
+  std::mt19937_64 rng_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t answers_ = 0;
+  std::uint64_t timeouts_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t nonce_mismatches_ = 0;
+  std::uint64_t fallbacks_ = 0;
 };
 
 }  // namespace p4p::proto

@@ -45,6 +45,10 @@ void Writer::f64_vec(std::span<const double> values) {
   for (double v : values) f64(v);
 }
 
+void Writer::raw(std::span<const std::uint8_t> bytes) {
+  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+}
+
 bool Reader::take(std::size_t n, const std::uint8_t** out) {
   if (!ok_ || data_.size() - pos_ < n) {
     ok_ = false;

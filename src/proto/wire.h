@@ -35,6 +35,8 @@ class Writer {
   void str(std::string_view s);
   /// Length-prefixed (u32) vector of doubles.
   void f64_vec(std::span<const double> values);
+  /// Appends raw bytes verbatim (used to embed pre-encoded frames).
+  void raw(std::span<const std::uint8_t> bytes);
 
   const std::vector<std::uint8_t>& bytes() const { return buf_; }
   std::vector<std::uint8_t> take() { return std::move(buf_); }

@@ -9,7 +9,9 @@
 // the whole mesh. Runs under TSan in CI to catch data races the assertion
 // itself cannot see.
 #include <atomic>
+#include <chrono>
 #include <cmath>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -164,6 +166,78 @@ TEST(PortalConcurrency, InProcessReadersRaceWriter) {
   stop.store(true, std::memory_order_release);
   writer.join();
   EXPECT_EQ(inconsistent.load(), 0);
+}
+
+TEST(PortalConcurrency, UdpValidationHammeredWhileRepublishing) {
+  // One UdpValidationServer hammered by 8 threads of validating clients
+  // while a writer republishes snapshots. Versions are published as a
+  // monotone counter, so "the answer's token was current at some point
+  // during the run" is exactly: first_version <= token <= version-now.
+  net::Graph graph = net::MakeAbilene();
+  net::RoutingTable routing(graph);
+  core::ITrackerConfig config;
+  config.mode = core::PriceMode::kStatic;
+  core::ITracker tracker(graph, routing, config);
+  std::vector<double> ones(graph.link_count(), 1.0);
+  tracker.SetStaticPrices(ones);
+  const std::uint64_t first_version = tracker.version();
+
+  ITrackerService service(&tracker);
+  UdpValidationServer server(0, service.validation_handler());
+
+  constexpr int kClients = 8;
+  constexpr int kCallsPerClient = 40;
+  std::atomic<bool> stop{false};
+  std::atomic<int> bad_versions{0};
+  std::atomic<int> bad_not_modified{0};
+  std::atomic<int> answers{0};
+
+  std::thread writer([&] {
+    double k = 2.0;
+    std::vector<double> prices(graph.link_count());
+    while (!stop.load(std::memory_order_acquire)) {
+      prices.assign(prices.size(), k);
+      tracker.SetStaticPrices(prices);
+      k = (k < 1e6) ? k + 1.0 : 2.0;
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      UdpValidationOptions options;
+      options.max_tries = 3;
+      options.initial_timeout = std::chrono::milliseconds(100);
+      options.max_timeout = std::chrono::milliseconds(300);
+      UdpValidationClient client(
+          std::make_unique<UdpClientTransport>(server.port()), options);
+      std::uint64_t held = 0;  // token from the previous answer
+      for (int i = 0; i < kCallsPerClient; ++i) {
+        const auto outcome = client.Validate(held);
+        if (!outcome) continue;  // loopback loss is rare but legal
+        ++answers;
+        // The token must have been current at some point during the run.
+        if (outcome->version < first_version ||
+            outcome->version > tracker.version()) {
+          ++bad_versions;
+        }
+        // NotModified is only a correct answer for the exact token asked.
+        if (outcome->not_modified && outcome->version != held) {
+          ++bad_not_modified;
+        }
+        held = outcome->version;
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  stop.store(true, std::memory_order_release);
+  writer.join();
+
+  EXPECT_EQ(bad_versions.load(), 0);
+  EXPECT_EQ(bad_not_modified.load(), 0);
+  EXPECT_GT(answers.load(), 0);
+  EXPECT_GE(server.answered_count(), static_cast<std::uint64_t>(answers.load()));
 }
 
 }  // namespace

@@ -218,5 +218,165 @@ TEST(Messages, MutatedValidMessagesNeverCrash) {
   }
 }
 
+// --- UDP validation datagram codec -----------------------------------------
+
+TEST(ValidationDatagrams, RequestRoundTrip) {
+  const auto bytes = EncodeValidationRequest({0xDEADBEEFCAFEBABEull, 42u});
+  EXPECT_LE(bytes.size(), kMaxValidationDatagramBytes);
+  const auto decoded = DecodeValidationRequest(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->nonce, 0xDEADBEEFCAFEBABEull);
+  EXPECT_EQ(decoded->if_version, 42u);
+}
+
+TEST(ValidationDatagrams, ResponseRoundTripReusesNotModifiedFrame) {
+  // The response tail is the server's pre-encoded NotModifiedResp frame.
+  const auto frame = Encode(NotModifiedResp{77u});
+  const auto bytes =
+      EncodeValidationResponse(123u, ValidationStatus::kNotModified, frame);
+  EXPECT_LE(bytes.size(), kMaxValidationDatagramBytes);
+  const auto decoded = DecodeValidationResponse(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->nonce, 123u);
+  EXPECT_EQ(decoded->status, ValidationStatus::kNotModified);
+  EXPECT_EQ(decoded->version, 77u);
+
+  const auto redirect =
+      EncodeValidationResponse(9u, ValidationStatus::kRevalidateOverTcp, frame);
+  const auto r = DecodeValidationResponse(redirect);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->status, ValidationStatus::kRevalidateOverTcp);
+  EXPECT_EQ(r->version, 77u);
+}
+
+TEST(ValidationDatagrams, TruncationRejectedAtEveryLength) {
+  const auto request = EncodeValidationRequest({1u, 2u});
+  for (std::size_t len = 0; len < request.size(); ++len) {
+    EXPECT_FALSE(DecodeValidationRequest(
+                     std::span<const std::uint8_t>(request.data(), len))
+                     .has_value())
+        << "request truncated to " << len;
+  }
+  const auto response = EncodeValidationResponse(
+      1u, ValidationStatus::kNotModified, Encode(NotModifiedResp{5u}));
+  for (std::size_t len = 0; len < response.size(); ++len) {
+    EXPECT_FALSE(DecodeValidationResponse(
+                     std::span<const std::uint8_t>(response.data(), len))
+                     .has_value())
+        << "response truncated to " << len;
+  }
+}
+
+TEST(ValidationDatagrams, BadMagicRejected) {
+  auto request = EncodeValidationRequest({1u, 2u});
+  request[0] ^= 0xFF;
+  EXPECT_FALSE(DecodeValidationRequest(request).has_value());
+  auto response = EncodeValidationResponse(1u, ValidationStatus::kNotModified,
+                                           Encode(NotModifiedResp{5u}));
+  response[0] ^= 0xFF;
+  EXPECT_FALSE(DecodeValidationResponse(response).has_value());
+}
+
+TEST(ValidationDatagrams, CrossedTagsRejected) {
+  // A request parsed as a response (and vice versa) must fail.
+  const auto request = EncodeValidationRequest({1u, 2u});
+  EXPECT_FALSE(DecodeValidationResponse(request).has_value());
+  const auto response = EncodeValidationResponse(1u, ValidationStatus::kNotModified,
+                                                 Encode(NotModifiedResp{5u}));
+  EXPECT_FALSE(DecodeValidationRequest(response).has_value());
+}
+
+TEST(ValidationDatagrams, OversizedDatagramRejected) {
+  // Valid prefix + padding past the cap: rejected before any parsing.
+  auto bytes = EncodeValidationRequest({1u, 2u});
+  bytes.resize(kMaxValidationDatagramBytes + 1, 0x00);
+  EXPECT_FALSE(DecodeValidationRequest(bytes).has_value());
+  std::vector<std::uint8_t> huge(4096, 0xAB);
+  EXPECT_FALSE(DecodeValidationRequest(huge).has_value());
+  EXPECT_FALSE(DecodeValidationResponse(huge).has_value());
+}
+
+TEST(ValidationDatagrams, EverySingleBitFlipRejected) {
+  // The trailing checksum must catch any single-bit corruption — this is
+  // what makes "never a wrong answer" hold on a corrupting network.
+  const auto request = EncodeValidationRequest({0x1122334455667788ull, 7u});
+  for (std::size_t byte = 0; byte < request.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      auto mutated = request;
+      mutated[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      EXPECT_FALSE(DecodeValidationRequest(mutated).has_value())
+          << "bit " << bit << " of byte " << byte;
+    }
+  }
+  const auto response = EncodeValidationResponse(
+      0x99AABBCCDDEEFF00ull, ValidationStatus::kNotModified,
+      Encode(NotModifiedResp{1234567u}));
+  for (std::size_t byte = 0; byte < response.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      auto mutated = response;
+      mutated[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      EXPECT_FALSE(DecodeValidationResponse(mutated).has_value())
+          << "bit " << bit << " of byte " << byte;
+    }
+  }
+}
+
+TEST(ValidationDatagrams, BadStatusAndBadInnerFrameRejected) {
+  // Unknown status byte (checksum recomputed so only the status is wrong).
+  // Encode via the public encoder with a corrupted status is impossible, so
+  // splice: body with patched status + fresh checksum must still fail on
+  // the status check.
+  const auto frame = Encode(NotModifiedResp{5u});
+  auto bytes = EncodeValidationResponse(1u, ValidationStatus::kNotModified, frame);
+  bytes[6] = 0x7F;  // status byte
+  // Recompute FNV-1a over the body so the checksum passes.
+  std::uint32_t h = 2166136261u;
+  for (std::size_t i = 0; i + 4 < bytes.size(); ++i) {
+    h ^= bytes[i];
+    h *= 16777619u;
+  }
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    bytes[bytes.size() - 4 + static_cast<std::size_t>(3 - shift / 8)] =
+        static_cast<std::uint8_t>(h >> shift);
+  }
+  EXPECT_FALSE(DecodeValidationResponse(bytes).has_value());
+
+  // An embedded frame that is not NotModifiedResp is rejected even though
+  // the datagram is otherwise well-formed.
+  const auto wrong_inner = EncodeValidationResponse(
+      1u, ValidationStatus::kNotModified, Encode(ErrorMsg{"x"}));
+  EXPECT_FALSE(DecodeValidationResponse(wrong_inner).has_value());
+}
+
+TEST(ValidationDatagrams, FuzzDecodeNeverCrashes) {
+  std::mt19937_64 rng(4242);
+  std::uniform_int_distribution<int> byte(0, 255);
+  std::uniform_int_distribution<int> len(0, 96);
+  for (int trial = 0; trial < 5000; ++trial) {
+    std::vector<std::uint8_t> bytes(static_cast<std::size_t>(len(rng)));
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(byte(rng));
+    (void)DecodeValidationRequest(bytes);   // must not crash/throw
+    (void)DecodeValidationResponse(bytes);  // must not crash/throw
+  }
+}
+
+TEST(ValidationDatagrams, MutatedValidDatagramsNeverCrash) {
+  const auto request = EncodeValidationRequest({42u, 7u});
+  const auto response = EncodeValidationResponse(
+      42u, ValidationStatus::kNotModified, Encode(NotModifiedResp{7u}));
+  std::mt19937_64 rng(17);
+  std::uniform_int_distribution<int> byte(0, 255);
+  for (int trial = 0; trial < 5000; ++trial) {
+    auto a = request;
+    auto b = response;
+    a[std::uniform_int_distribution<std::size_t>(0, a.size() - 1)(rng)] =
+        static_cast<std::uint8_t>(byte(rng));
+    b[std::uniform_int_distribution<std::size_t>(0, b.size() - 1)(rng)] =
+        static_cast<std::uint8_t>(byte(rng));
+    (void)DecodeValidationRequest(a);
+    (void)DecodeValidationResponse(b);
+  }
+}
+
 }  // namespace
 }  // namespace p4p::proto

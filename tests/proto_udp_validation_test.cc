@@ -1,0 +1,378 @@
+// The UDP validation fast path on hostile networks.
+//
+// Split into three layers:
+//   * real-socket tests — server/client happy paths, garbage handling, and
+//     a blackholed server (bounded timeout, no hang);
+//   * deterministic lossy-network property tests — the client driven
+//     through FaultInjectingTransport against the real ITrackerService
+//     handler, sweeping drop rates and seeds: every Validate() either
+//     returns the correct answer or no answer (fallback), never a wrong
+//     one, and the same seed replays the same outcome;
+//   * CachingPortalClient regression — with validate_via_udp on and the UDP
+//     path blackholed, TTL refresh still succeeds over TCP and the cached
+//     matrix survives a NotModified.
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/itracker.h"
+#include "net/topology.h"
+#include "proto/caching_client.h"
+#include "proto/messages.h"
+#include "proto/service.h"
+#include "proto/transport.h"
+#include "support/fault_injection.h"
+
+namespace p4p::proto {
+namespace {
+
+using testsupport::FaultInjectingTransport;
+using testsupport::FaultProfile;
+
+/// Tiny timeouts keep every lossy/blackhole test bounded by
+/// max_tries * max_timeout (a few tens of milliseconds).
+UdpValidationOptions FastOptions() {
+  UdpValidationOptions options;
+  options.max_tries = 3;
+  options.initial_timeout = std::chrono::milliseconds(5);
+  options.backoff_factor = 2.0;
+  options.max_timeout = std::chrono::milliseconds(20);
+  return options;
+}
+
+/// Sequential nonces make injected-fault runs replayable.
+std::function<std::uint64_t()> CountingNonce() {
+  auto next = std::make_shared<std::uint64_t>(0);
+  return [next] { return ++*next; };
+}
+
+class UdpValidationTest : public ::testing::Test {
+ protected:
+  UdpValidationTest()
+      : graph_(net::MakeAbilene()), routing_(graph_), tracker_(graph_, routing_),
+        service_(&tracker_) {
+    std::vector<double> traffic(graph_.link_count(), 1e8);
+    tracker_.Update(traffic);  // version > 0 so "current token" is meaningful
+  }
+
+  net::Graph graph_;
+  net::RoutingTable routing_;
+  core::ITracker tracker_;
+  ITrackerService service_;
+};
+
+// --- real sockets -----------------------------------------------------------
+
+TEST_F(UdpValidationTest, CurrentTokenAnsweredNotModified) {
+  UdpValidationServer server(0, service_.validation_handler());
+  UdpValidationClient client(std::make_unique<UdpClientTransport>(server.port()),
+                             {.max_tries = 4,
+                              .initial_timeout = std::chrono::milliseconds(200)});
+  const auto outcome = client.Validate(tracker_.version());
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_TRUE(outcome->not_modified);
+  EXPECT_EQ(outcome->version, tracker_.version());
+  EXPECT_EQ(client.answer_count(), 1u);
+}
+
+TEST_F(UdpValidationTest, StaleTokenRedirectedToTcp) {
+  UdpValidationServer server(0, service_.validation_handler());
+  UdpValidationClient client(std::make_unique<UdpClientTransport>(server.port()),
+                             {.max_tries = 4,
+                              .initial_timeout = std::chrono::milliseconds(200)});
+  const std::uint64_t stale = tracker_.version();
+  std::vector<double> traffic(graph_.link_count(), 2e8);
+  tracker_.Update(traffic);
+  const auto outcome = client.Validate(stale);
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_FALSE(outcome->not_modified);
+  EXPECT_EQ(outcome->version, tracker_.version());
+}
+
+TEST_F(UdpValidationTest, UnconditionalRequestIsRedirect) {
+  // if_version == 0 means "no cached data": UDP never carries the matrix,
+  // so the answer is always the revalidate redirect.
+  UdpValidationServer server(0, service_.validation_handler());
+  UdpValidationClient client(std::make_unique<UdpClientTransport>(server.port()),
+                             {.max_tries = 4,
+                              .initial_timeout = std::chrono::milliseconds(200)});
+  const auto outcome = client.Validate(0);
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_FALSE(outcome->not_modified);
+}
+
+TEST_F(UdpValidationTest, ServerIgnoresGarbageDatagrams) {
+  UdpValidationServer server(0, service_.validation_handler());
+  UdpClientTransport garbage(server.port());
+  const std::vector<std::uint8_t> junk = {0xde, 0xad, 0xbe, 0xef, 0x00};
+  ASSERT_TRUE(garbage.Send(junk));
+  // The server must not answer junk (no amplification) and must keep
+  // serving valid requests afterwards.
+  EXPECT_FALSE(garbage.Receive(std::chrono::milliseconds(50)).has_value());
+  UdpValidationClient client(std::make_unique<UdpClientTransport>(server.port()),
+                             {.max_tries = 4,
+                              .initial_timeout = std::chrono::milliseconds(200)});
+  EXPECT_TRUE(client.Validate(tracker_.version()).has_value());
+  EXPECT_GE(server.ignored_count(), 1u);
+}
+
+TEST_F(UdpValidationTest, BlackholedServerTimesOutBounded) {
+  // A socket that is bound but never read: requests vanish into the kernel
+  // buffer. The client must fail over within max_tries * max_timeout.
+  const int sink = ::socket(AF_INET, SOCK_DGRAM, 0);
+  ASSERT_GE(sink, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(sink, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(sink, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+
+  const auto options = FastOptions();
+  UdpValidationClient client(
+      std::make_unique<UdpClientTransport>(ntohs(addr.sin_port)), options);
+  const auto begin = std::chrono::steady_clock::now();
+  const auto outcome = client.Validate(42);
+  const auto elapsed = std::chrono::steady_clock::now() - begin;
+  EXPECT_FALSE(outcome.has_value());
+  EXPECT_EQ(client.fallback_count(), 1u);
+  EXPECT_EQ(client.sent_count(), static_cast<std::uint64_t>(options.max_tries));
+  // Generous bound: per-try timeouts plus scheduling slack.
+  EXPECT_LT(elapsed, std::chrono::milliseconds(
+                         options.max_timeout.count() * options.max_tries + 500));
+  ::close(sink);
+}
+
+TEST_F(UdpValidationTest, ClientRejectsWrongNonce) {
+  // A handler that answers with a mangled nonce: the client must discard
+  // every response and fall back.
+  DatagramHandler wrong_nonce = [this](std::span<const std::uint8_t> datagram)
+      -> std::optional<std::vector<std::uint8_t>> {
+    const auto request = DecodeValidationRequest(datagram);
+    if (!request) return std::nullopt;
+    const auto frame = Encode(NotModifiedResp{tracker_.version()});
+    return EncodeValidationResponse(request->nonce + 1,
+                                    ValidationStatus::kNotModified, frame);
+  };
+  auto transport = std::make_unique<FaultInjectingTransport>(
+      std::move(wrong_nonce), FaultProfile{}, /*seed=*/1);
+  UdpValidationClient client(std::move(transport), FastOptions(), CountingNonce());
+  EXPECT_FALSE(client.Validate(tracker_.version()).has_value());
+  EXPECT_GE(client.nonce_mismatch_count(), 1u);
+  EXPECT_EQ(client.fallback_count(), 1u);
+}
+
+// --- deterministic lossy-network property tests -----------------------------
+
+struct LossyRunResult {
+  int answers = 0;
+  int fallbacks = 0;
+  std::uint64_t sent = 0;
+  std::uint64_t rejected = 0;
+};
+
+/// Runs `calls` validations against the real service through a faulty link
+/// and asserts the core property: every answer is exactly correct (status
+/// matches whether the token is current; version is the server's). Returns
+/// run statistics for determinism comparisons.
+LossyRunResult RunLossy(const ITrackerService& service, std::uint64_t current_version,
+                        const FaultProfile& faults, std::uint64_t seed, int calls) {
+  LossyRunResult result;
+  auto transport = std::make_unique<FaultInjectingTransport>(
+      service.validation_handler(), faults, seed);
+  UdpValidationClient client(std::move(transport), FastOptions(), CountingNonce());
+  for (int i = 0; i < calls; ++i) {
+    const bool ask_current = (i % 2) == 0;
+    const std::uint64_t token = ask_current ? current_version : current_version + 1000;
+    const auto outcome = client.Validate(token);
+    if (!outcome) {
+      ++result.fallbacks;
+      continue;
+    }
+    ++result.answers;
+    // Never a wrong answer: the status must match the token's currency and
+    // the version must be the server's, bit flips notwithstanding.
+    EXPECT_EQ(outcome->not_modified, ask_current)
+        << "seed=" << seed << " call=" << i;
+    EXPECT_EQ(outcome->version, current_version) << "seed=" << seed << " call=" << i;
+  }
+  result.sent = client.sent_count();
+  result.rejected = client.rejected_count();
+  return result;
+}
+
+TEST_F(UdpValidationTest, LossySweepNeverYieldsWrongAnswer) {
+  const std::uint64_t version = tracker_.version();
+  int total_answers = 0;
+  for (const double drop : {0.0, 0.1, 0.5}) {
+    FaultProfile faults;
+    faults.drop_rate = drop;
+    for (std::uint64_t seed = 1; seed <= 32; ++seed) {
+      const auto run = RunLossy(service_, version, faults, seed, 8);
+      total_answers += run.answers;
+      if (drop == 0.0) {
+        // A lossless link must answer every call on the first try.
+        EXPECT_EQ(run.answers, 8) << "seed=" << seed;
+        EXPECT_EQ(run.fallbacks, 0) << "seed=" << seed;
+      }
+    }
+  }
+  EXPECT_GT(total_answers, 0);
+}
+
+TEST_F(UdpValidationTest, AllFaultsCombinedNeverYieldWrongAnswer) {
+  const std::uint64_t version = tracker_.version();
+  FaultProfile faults;
+  faults.drop_rate = 0.3;
+  faults.duplicate_rate = 0.3;
+  faults.reorder_rate = 0.3;
+  faults.corrupt_rate = 0.3;
+  faults.delay_rate = 0.3;
+  for (std::uint64_t seed = 1; seed <= 32; ++seed) {
+    (void)RunLossy(service_, version, faults, seed, 8);  // asserts inside
+  }
+}
+
+TEST_F(UdpValidationTest, SameSeedReplaysIdentically) {
+  // The acceptance criterion: a 50%-drop run is deterministic — the same
+  // seed reproduces the same answers, fallbacks, and datagram counts.
+  const std::uint64_t version = tracker_.version();
+  FaultProfile faults;
+  faults.drop_rate = 0.5;
+  faults.corrupt_rate = 0.2;
+  faults.duplicate_rate = 0.2;
+  faults.delay_rate = 0.2;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const auto first = RunLossy(service_, version, faults, seed, 16);
+    const auto second = RunLossy(service_, version, faults, seed, 16);
+    EXPECT_EQ(first.answers, second.answers) << "seed=" << seed;
+    EXPECT_EQ(first.fallbacks, second.fallbacks) << "seed=" << seed;
+    EXPECT_EQ(first.sent, second.sent) << "seed=" << seed;
+    EXPECT_EQ(first.rejected, second.rejected) << "seed=" << seed;
+  }
+}
+
+TEST_F(UdpValidationTest, RetryRecoversFromDeterministicDrops) {
+  // Drop exactly the first request datagram: try 1 times out, try 2 wins.
+  int request_index = 0;
+  DatagramHandler handler = service_.validation_handler();
+  DatagramHandler drop_first = [&request_index, handler](
+                                   std::span<const std::uint8_t> datagram)
+      -> std::optional<std::vector<std::uint8_t>> {
+    if (request_index++ == 0) return std::nullopt;  // swallowed by the network
+    return handler(datagram);
+  };
+  auto transport = std::make_unique<FaultInjectingTransport>(
+      std::move(drop_first), FaultProfile{}, /*seed=*/7);
+  UdpValidationClient client(std::move(transport), FastOptions(), CountingNonce());
+  const auto outcome = client.Validate(tracker_.version());
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_TRUE(outcome->not_modified);
+  EXPECT_EQ(client.sent_count(), 2u);
+  EXPECT_EQ(client.timeout_count(), 1u);
+}
+
+TEST_F(UdpValidationTest, DelayedAnswerToEarlierTryStillAccepted) {
+  // Every response is delayed one tick: the answer to try 1 arrives while
+  // try 2 waits. The nonce of any try in the same call must be accepted.
+  FaultProfile response_faults;
+  response_faults.delay_rate = 1.0;
+  response_faults.max_delay_ticks = 1;
+  auto transport = std::make_unique<FaultInjectingTransport>(
+      service_.validation_handler(), FaultProfile{}, response_faults, /*seed=*/3);
+  UdpValidationClient client(std::move(transport), FastOptions(), CountingNonce());
+  const auto outcome = client.Validate(tracker_.version());
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_TRUE(outcome->not_modified);
+}
+
+// --- CachingPortalClient integration ---------------------------------------
+
+TEST_F(UdpValidationTest, CachingClientValidatesViaUdp) {
+  double now = 0.0;
+  CachingPortalClient client(std::make_unique<InProcessTransport>(service_.handler()),
+                             [&now] { return now; }, /*ttl_seconds=*/10.0);
+  client.EnableUdpValidation(std::make_unique<UdpValidationClient>(
+      std::make_unique<FaultInjectingTransport>(service_.validation_handler(),
+                                                FaultProfile{}, /*seed=*/1),
+      FastOptions(), CountingNonce()));
+  ASSERT_TRUE(client.validate_via_udp());
+
+  const auto& view = client.GetExternalView();
+  const auto first_values = view;
+  now = 11.0;  // TTL expired, version unchanged: UDP answers NotModified
+  const auto& revalidated = client.GetExternalView();
+  EXPECT_EQ(client.fetch_count(), 1u);
+  EXPECT_EQ(client.validation_count(), 1u);
+  EXPECT_EQ(client.udp_validation_count(), 1u);
+  EXPECT_EQ(client.udp_fallback_count(), 0u);
+  for (core::Pid i = 0; i < revalidated.size(); ++i) {
+    for (core::Pid j = 0; j < revalidated.size(); ++j) {
+      EXPECT_DOUBLE_EQ(revalidated.at(i, j), first_values.at(i, j));
+    }
+  }
+}
+
+TEST_F(UdpValidationTest, CachingClientBlackholedUdpFallsBackToTcp) {
+  // The regression the issue demands: validate_via_udp on, UDP 100% drop —
+  // TTL refresh must still succeed over TCP and the cached matrix must
+  // survive the NotModified.
+  double now = 0.0;
+  CachingPortalClient client(std::make_unique<InProcessTransport>(service_.handler()),
+                             [&now] { return now; }, /*ttl_seconds=*/10.0);
+  FaultProfile blackhole;
+  blackhole.drop_rate = 1.0;
+  client.EnableUdpValidation(std::make_unique<UdpValidationClient>(
+      std::make_unique<FaultInjectingTransport>(service_.validation_handler(),
+                                                blackhole, /*seed=*/1),
+      FastOptions(), CountingNonce()));
+
+  const auto& view = client.GetExternalView();
+  EXPECT_EQ(view.size(), tracker_.num_pids());
+  now = 11.0;
+  (void)client.GetExternalView();
+  // UDP yielded nothing; the TCP conditional request validated the matrix.
+  EXPECT_EQ(client.udp_fallback_count(), 1u);
+  EXPECT_EQ(client.udp_validation_count(), 0u);
+  EXPECT_EQ(client.validation_count(), 1u);
+  EXPECT_EQ(client.fetch_count(), 1u);
+
+  // And when prices actually move, the fallback fetches fresh data.
+  std::vector<double> traffic(graph_.link_count(), 5e8);
+  tracker_.Update(traffic);
+  now = 22.0;
+  (void)client.GetExternalView();
+  EXPECT_EQ(client.fetch_count(), 2u);
+  EXPECT_EQ(client.udp_fallback_count(), 2u);
+}
+
+TEST_F(UdpValidationTest, CachingClientUdpRedirectTriggersTcpRefetch) {
+  // UDP works but reports the token stale: the client must refetch over TCP
+  // in the same refresh.
+  double now = 0.0;
+  CachingPortalClient client(std::make_unique<InProcessTransport>(service_.handler()),
+                             [&now] { return now; }, /*ttl_seconds=*/10.0);
+  client.EnableUdpValidation(std::make_unique<UdpValidationClient>(
+      std::make_unique<FaultInjectingTransport>(service_.validation_handler(),
+                                                FaultProfile{}, /*seed=*/1),
+      FastOptions(), CountingNonce()));
+
+  (void)client.GetExternalView();
+  std::vector<double> traffic(graph_.link_count(), 7e8);
+  tracker_.Update(traffic);
+  now = 11.0;
+  (void)client.GetExternalView();
+  EXPECT_EQ(client.fetch_count(), 2u);
+  EXPECT_EQ(client.udp_validation_count(), 0u);
+  EXPECT_EQ(client.udp_fallback_count(), 0u);  // UDP answered, just "stale"
+}
+
+}  // namespace
+}  // namespace p4p::proto

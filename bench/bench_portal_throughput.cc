@@ -12,6 +12,10 @@
 //                   rebuild + re-encode each time (worst case).
 //   * validation  — clients present a current version token and get the
 //                   ~16-byte NotModified answer.
+//   * failover    — the primary replica is killed mid-run; the resilient
+//                   client rides it out over the secondary (failover_p99_ms).
+//   * stale       — every replica dead; the caching client serves the
+//                   expired matrix instead of failing (stale_served_total).
 //
 // Emits BENCH_portal.json; P4P_BENCH_SCALE shrinks request counts.
 #include <netinet/in.h>
@@ -32,7 +36,10 @@
 
 #include "common.h"
 #include "net/synth.h"
+#include "proto/caching_client.h"
+#include "proto/directory.h"
 #include "proto/messages.h"
+#include "proto/resilient_client.h"
 #include "proto/service.h"
 #include "proto/transport.h"
 
@@ -327,6 +334,79 @@ int Run() {
   std::printf("  udp validation (NotModified):      %10.0f req/s   p50 %7.1f us   p99 %7.1f us\n",
               udp.rps, udp.p50_us, udp.p99_us);
 
+  // --- failover: the primary replica dies mid-run; the resilient client
+  // rides it out over the secondary. p99 covers the whole run, so it prices
+  // the failed connects + breaker trip, not just the steady state.
+  double failover_p99_ms = 0.0;
+  double failover_count = 0.0;
+  {
+    proto::TcpServer secondary(0, cached.shared_handler(), 2);
+    auto primary = std::make_unique<proto::TcpServer>(0, cached.shared_handler(), 2);
+    proto::PortalDirectory dir;
+    dir.AddRecord("bench.isp", {"primary", primary->port(), 0, 1});
+    dir.AddRecord("bench.isp", {"secondary", secondary.port(), 10, 1});
+    proto::ResilientClientOptions options;
+    options.failure_threshold = 2;
+    options.open_cooldown_seconds = 0.2;
+    options.backoff_initial_seconds = 0.001;
+    options.backoff_max_seconds = 0.01;
+    proto::ResilientPortalClient rclient(
+        &dir, "bench.isp",
+        [](const proto::SrvRecord& r) -> std::unique_ptr<proto::Transport> {
+          return std::make_unique<proto::TcpClient>(r.port);
+        },
+        options);
+    const int total = Scaled(400);
+    std::vector<double> lat_ms;
+    lat_ms.reserve(static_cast<std::size_t>(total));
+    for (int i = 0; i < total; ++i) {
+      if (i == total / 2) primary.reset();  // replica killed mid-run
+      const auto t0 = Clock::now();
+      (void)rclient.Call(view_req);
+      lat_ms.push_back(
+          std::chrono::duration<double, std::milli>(Clock::now() - t0).count());
+    }
+    std::sort(lat_ms.begin(), lat_ms.end());
+    failover_p99_ms = PercentileUs(lat_ms, 0.99);  // vector already in ms
+    failover_count = static_cast<double>(rclient.failover_count());
+  }
+  std::printf("  failover (primary killed mid-run): p99 %7.2f ms   failovers %3.0f\n",
+              failover_p99_ms, failover_count);
+
+  // --- degradation: every replica dead; the cache serves the expired
+  // matrix instead of tearing the error through to peer selection.
+  double stale_served_total = 0.0;
+  {
+    auto only = std::make_unique<proto::TcpServer>(0, cached.shared_handler(), 2);
+    proto::PortalDirectory dir;
+    dir.AddRecord("bench.isp", {"only", only->port(), 0, 1});
+    proto::ResilientClientOptions options;
+    options.failure_threshold = 2;
+    options.open_cooldown_seconds = 60.0;  // stay open for the whole run
+    options.max_attempts = 2;
+    options.backoff_initial_seconds = 0.001;
+    options.backoff_max_seconds = 0.002;
+    double now = 0.0;
+    proto::CachingPortalClient cache(
+        std::make_unique<proto::ResilientPortalClient>(
+            &dir, "bench.isp",
+            [](const proto::SrvRecord& r) -> std::unique_ptr<proto::Transport> {
+              return std::make_unique<proto::TcpClient>(r.port);
+            },
+            options),
+        [&now] { return now; }, /*ttl_seconds=*/1.0, /*max_stale_serves=*/1024);
+    (void)cache.GetExternalView();  // warm
+    only.reset();                   // total outage
+    const int accesses = Scaled(50);
+    for (int i = 0; i < accesses; ++i) {
+      now += 2.0;  // every access finds the TTL expired and the refresh dead
+      (void)cache.TryGetExternalView();
+    }
+    stale_served_total = static_cast<double>(cache.stale_served_total());
+  }
+  std::printf("  stale-while-unreachable:           served %4.0f expired accesses\n",
+              stale_served_total);
+
   const double speedup = baseline.rps > 0 ? hit.rps / baseline.rps : 0.0;
   const double udp_vs_tcp = validation.rps > 0 ? udp.rps / validation.rps : 0.0;
   std::printf("\n  version-hit vs baseline speedup: %.1fx\n", speedup);
@@ -355,6 +435,9 @@ int Run() {
                                           {"udp_validation_p50_us", udp.p50_us},
                                           {"udp_validation_p99_us", udp.p99_us},
                                           {"udp_vs_tcp_validation_speedup", udp_vs_tcp},
+                                          {"failover_p99_ms", failover_p99_ms},
+                                          {"failover_count", failover_count},
+                                          {"stale_served_total", stale_served_total},
                                       });
   return 0;
 }

@@ -13,12 +13,36 @@ AppTracker::AppTracker(std::unique_ptr<sim::PeerSelector> selector, PidMap pid_m
   }
 }
 
+void AppTracker::EnableNativeFallback(ViewProbe probe) {
+  if (!probe) {
+    throw std::invalid_argument("AppTracker: null view probe");
+  }
+  view_probe_ = std::move(probe);
+}
+
 AnnounceResponse AppTracker::Announce(const AnnounceRequest& request) {
   const auto mapping = pid_map_.lookup(request.client_ip);
   if (!mapping) {
     throw std::invalid_argument("AppTracker: client IP '" + request.client_ip +
                                 "' does not resolve to a PID");
   }
+
+  sim::PeerSelector* selector = selector_.get();
+  if (view_probe_) {
+    const bool usable = view_probe_();
+    if (!usable && !degraded_) {
+      degraded_ = true;
+      ++fallback_transitions_;
+    } else if (usable && degraded_) {
+      degraded_ = false;
+      ++recovery_transitions_;
+    }
+    if (!usable) {
+      selector = &native_fallback_;
+      ++degraded_announces_;
+    }
+  }
+
   auto& swarm = swarms_[request.content_id];
 
   sim::PeerInfo info;
@@ -33,7 +57,7 @@ AnnounceResponse AppTracker::Announce(const AnnounceRequest& request) {
   response.assigned_id = info.id;
   response.pid = mapping->pid;
   response.as_number = mapping->as_number;
-  response.peers = selector_->SelectPeers(
+  response.peers = selector->SelectPeers(
       info, std::span<const sim::PeerInfo>(swarm.peers), request.want, rng_);
 
   swarm.peers.push_back(info);

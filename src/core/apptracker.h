@@ -5,8 +5,17 @@
 // set chosen by the configured selection policy. This is the facade used by
 // the examples and by the wire-protocol service; the simulators drive the
 // PeerSelector policies directly.
+//
+// Degraded mode: P4P is opt-in — "peer selection must never block on the
+// portal". With EnableNativeFallback, every announce first probes whether
+// the portal stack still has a usable view (typically
+// CachingPortalClient::TryGetExternalView through ResilientPortalClient);
+// when it does not, selection falls back to the paper's native/random
+// baseline and recovers to guided selection automatically on the next
+// successful refresh. Transitions are counted for tests and benches.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <random>
 #include <string>
@@ -49,6 +58,24 @@ class AppTracker {
   /// Removes a peer from a swarm (no-op if absent).
   void Depart(const std::string& content_id, sim::PeerId peer);
 
+  /// Returns whether the portal view behind the configured selector is
+  /// currently usable; polled once per announce.
+  using ViewProbe = std::function<bool()>;
+
+  /// Arms degraded mode: announces served while `probe` reports no usable
+  /// view use native/random selection instead of the configured selector.
+  /// Throws std::invalid_argument for a null probe.
+  void EnableNativeFallback(ViewProbe probe);
+
+  /// Currently in native-fallback (degraded) mode.
+  bool degraded() const { return degraded_; }
+  /// Announces served by the native fallback selector.
+  std::size_t degraded_announce_count() const { return degraded_announces_; }
+  /// Guided -> native transitions (portal became unusable).
+  std::size_t fallback_transition_count() const { return fallback_transitions_; }
+  /// Native -> guided transitions (portal recovered).
+  std::size_t recovery_transition_count() const { return recovery_transitions_; }
+
   std::size_t swarm_size(const std::string& content_id) const;
   std::size_t swarm_count() const { return swarms_.size(); }
 
@@ -63,6 +90,12 @@ class AppTracker {
   std::unordered_map<std::string, Swarm> swarms_;
   std::mt19937_64 rng_;
   sim::PeerId next_id_ = 0;
+  ViewProbe view_probe_;
+  NativeRandomSelector native_fallback_;
+  bool degraded_ = false;
+  std::size_t degraded_announces_ = 0;
+  std::size_t fallback_transitions_ = 0;
+  std::size_t recovery_transitions_ = 0;
 };
 
 }  // namespace p4p::core

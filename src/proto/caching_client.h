@@ -9,6 +9,15 @@
 // version token and the portal answers with a ~16-byte NotModified when
 // prices have not changed, so a steady-state refresh costs neither a
 // matrix encode nor a matrix transfer.
+//
+// Degradation: when a TTL refresh cannot reach any replica (the transport
+// throws — e.g. ResilientPortalClient exhausted its failover budget), the
+// client enters stale-while-unreachable mode: the expired matrix keeps
+// serving, bounded by a staleness budget, instead of the error tearing
+// through to peer selection. Every later access retries the refresh; the
+// first success clears the staleness. Only when the budget is spent (or no
+// matrix was ever fetched) does the failure surface — at which point
+// AppTracker falls back to native selection.
 #pragma once
 
 #include <functional>
@@ -22,16 +31,26 @@ class CachingPortalClient {
  public:
   /// `clock` returns the current time in seconds (monotonic); injectable
   /// for tests and simulations. Rows/views older than `ttl_seconds` are
-  /// refetched on access.
+  /// refetched on access. `max_stale_serves` bounds how many accesses the
+  /// expired matrix may serve while every replica is unreachable
+  /// (0 disables stale serving: refresh failures throw immediately).
   CachingPortalClient(std::unique_ptr<Transport> transport,
-                      std::function<double()> clock, double ttl_seconds = 60.0);
+                      std::function<double()> clock, double ttl_seconds = 60.0,
+                      std::size_t max_stale_serves = 256);
 
   /// Cached row of p-distances from `from`.
   std::vector<double> GetPDistances(core::Pid from);
   /// Cached full-mesh view.
   const core::PDistanceMatrix& GetExternalView();
 
-  /// Forces the next access to refetch unconditionally.
+  /// As GetExternalView, but failure-tolerant: returns nullptr instead of
+  /// throwing when no usable view exists (never fetched and unreachable, or
+  /// staleness budget spent). The AppTracker probe for degraded mode.
+  const core::PDistanceMatrix* TryGetExternalView();
+
+  /// Forces the next access to refetch unconditionally (dropping the held
+  /// matrix, its version token, and any staleness state — so that refetch
+  /// is a full TCP transfer, never a UDP validation of a forgotten token).
   void Invalidate();
 
   /// Enables the validate-via-UDP fast path: a TTL refresh first asks the
@@ -54,6 +73,14 @@ class CachingPortalClient {
   /// UDP validation attempts that fell back to the TCP path.
   std::size_t udp_fallback_count() const { return udp_fallback_count_; }
 
+  /// Currently serving an expired matrix because replicas are unreachable.
+  bool stale() const { return stale_streak_ > 0; }
+  /// Consecutive stale serves since the last successful refresh (the value
+  /// bounded by `max_stale_serves`).
+  std::size_t stale_serve_count() const { return stale_streak_; }
+  /// Cumulative accesses ever served stale (monotone; benches report this).
+  std::size_t stale_served_total() const { return stale_served_total_; }
+
  private:
   struct CachedView {
     core::PDistanceMatrix view{0};
@@ -61,9 +88,14 @@ class CachingPortalClient {
     double fetched_at = 0.0;
   };
 
+  /// The TTL-expired refresh: UDP validation, then conditional TCP. Throws
+  /// on transport failure (stale handling is the caller's).
+  void Refresh(double now);
+
   PortalClient client_;
   std::function<double()> clock_;
   double ttl_;
+  std::size_t max_stale_serves_;
   std::unique_ptr<UdpValidationClient> udp_;
   std::optional<CachedView> view_;
   std::size_t fetch_count_ = 0;
@@ -71,6 +103,8 @@ class CachingPortalClient {
   std::size_t validation_count_ = 0;
   std::size_t udp_validation_count_ = 0;
   std::size_t udp_fallback_count_ = 0;
+  std::size_t stale_streak_ = 0;
+  std::size_t stale_served_total_ = 0;
 };
 
 }  // namespace p4p::proto

@@ -29,6 +29,8 @@ void EncodeBody(const GetPolicyReq&, Writer&) {}
 
 void EncodeBody(const NotModifiedResp& m, Writer& w) { w.u64(m.version); }
 
+void EncodeBody(const UnavailableResp& m, Writer& w) { w.u32(m.retry_after_ms); }
+
 void EncodeBody(const GetPolicyResp& m, Writer& w) {
   w.f64(m.thresholds.near_congestion_utilization);
   w.f64(m.thresholds.heavy_usage_utilization);
@@ -113,6 +115,14 @@ template <>
 std::optional<Message> DecodeAs<NotModifiedResp>(Reader& r) {
   NotModifiedResp m;
   m.version = r.u64();
+  if (!r.done()) return std::nullopt;
+  return m;
+}
+
+template <>
+std::optional<Message> DecodeAs<UnavailableResp>(Reader& r) {
+  UnavailableResp m;
+  m.retry_after_ms = r.u32();
   if (!r.done()) return std::nullopt;
   return m;
 }
@@ -225,6 +235,7 @@ MsgType TypeOf(const Message& message) {
         if constexpr (std::is_same_v<T, GetPidMapReq>) return MsgType::kGetPidMapReq;
         if constexpr (std::is_same_v<T, GetPidMapResp>) return MsgType::kGetPidMapResp;
         if constexpr (std::is_same_v<T, NotModifiedResp>) return MsgType::kNotModified;
+        if constexpr (std::is_same_v<T, UnavailableResp>) return MsgType::kUnavailable;
       },
       message);
 }
@@ -362,6 +373,7 @@ std::optional<Message> Decode(std::span<const std::uint8_t> bytes) {
     case MsgType::kGetPidMapReq: return DecodeAs<GetPidMapReq>(r);
     case MsgType::kGetPidMapResp: return DecodeAs<GetPidMapResp>(r);
     case MsgType::kNotModified: return DecodeAs<NotModifiedResp>(r);
+    case MsgType::kUnavailable: return DecodeAs<UnavailableResp>(r);
   }
   return std::nullopt;
 }

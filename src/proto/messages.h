@@ -31,6 +31,7 @@ enum class MsgType : std::uint8_t {
   kGetPidMapReq = 9,
   kGetPidMapResp = 10,
   kNotModified = 11,
+  kUnavailable = 12,
 };
 
 struct ErrorMsg {
@@ -69,6 +70,14 @@ struct NotModifiedResp {
   std::uint64_t version = 0;
 };
 
+/// Overload shedding: the portal cannot serve this request right now (its
+/// connection or request queue is full). Unlike ErrorMsg this is explicitly
+/// retryable — `retry_after_ms` hints when; failover clients back off at
+/// least that long before re-asking the same replica.
+struct UnavailableResp {
+  std::uint32_t retry_after_ms = 0;
+};
+
 /// policy interface.
 struct GetPolicyReq {};
 struct GetPolicyResp {
@@ -98,7 +107,8 @@ struct GetPidMapResp {
 using Message =
     std::variant<ErrorMsg, GetPDistancesReq, GetPDistancesResp, GetExternalViewReq,
                  GetExternalViewResp, GetPolicyReq, GetPolicyResp, GetCapabilityReq,
-                 GetCapabilityResp, GetPidMapReq, GetPidMapResp, NotModifiedResp>;
+                 GetCapabilityResp, GetPidMapReq, GetPidMapResp, NotModifiedResp,
+                 UnavailableResp>;
 
 /// Serializes a message (version byte + type byte + payload).
 std::vector<std::uint8_t> Encode(const Message& message);

@@ -262,6 +262,12 @@ Message PortalClient::Call(const Message& request) {
   if (const auto* err = std::get_if<ErrorMsg>(&*decoded)) {
     throw std::runtime_error("PortalClient: server error: " + err->message);
   }
+  if (const auto* busy = std::get_if<UnavailableResp>(&*decoded)) {
+    // Overload shedding answer: retryable by contract, so surface it as the
+    // typed error the failover/staleness layers key on.
+    throw PortalUnavailableError("PortalClient: server overloaded",
+                                 busy->retry_after_ms / 1000.0);
+  }
   return std::move(*decoded);
 }
 

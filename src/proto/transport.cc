@@ -148,7 +148,21 @@ TcpServer::TcpServer(std::uint16_t port, SharedHandler handler, int num_workers)
   Init(port, num_workers);
 }
 
+TcpServer::TcpServer(std::uint16_t port, SharedHandler handler, TcpServerOptions options)
+    : handler_(std::move(handler)), options_(std::move(options)) {
+  if (!handler_) {
+    throw std::invalid_argument("TcpServer: null handler");
+  }
+  Init(port, options_.num_workers);
+}
+
 void TcpServer::Init(std::uint16_t port, int num_workers) {
+  if (options_.max_connections != 0 || options_.max_pipelined_requests != 0) {
+    overload_frame_ = std::make_shared<const std::vector<std::uint8_t>>(
+        options_.overload_response.empty()
+            ? Encode(UnavailableResp{options_.retry_after_ms})
+            : options_.overload_response);
+  }
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) ThrowErrno("socket");
   const int one = 1;
@@ -208,6 +222,18 @@ void TcpServer::AcceptLoop() {
       break;
     }
     SetNoDelay(fd);
+    if (options_.max_connections > 0 &&
+        live_connections_.load(std::memory_order_relaxed) >= options_.max_connections) {
+      // Shed at the door: one tiny Unavailable frame, then close. The frame
+      // fits a fresh socket's empty send buffer, so the nonblocking write is
+      // effectively always complete; a full buffer just means the client
+      // sees a bare close instead of the hint.
+      shed_connections_.fetch_add(1, std::memory_order_relaxed);
+      (void)WriteFrameBlocking(fd, *overload_frame_);
+      ::close(fd);
+      continue;
+    }
+    live_connections_.fetch_add(1, std::memory_order_relaxed);
     // Hand the fd to a worker round-robin; the worker registers it with its
     // epoll the next time it wakes.
     Worker& w = *workers_[next_worker_];
@@ -228,10 +254,18 @@ bool TcpServer::DrainFrames(Connection& conn) {
     if (conn.in.size() - conn.consumed - 4 < len) break;  // incomplete frame
     const std::span<const std::uint8_t> payload(conn.in.data() + conn.consumed + 4, len);
     SharedResponse response;
-    try {
-      response = handler_(payload);
-    } catch (const std::exception&) {
-      return false;  // handler failure: drop the connection
+    if (options_.max_pipelined_requests != 0 &&
+        conn.out.size() >= options_.max_pipelined_requests) {
+      // The reader is slower than its own request stream: shed instead of
+      // queueing handler output without bound.
+      shed_requests_.fetch_add(1, std::memory_order_relaxed);
+      response = overload_frame_;
+    } else {
+      try {
+        response = handler_(payload);
+      } catch (const std::exception&) {
+        return false;  // handler failure: drop the connection
+      }
     }
     if (!response || response->size() > kMaxFrameBytes) return false;
     Connection::OutFrame frame;
@@ -285,10 +319,11 @@ void TcpServer::WorkerLoop(Worker& worker) {
   std::array<epoll_event, 64> events;
   std::vector<std::uint8_t> scratch(64u << 10);
 
-  const auto close_conn = [&worker](int fd) {
+  const auto close_conn = [this, &worker](int fd) {
     ::epoll_ctl(worker.epoll_fd, EPOLL_CTL_DEL, fd, nullptr);
     ::close(fd);
     worker.conns.erase(fd);
+    live_connections_.fetch_sub(1, std::memory_order_relaxed);
   };
 
   while (true) {
@@ -365,6 +400,7 @@ void TcpServer::WorkerLoop(Worker& worker) {
       ev.data.fd = fd;
       if (::epoll_ctl(worker.epoll_fd, EPOLL_CTL_ADD, fd, &ev) != 0) {
         ::close(fd);
+        live_connections_.fetch_sub(1, std::memory_order_relaxed);
         continue;
       }
       worker.conns.emplace(fd, std::move(conn));
@@ -374,13 +410,17 @@ void TcpServer::WorkerLoop(Worker& worker) {
   for (auto& [fd, conn] : worker.conns) {
     ::epoll_ctl(worker.epoll_fd, EPOLL_CTL_DEL, fd, nullptr);
     ::close(fd);
+    live_connections_.fetch_sub(1, std::memory_order_relaxed);
   }
   worker.conns.clear();
   {
     // Connections assigned after the final epoll_wait never got registered;
     // close them too.
     std::lock_guard<std::mutex> lock(worker.mu);
-    for (const int fd : worker.pending) ::close(fd);
+    for (const int fd : worker.pending) {
+      ::close(fd);
+      live_connections_.fetch_sub(1, std::memory_order_relaxed);
+    }
     worker.pending.clear();
   }
 }

@@ -131,5 +131,100 @@ TEST(AppTracker, AssignsMonotonicIds) {
   }
 }
 
+// --- degraded mode: native-selection fallback --------------------------------
+
+/// Counts how often the *configured* (guided) selector actually serves an
+/// announce — degraded announces bypass it for the native fallback.
+class CountingSelector final : public sim::PeerSelector {
+ public:
+  explicit CountingSelector(std::size_t* calls) : calls_(calls) {}
+  std::vector<sim::PeerId> SelectPeers(const sim::PeerInfo& client,
+                                       std::span<const sim::PeerInfo> candidates,
+                                       int m, std::mt19937_64& rng) override {
+    ++*calls_;
+    return native_.SelectPeers(client, candidates, m, rng);
+  }
+  std::string name() const override { return "Counting"; }
+
+ private:
+  std::size_t* calls_;
+  NativeRandomSelector native_;
+};
+
+TEST(AppTracker, NativeFallbackRejectsNullProbe) {
+  auto tracker = MakeTracker();
+  EXPECT_THROW(tracker.EnableNativeFallback(nullptr), std::invalid_argument);
+}
+
+TEST(AppTracker, WithoutFallbackArmedNeverDegrades) {
+  auto tracker = MakeTracker();
+  AnnounceRequest req;
+  req.content_id = "film";
+  req.client_ip = "10.0.0.1";
+  tracker.Announce(req);
+  EXPECT_FALSE(tracker.degraded());
+  EXPECT_EQ(tracker.degraded_announce_count(), 0u);
+}
+
+TEST(AppTracker, FallsBackToNativeWhileViewUnusableAndRecovers) {
+  std::size_t guided_calls = 0;
+  bool view_usable = true;
+  AppTracker tracker(std::make_unique<CountingSelector>(&guided_calls),
+                     TestPidMap(), 7);
+  tracker.EnableNativeFallback([&view_usable] { return view_usable; });
+
+  AnnounceRequest req;
+  req.content_id = "film";
+  for (int i = 0; i < 3; ++i) {
+    req.client_ip = "10.0.0." + std::to_string(i + 1);
+    tracker.Announce(req);
+  }
+  EXPECT_FALSE(tracker.degraded());
+  EXPECT_EQ(guided_calls, 3u);
+
+  // Portal stack loses its view: announces keep succeeding, served native.
+  view_usable = false;
+  for (int i = 0; i < 4; ++i) {
+    req.client_ip = "10.1.0." + std::to_string(i + 1);
+    const auto resp = tracker.Announce(req);
+    EXPECT_TRUE(tracker.degraded());
+    EXPECT_GE(resp.assigned_id, 0);  // still a full announce
+  }
+  EXPECT_EQ(guided_calls, 3u);  // guided selector untouched while degraded
+  EXPECT_EQ(tracker.degraded_announce_count(), 4u);
+  EXPECT_EQ(tracker.fallback_transition_count(), 1u);
+  EXPECT_EQ(tracker.recovery_transition_count(), 0u);
+
+  // View returns: guided selection resumes on the very next announce.
+  view_usable = true;
+  req.client_ip = "10.2.0.1";
+  tracker.Announce(req);
+  EXPECT_FALSE(tracker.degraded());
+  EXPECT_EQ(guided_calls, 4u);
+  EXPECT_EQ(tracker.recovery_transition_count(), 1u);
+  EXPECT_EQ(tracker.swarm_size("film"), 8u);  // no announce was lost
+}
+
+TEST(AppTracker, RepeatedFlapsCountEachTransitionOnce) {
+  std::size_t guided_calls = 0;
+  bool view_usable = true;
+  AppTracker tracker(std::make_unique<CountingSelector>(&guided_calls),
+                     TestPidMap(), 7);
+  tracker.EnableNativeFallback([&view_usable] { return view_usable; });
+  AnnounceRequest req;
+  req.content_id = "film";
+  req.client_ip = "10.0.0.1";
+  for (int flap = 0; flap < 3; ++flap) {
+    view_usable = false;
+    tracker.Announce(req);
+    tracker.Announce(req);  // staying degraded is not a new transition
+    view_usable = true;
+    tracker.Announce(req);
+  }
+  EXPECT_EQ(tracker.fallback_transition_count(), 3u);
+  EXPECT_EQ(tracker.recovery_transition_count(), 3u);
+  EXPECT_EQ(tracker.degraded_announce_count(), 6u);
+}
+
 }  // namespace
 }  // namespace p4p::core

@@ -2,10 +2,30 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <memory>
+
 #include "net/topology.h"
+#include "support/fault_injection.h"
 
 namespace p4p::proto {
 namespace {
+
+/// In-process transport with a kill switch: models "every replica
+/// unreachable" for the stale-while-unreachable tests.
+class FlakyTransport final : public Transport {
+ public:
+  FlakyTransport(Handler backend, const bool* down)
+      : backend_(std::move(backend)), down_(down) {}
+  std::vector<std::uint8_t> Call(std::span<const std::uint8_t> request) override {
+    if (*down_) throw std::runtime_error("FlakyTransport: unreachable");
+    return backend_(request);
+  }
+
+ private:
+  Handler backend_;
+  const bool* down_;
+};
 
 class CachingClientTest : public ::testing::Test {
  protected:
@@ -130,6 +150,129 @@ TEST_F(CachingClientTest, ManySelectionsOneFetch) {
     (void)client.GetPDistances(static_cast<core::Pid>(i % tracker_.num_pids()));
   }
   EXPECT_EQ(client.fetch_count(), 1u);
+}
+
+// --- stale-while-unreachable degradation ------------------------------------
+
+class CachingClientStaleTest : public CachingClientTest {
+ protected:
+  CachingPortalClient MakeFlaky(double ttl, std::size_t stale_cap) {
+    return CachingPortalClient(
+        std::make_unique<FlakyTransport>(service_.handler(), &down_),
+        [this] { return now_; }, ttl, stale_cap);
+  }
+  bool down_ = false;
+};
+
+TEST_F(CachingClientStaleTest, ExpiredMatrixKeepsServingUpToCap) {
+  auto client = MakeFlaky(10.0, 3);
+  const auto warm = client.GetExternalView();
+  down_ = true;
+  now_ = 11.0;
+  for (std::size_t i = 1; i <= 3; ++i) {
+    const auto& view = client.GetExternalView();  // refresh fails, stale serve
+    EXPECT_EQ(view.size(), warm.size());
+    EXPECT_TRUE(client.stale());
+    EXPECT_EQ(client.stale_serve_count(), i);
+  }
+  EXPECT_EQ(client.stale_served_total(), 3u);
+  EXPECT_EQ(client.fetch_count(), 1u);
+  // The budget is spent: the failure now surfaces, and keeps surfacing.
+  EXPECT_THROW(client.GetExternalView(), std::exception);
+  EXPECT_EQ(client.TryGetExternalView(), nullptr);
+  EXPECT_EQ(client.stale_served_total(), 3u);
+}
+
+TEST_F(CachingClientStaleTest, FirstSuccessfulRefreshClearsStaleness) {
+  auto client = MakeFlaky(10.0, 5);
+  client.GetExternalView();
+  down_ = true;
+  now_ = 11.0;
+  client.GetExternalView();
+  client.GetExternalView();
+  ASSERT_EQ(client.stale_serve_count(), 2u);
+  // Replicas return: the very next access refreshes (fetched_at was never
+  // advanced while stale) and the streak resets; the cumulative total stays.
+  down_ = false;
+  client.GetExternalView();
+  EXPECT_FALSE(client.stale());
+  EXPECT_EQ(client.stale_serve_count(), 0u);
+  EXPECT_EQ(client.stale_served_total(), 2u);
+  EXPECT_EQ(client.validation_count(), 1u);  // version unmoved: NotModified
+}
+
+TEST_F(CachingClientStaleTest, ZeroCapDisablesStaleServing) {
+  auto client = MakeFlaky(10.0, 0);
+  client.GetExternalView();
+  down_ = true;
+  now_ = 11.0;
+  EXPECT_THROW(client.GetExternalView(), std::exception);
+  EXPECT_EQ(client.stale_served_total(), 0u);
+}
+
+TEST_F(CachingClientStaleTest, ColdFailureHasNothingToServeStale) {
+  auto client = MakeFlaky(10.0, 100);
+  down_ = true;
+  EXPECT_THROW(client.GetExternalView(), std::exception);
+  EXPECT_EQ(client.TryGetExternalView(), nullptr);
+  down_ = false;
+  EXPECT_NE(client.TryGetExternalView(), nullptr);
+  EXPECT_EQ(client.fetch_count(), 1u);
+}
+
+TEST_F(CachingClientStaleTest, InvalidateDropsStalenessState) {
+  auto client = MakeFlaky(10.0, 3);
+  client.GetExternalView();
+  down_ = true;
+  now_ = 11.0;
+  client.GetExternalView();
+  ASSERT_TRUE(client.stale());
+  client.Invalidate();
+  down_ = false;
+  client.GetExternalView();
+  EXPECT_FALSE(client.stale());
+  EXPECT_EQ(client.fetch_count(), 2u);  // cold fetch: the token was dropped
+  EXPECT_EQ(client.validation_count(), 0u);
+}
+
+// --- Invalidate vs. the UDP fast path (regression) ---------------------------
+
+TEST_F(CachingClientTest, InvalidateSkipsUdpAndGoesStraightToFullFetch) {
+  // Regression: after Invalidate(), the next refresh must be a full TCP
+  // fetch — never a UDP validation of the token that was just forgotten.
+  auto client = MakeClient(10.0);
+  UdpValidationOptions options;
+  options.max_tries = 2;
+  options.initial_timeout = std::chrono::milliseconds(5);
+  auto next_nonce = std::make_shared<std::uint64_t>(0);
+  auto udp = std::make_unique<UdpValidationClient>(
+      std::make_unique<testsupport::FaultInjectingTransport>(
+          service_.validation_handler(), testsupport::FaultProfile{}, /*seed=*/1),
+      options, [next_nonce] { return ++*next_nonce; });
+  const auto* udp_raw = udp.get();
+  client.EnableUdpValidation(std::move(udp));
+
+  client.GetExternalView();
+  now_ = 11.0;  // TTL refresh: the UDP fast path answers NotModified
+  client.GetExternalView();
+  ASSERT_EQ(client.udp_validation_count(), 1u);
+  const auto datagrams_before = udp_raw->sent_count();
+
+  client.Invalidate();
+  client.GetExternalView();
+  // Full TCP fetch, zero datagrams: UDP was not consulted.
+  EXPECT_EQ(client.fetch_count(), 2u);
+  EXPECT_EQ(udp_raw->sent_count(), datagrams_before);
+  EXPECT_EQ(client.udp_validation_count(), 1u);
+  EXPECT_EQ(client.udp_fallback_count(), 0u);
+
+  // The UDP path itself is still live: the next TTL refresh validates the
+  // re-fetched token over UDP again.
+  now_ = 22.0;
+  client.GetExternalView();
+  EXPECT_EQ(client.udp_validation_count(), 2u);
+  EXPECT_GT(udp_raw->sent_count(), datagrams_before);
+  EXPECT_EQ(client.fetch_count(), 2u);
 }
 
 }  // namespace

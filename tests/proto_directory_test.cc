@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
 namespace p4p::proto {
 namespace {
 
@@ -81,6 +83,99 @@ TEST(Directory, RecordsPreserveOrder) {
   EXPECT_EQ(records[1].target, "two");
   EXPECT_TRUE(dir.Records("other").empty());
   EXPECT_EQ(dir.domain_count(), 1u);
+}
+
+TEST(Directory, ZeroWeightRecordStaysSelectableNextToWeighted) {
+  // RFC 2782 regression: a weight-0 record in a class with weighted peers
+  // must keep a small-but-nonzero selection probability, not be starved.
+  PortalDirectory dir;
+  dir.AddRecord("isp.net", {"zero", 1, 0, 0});
+  dir.AddRecord("isp.net", {"heavy", 2, 0, 9});
+  std::mt19937_64 rng(7);
+  int zero = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (dir.Resolve("isp.net", rng)->target == "zero") ++zero;
+  }
+  EXPECT_GT(zero, 0);     // selectable...
+  EXPECT_LT(zero, 1000);  // ...but a clear minority
+}
+
+TEST(Directory, ResolveOrderingIsAPermutationWithPrioritiesAscending) {
+  PortalDirectory dir;
+  dir.AddRecord("isp.net", {"p0-a", 1, 0, 3});
+  dir.AddRecord("isp.net", {"p0-b", 2, 0, 0});
+  dir.AddRecord("isp.net", {"p10-a", 3, 10, 1});
+  dir.AddRecord("isp.net", {"p10-b", 4, 10, 1});
+  dir.AddRecord("isp.net", {"p20", 5, 20, 1});
+  std::mt19937_64 rng(8);
+  for (int i = 0; i < 50; ++i) {
+    const auto ordering = dir.ResolveOrdering("isp.net", rng);
+    ASSERT_EQ(ordering.size(), 5u);
+    std::multiset<std::string> targets;
+    for (std::size_t j = 0; j < ordering.size(); ++j) {
+      targets.insert(ordering[j].target);
+      if (j > 0) {
+        EXPECT_GE(ordering[j].priority, ordering[j - 1].priority);
+      }
+    }
+    EXPECT_EQ(targets, (std::multiset<std::string>{"p0-a", "p0-b", "p10-a",
+                                                   "p10-b", "p20"}));
+    EXPECT_EQ(ordering.back().target, "p20");
+  }
+  EXPECT_TRUE(dir.ResolveOrdering("unknown.net", rng).empty());
+}
+
+TEST(Directory, ResolveOrderingIsDeterministicPerSeed) {
+  PortalDirectory dir;
+  for (int i = 0; i < 8; ++i) {
+    dir.AddRecord("isp.net", {"r" + std::to_string(i), static_cast<std::uint16_t>(i + 1),
+                              i % 2, i});
+  }
+  const auto run = [&dir](std::uint64_t seed) {
+    std::mt19937_64 rng(seed);
+    std::vector<std::string> flat;
+    for (int i = 0; i < 5; ++i) {
+      for (const auto& r : dir.ResolveOrdering("isp.net", rng)) {
+        flat.push_back(r.target);
+      }
+    }
+    return flat;
+  };
+  EXPECT_EQ(run(11), run(11));
+  EXPECT_NE(run(11), run(12));  // astronomically unlikely to collide
+}
+
+TEST(Directory, ResolveOrderingWeightBiasesFirstSlot) {
+  PortalDirectory dir;
+  dir.AddRecord("isp.net", {"heavy", 1, 0, 9});
+  dir.AddRecord("isp.net", {"light", 2, 0, 1});
+  std::mt19937_64 rng(9);
+  int heavy_first = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (dir.ResolveOrdering("isp.net", rng).front().target == "heavy") {
+      ++heavy_first;
+    }
+  }
+  EXPECT_GT(heavy_first, 800);
+  EXPECT_LT(heavy_first, 980);
+}
+
+TEST(Directory, RemoveRecordDropsMatchesAndEmptyDomains) {
+  PortalDirectory dir;
+  dir.AddRecord("isp.net", {"a", 1, 0, 1});
+  dir.AddRecord("isp.net", {"a", 2, 0, 1});  // same target, other port
+  dir.AddRecord("isp.net", {"b", 3, 10, 1});
+  EXPECT_EQ(dir.RemoveRecord("isp.net", "a", 1), 1u);
+  EXPECT_EQ(dir.RemoveRecord("isp.net", "a", 1), 0u);  // already gone
+  EXPECT_EQ(dir.RemoveRecord("nowhere.net", "a", 1), 0u);
+  ASSERT_EQ(dir.Records("isp.net").size(), 2u);
+  std::mt19937_64 rng(10);
+  EXPECT_EQ(dir.Resolve("isp.net", rng)->port, 2);
+  // Removing the last records erases the domain entirely.
+  EXPECT_EQ(dir.RemoveRecord("isp.net", "a", 2), 1u);
+  EXPECT_EQ(dir.RemoveRecord("isp.net", "b", 3), 1u);
+  EXPECT_EQ(dir.domain_count(), 0u);
+  EXPECT_FALSE(dir.Resolve("isp.net", rng).has_value());
 }
 
 TEST(Directory, DomainsAreIndependent) {

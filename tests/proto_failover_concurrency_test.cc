@@ -1,0 +1,195 @@
+// Concurrent failover hammer: 8 threads share one ResilientPortalClient
+// while a controller kills and revives replicas mid-run via scripted
+// schedules. Asserts that no thread ever observes a torn view (every
+// successful response is bit-identical to the reference encoding) and that
+// the breaker state machine never deadlocks (the run completes).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/itracker.h"
+#include "net/topology.h"
+#include "proto/messages.h"
+#include "proto/resilient_client.h"
+#include "proto/service.h"
+#include "support/fault_injection.h"
+
+namespace p4p::proto {
+namespace {
+
+using testsupport::EndpointMode;
+using testsupport::EndpointScript;
+using testsupport::ScriptedTransport;
+using testsupport::VirtualClock;
+
+constexpr const char* kDomain = "isp.example";
+constexpr int kThreads = 8;
+constexpr int kCallsPerThread = 200;
+
+class FailoverConcurrency : public ::testing::Test {
+ protected:
+  FailoverConcurrency()
+      : graph_(net::MakeAbilene()), routing_(graph_), tracker_(graph_, routing_),
+        service_(&tracker_) {
+    dir_.AddRecord(kDomain, {"primary", 1, 0, 1});
+    dir_.AddRecord(kDomain, {"secondary", 2, 10, 1});
+    dir_.AddRecord(kDomain, {"tertiary", 3, 10, 1});
+    request_ = Encode(GetExternalViewReq{});
+    reference_ = service_.handler()(request_);
+  }
+
+  EndpointScript* ScriptFor(const std::string& target) {
+    if (target == "primary") return &primary_;
+    if (target == "secondary") return &secondary_;
+    return &tertiary_;
+  }
+
+  net::Graph graph_;
+  net::RoutingTable routing_;
+  core::ITracker tracker_;
+  ITrackerService service_;
+  PortalDirectory dir_;
+  VirtualClock clock_;
+  EndpointScript primary_;
+  EndpointScript secondary_;
+  EndpointScript tertiary_;
+  std::vector<std::uint8_t> request_;
+  std::vector<std::uint8_t> reference_;
+};
+
+TEST_F(FailoverConcurrency, EightThreadHammerWithFlappingReplicasSeesNoTornView) {
+  ResilientClientOptions options;
+  options.failure_threshold = 2;
+  options.open_cooldown_seconds = 0.01;
+  options.max_attempts = 8;
+  options.request_deadline_seconds = 1e9;  // budget-bounded, not time-bounded
+  options.backoff_initial_seconds = 0.001;
+  options.backoff_max_seconds = 0.005;
+  ResilientPortalClient client(
+      &dir_, kDomain,
+      [this](const SrvRecord& r) -> std::unique_ptr<Transport> {
+        return std::make_unique<ScriptedTransport>(service_.handler(),
+                                                   ScriptFor(r.target), &clock_);
+      },
+      options, clock_.NowFn(), clock_.SleeperFn());
+
+  std::atomic<std::uint64_t> torn{0};
+  std::atomic<std::uint64_t> successes{0};
+  std::atomic<std::uint64_t> exhausted{0};
+  std::atomic<std::uint64_t> unexpected{0};
+  std::atomic<bool> stop_controller{false};
+
+  // Replicas die and recover mid-run. The tertiary is never killed, so every
+  // exhausted retry budget is a scheduling artifact, not a guaranteed state.
+  // The primary starts dead so at least one failover is guaranteed even if
+  // the controller thread is scheduled late.
+  primary_.Set(EndpointMode::kDead);
+  std::thread controller([&] {
+    int round = 0;
+    while (!stop_controller.load(std::memory_order_acquire)) {
+      switch (round % 4) {
+        case 0:
+          primary_.Set(EndpointMode::kDead);
+          break;
+        case 1:
+          secondary_.Set(EndpointMode::kUnavailable);
+          break;
+        case 2:
+          primary_.Set(EndpointMode::kOk);
+          break;
+        case 3:
+          secondary_.Set(EndpointMode::kOk);
+          break;
+      }
+      ++round;
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    primary_.Set(EndpointMode::kOk);
+    secondary_.Set(EndpointMode::kOk);
+  });
+
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < kCallsPerThread; ++i) {
+        try {
+          const auto response = client.Call(request_);
+          successes.fetch_add(1, std::memory_order_relaxed);
+          if (response != reference_) torn.fetch_add(1, std::memory_order_relaxed);
+        } catch (const PortalUnavailableError&) {
+          exhausted.fetch_add(1, std::memory_order_relaxed);
+        } catch (const std::exception&) {
+          unexpected.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();  // completion proves no breaker deadlock
+  stop_controller.store(true, std::memory_order_release);
+  controller.join();
+
+  EXPECT_EQ(torn.load(), 0u);
+  EXPECT_EQ(unexpected.load(), 0u);
+  EXPECT_GT(successes.load(), 0u);
+  EXPECT_EQ(successes.load() + exhausted.load(),
+            static_cast<std::uint64_t>(kThreads) * kCallsPerThread);
+  // The flapping replicas actually failed under load and the client kept
+  // account of it without corrupting its own bookkeeping.
+  EXPECT_GE(client.attempt_count(), successes.load());
+  EXPECT_GT(primary_.failure_count() + secondary_.failure_count(), 0u);
+  // Breaker state is still a legal enum value for every endpoint.
+  for (const auto& [target, port] :
+       {std::pair<std::string, std::uint16_t>{"primary", 1},
+        {"secondary", 2},
+        {"tertiary", 3}}) {
+    const auto state = client.endpoint_state(target, port);
+    EXPECT_TRUE(state == CircuitState::kClosed || state == CircuitState::kOpen ||
+                state == CircuitState::kHalfOpen);
+  }
+}
+
+TEST_F(FailoverConcurrency, ConcurrentCallsDuringTotalOutageAllReturn) {
+  primary_.Set(EndpointMode::kDead);
+  secondary_.Set(EndpointMode::kDead);
+  tertiary_.Set(EndpointMode::kDead);
+  ResilientClientOptions options;
+  options.failure_threshold = 1;
+  options.open_cooldown_seconds = 0.5;
+  options.max_attempts = 4;
+  ResilientPortalClient client(
+      &dir_, kDomain,
+      [this](const SrvRecord& r) -> std::unique_ptr<Transport> {
+        return std::make_unique<ScriptedTransport>(service_.handler(),
+                                                   ScriptFor(r.target), &clock_);
+      },
+      options, clock_.NowFn(), clock_.SleeperFn());
+
+  std::atomic<std::uint64_t> typed{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < 50; ++i) {
+        try {
+          client.Call(request_);
+        } catch (const PortalUnavailableError&) {
+          typed.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  // Every call failed, every failure was the typed retryable error, and the
+  // all-open fast path kept the attempt count far below budget * calls.
+  EXPECT_EQ(typed.load(), static_cast<std::uint64_t>(kThreads) * 50);
+  EXPECT_LT(client.attempt_count(),
+            static_cast<std::uint64_t>(kThreads) * 50 * options.max_attempts);
+  EXPECT_GT(client.breaker_skip_count() + client.unavailable_count() +
+                client.breaker_open_count(),
+            0u);
+}
+
+}  // namespace
+}  // namespace p4p::proto

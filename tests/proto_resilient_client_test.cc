@@ -1,0 +1,376 @@
+// ResilientPortalClient: SRV failover, circuit breaker, retry budget and
+// deadline, retry-after honoring — all deterministic under the virtual
+// clock and scripted endpoint failures.
+#include "proto/resilient_client.h"
+
+#include <gtest/gtest.h>
+
+#include "core/apptracker.h"
+#include "net/topology.h"
+#include "proto/caching_client.h"
+#include "proto/messages.h"
+#include "support/fault_injection.h"
+
+namespace p4p::proto {
+namespace {
+
+using testsupport::EndpointMode;
+using testsupport::EndpointScript;
+using testsupport::ScriptedTransport;
+using testsupport::VirtualClock;
+
+constexpr const char* kDomain = "isp.example";
+
+class ResilientClientTest : public ::testing::Test {
+ protected:
+  ResilientClientTest()
+      : graph_(net::MakeAbilene()), routing_(graph_), tracker_(graph_, routing_),
+        service_(&tracker_) {
+    dir_.AddRecord(kDomain, {"primary", 1, 0, 1});
+    dir_.AddRecord(kDomain, {"secondary", 2, 10, 1});
+    request_ = Encode(GetExternalViewReq{});
+  }
+
+  /// Routes "primary"/"secondary" targets to their scripts; any other
+  /// target means a directory bug.
+  ResilientPortalClient::TransportFactory Factory() {
+    return [this](const SrvRecord& r) -> std::unique_ptr<Transport> {
+      EXPECT_TRUE(r.target == "primary" || r.target == "secondary");
+      auto* script = r.target == "primary" ? &primary_ : &secondary_;
+      return std::make_unique<ScriptedTransport>(service_.handler(), script, &clock_,
+                                                 slow_seconds_, retry_after_ms_);
+    };
+  }
+
+  ResilientPortalClient MakeClient(ResilientClientOptions options) {
+    return ResilientPortalClient(&dir_, kDomain, Factory(), options, clock_.NowFn(),
+                                 clock_.SleeperFn());
+  }
+
+  /// A well-formed external-view answer for the current tracker state?
+  static bool IsView(const std::vector<std::uint8_t>& bytes) {
+    const auto decoded = Decode(bytes);
+    return decoded && std::get_if<GetExternalViewResp>(&*decoded) != nullptr;
+  }
+
+  net::Graph graph_;
+  net::RoutingTable routing_;
+  core::ITracker tracker_;
+  ITrackerService service_;
+  PortalDirectory dir_;
+  VirtualClock clock_;
+  EndpointScript primary_;
+  EndpointScript secondary_;
+  double slow_seconds_ = 1.0;
+  std::uint32_t retry_after_ms_ = 200;
+  std::vector<std::uint8_t> request_;
+};
+
+TEST_F(ResilientClientTest, ConstructorValidation) {
+  EXPECT_THROW(ResilientPortalClient(nullptr, kDomain, Factory()),
+               std::invalid_argument);
+  EXPECT_THROW(ResilientPortalClient(&dir_, "", Factory()), std::invalid_argument);
+  EXPECT_THROW(ResilientPortalClient(&dir_, kDomain, nullptr), std::invalid_argument);
+  ResilientClientOptions bad;
+  bad.max_attempts = 0;
+  EXPECT_THROW(MakeClient(bad), std::invalid_argument);
+  bad = {};
+  bad.backoff_jitter = 1.5;
+  EXPECT_THROW(MakeClient(bad), std::invalid_argument);
+}
+
+TEST_F(ResilientClientTest, HealthyPrimaryServesFirstTry) {
+  auto client = MakeClient({});
+  EXPECT_TRUE(IsView(client.Call(request_)));
+  EXPECT_EQ(client.attempt_count(), 1u);
+  EXPECT_EQ(client.failover_count(), 0u);
+  EXPECT_EQ(primary_.call_count(), 1u);
+  EXPECT_EQ(secondary_.call_count(), 0u);
+}
+
+TEST_F(ResilientClientTest, BlackholedPrimaryFailsOverWithinRetryBudget) {
+  primary_.Set(EndpointMode::kDead);
+  auto client = MakeClient({});
+  EXPECT_TRUE(IsView(client.Call(request_)));
+  // One wasted attempt on the primary, answered by the secondary: no
+  // backoff sleep was needed, so the failover cost zero (virtual) time.
+  EXPECT_EQ(client.attempt_count(), 2u);
+  EXPECT_EQ(client.failover_count(), 1u);
+  EXPECT_EQ(secondary_.call_count(), 1u);
+  EXPECT_EQ(clock_.Now(), 0.0);
+}
+
+TEST_F(ResilientClientTest, BreakerOpensAfterConsecutiveFailuresAndSkips) {
+  primary_.Set(EndpointMode::kDead);
+  ResilientClientOptions options;
+  options.failure_threshold = 3;
+  auto client = MakeClient(options);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(IsView(client.Call(request_)));
+  EXPECT_EQ(client.endpoint_state("primary", 1), CircuitState::kOpen);
+  EXPECT_EQ(client.breaker_open_count(), 1u);
+  // Calls 1-3 each burned one attempt on the primary; 4 and 5 skipped it.
+  EXPECT_EQ(primary_.call_count(), 3u);
+  EXPECT_EQ(client.breaker_skip_count(), 2u);
+  EXPECT_EQ(secondary_.call_count(), 5u);
+}
+
+TEST_F(ResilientClientTest, HalfOpenProbeClosesBreakerOnRecovery) {
+  primary_.Set(EndpointMode::kDead);
+  ResilientClientOptions options;
+  options.failure_threshold = 2;
+  options.open_cooldown_seconds = 5.0;
+  auto client = MakeClient(options);
+  for (int i = 0; i < 3; ++i) client.Call(request_);
+  ASSERT_EQ(client.endpoint_state("primary", 1), CircuitState::kOpen);
+
+  primary_.Set(EndpointMode::kOk);  // replica comes back
+  // Before the cooldown: still skipped, no probe reaches it.
+  clock_.Advance(1.0);
+  client.Call(request_);
+  EXPECT_EQ(primary_.call_count(), 2u);
+  // After the cooldown: the next call probes half-open and recovers.
+  clock_.Advance(5.0);
+  EXPECT_TRUE(IsView(client.Call(request_)));
+  EXPECT_EQ(client.endpoint_state("primary", 1), CircuitState::kClosed);
+  EXPECT_EQ(client.breaker_close_count(), 1u);
+  EXPECT_EQ(primary_.call_count(), 3u);
+}
+
+TEST_F(ResilientClientTest, FailedProbeReopensWithFreshCooldown) {
+  primary_.Set(EndpointMode::kDead);
+  ResilientClientOptions options;
+  options.failure_threshold = 2;
+  options.open_cooldown_seconds = 5.0;
+  auto client = MakeClient(options);
+  for (int i = 0; i < 2; ++i) client.Call(request_);
+  ASSERT_EQ(client.endpoint_state("primary", 1), CircuitState::kOpen);
+
+  clock_.Advance(6.0);  // cooldown over; the replica is still dead
+  client.Call(request_);
+  EXPECT_EQ(client.endpoint_state("primary", 1), CircuitState::kOpen);
+  EXPECT_EQ(client.breaker_close_count(), 0u);
+  // Immediately after the failed probe the fresh cooldown applies again.
+  client.Call(request_);
+  EXPECT_EQ(primary_.call_count(), 3u);  // 2 to trip + 1 probe, no more
+}
+
+TEST_F(ResilientClientTest, AllReplicasDeadThrowsTypedErrorWithinBudget) {
+  primary_.Set(EndpointMode::kDead);
+  secondary_.Set(EndpointMode::kDead);
+  ResilientClientOptions options;
+  options.max_attempts = 6;
+  auto client = MakeClient(options);
+  EXPECT_THROW(client.Call(request_), PortalUnavailableError);
+  EXPECT_EQ(client.attempt_count(), 6u);
+}
+
+TEST_F(ResilientClientTest, AllBreakersOpenFailsFastWithReopenHint) {
+  primary_.Set(EndpointMode::kDead);
+  secondary_.Set(EndpointMode::kDead);
+  ResilientClientOptions options;
+  options.failure_threshold = 1;
+  options.open_cooldown_seconds = 10.0;
+  options.max_attempts = 4;
+  auto client = MakeClient(options);
+  EXPECT_THROW(client.Call(request_), PortalUnavailableError);
+  ASSERT_EQ(client.endpoint_state("primary", 1), CircuitState::kOpen);
+  ASSERT_EQ(client.endpoint_state("secondary", 2), CircuitState::kOpen);
+
+  const auto attempts_before = client.attempt_count();
+  const double now = clock_.Now();
+  try {
+    client.Call(request_);
+    FAIL() << "expected PortalUnavailableError";
+  } catch (const PortalUnavailableError& e) {
+    // Fail fast: no transport attempt, no sleep, and a hint pointing at the
+    // earliest breaker reopen.
+    EXPECT_EQ(client.attempt_count(), attempts_before);
+    EXPECT_EQ(clock_.Now(), now);
+    EXPECT_GT(e.retry_after_seconds(), 0.0);
+    EXPECT_LE(e.retry_after_seconds(), 10.0);
+  }
+}
+
+TEST_F(ResilientClientTest, ServerShedHintFloorsBackoff) {
+  dir_.RemoveRecord(kDomain, "secondary", 2);
+  primary_.Set(EndpointMode::kUnavailable);  // alive but shedding
+  ResilientClientOptions options;
+  options.max_attempts = 3;
+  options.backoff_initial_seconds = 0.01;  // well under the 200 ms hint
+  options.request_deadline_seconds = 10.0;
+  auto client = MakeClient(options);
+  try {
+    client.Call(request_);
+    FAIL() << "expected PortalUnavailableError";
+  } catch (const PortalUnavailableError& e) {
+    EXPECT_DOUBLE_EQ(e.retry_after_seconds(), 0.2);
+  }
+  EXPECT_EQ(client.unavailable_count(), 3u);
+  // Two inter-pass sleeps, each floored by the server's 200 ms hint (the
+  // microsecond-granular virtual clock may truncate a hair below 0.4).
+  EXPECT_GE(clock_.Now(), 0.399);
+}
+
+TEST_F(ResilientClientTest, SlowReplicaTripsRequestDeadline) {
+  dir_.RemoveRecord(kDomain, "secondary", 2);
+  slow_seconds_ = 3.0;
+  primary_.Set(EndpointMode::kSlow);
+  ResilientClientOptions options;
+  options.request_deadline_seconds = 2.0;
+  options.max_attempts = 10;
+  auto client = MakeClient(options);
+  // The slow answer itself still wins the first attempt (it completed, late
+  // but whole) — but a retry round would cross the deadline, so a *failing*
+  // slow replica burns at most one attempt.
+  EXPECT_TRUE(IsView(client.Call(request_)));
+  primary_.Set(EndpointMode::kDead);
+  const double t0 = clock_.Now();
+  EXPECT_THROW(client.Call(request_), PortalUnavailableError);
+  // Attempts stop once the deadline passes, long before max_attempts.
+  EXPECT_LT(client.attempt_count(), 11u);
+  EXPECT_LE(clock_.Now() - t0, 2.5);
+}
+
+TEST_F(ResilientClientTest, FailoverIsBitIdenticalForFixedSeed) {
+  auto run = [this](std::uint64_t seed) {
+    EndpointScript primary(std::vector<EndpointScript::Phase>{
+        {2, EndpointMode::kOk}, {4, EndpointMode::kDead}, {0, EndpointMode::kOk}});
+    EndpointScript secondary(std::vector<EndpointScript::Phase>{
+        {5, EndpointMode::kOk}, {2, EndpointMode::kDead}, {0, EndpointMode::kOk}});
+    VirtualClock clock;
+    ResilientClientOptions options;
+    options.rng_seed = seed;
+    options.failure_threshold = 2;
+    options.open_cooldown_seconds = 1.0;
+    ResilientPortalClient client(
+        &dir_, kDomain,
+        [&](const SrvRecord& r) -> std::unique_ptr<Transport> {
+          return std::make_unique<ScriptedTransport>(
+              service_.handler(), r.target == "primary" ? &primary : &secondary,
+              &clock);
+        },
+        options, clock.NowFn(), clock.SleeperFn());
+    std::vector<int> outcomes;
+    for (int i = 0; i < 12; ++i) {
+      try {
+        client.Call(request_);
+        outcomes.push_back(1);
+      } catch (const PortalUnavailableError&) {
+        outcomes.push_back(0);
+        clock.Advance(0.5);
+      }
+    }
+    outcomes.push_back(static_cast<int>(client.attempt_count()));
+    outcomes.push_back(static_cast<int>(client.breaker_open_count()));
+    outcomes.push_back(static_cast<int>(client.breaker_skip_count()));
+    outcomes.push_back(static_cast<int>(clock.Now() * 1e6));
+    return outcomes;
+  };
+  EXPECT_EQ(run(42), run(42));  // bit-identical replay
+  EXPECT_EQ(run(42).size(), run(7).size());
+}
+
+// --- End-to-end degraded mode: the acceptance scenario ----------------------
+//
+// Primary blackholed -> served by the secondary. All replicas dead -> the
+// caching layer serves the stale matrix (bounded) and the appTracker falls
+// back to native selection. Replicas return -> guided selection resumes.
+
+class FailoverEndToEnd : public ::testing::Test {
+ protected:
+  FailoverEndToEnd()
+      : graph_(net::MakeAbilene()), routing_(graph_), tracker_(graph_, routing_),
+        service_(&tracker_) {
+    dir_.AddRecord(kDomain, {"primary", 1, 0, 1});
+    dir_.AddRecord(kDomain, {"secondary", 2, 10, 1});
+  }
+
+  core::PidMap TestPidMap() {
+    core::PidMap map;
+    map.add(*core::Prefix::Parse("10.0.0.0/16"), {0, 1});
+    map.add(*core::Prefix::Parse("10.1.0.0/16"), {1, 1});
+    return map;
+  }
+
+  net::Graph graph_;
+  net::RoutingTable routing_;
+  core::ITracker tracker_;
+  ITrackerService service_;
+  PortalDirectory dir_;
+  VirtualClock clock_;
+  EndpointScript primary_;
+  EndpointScript secondary_;
+};
+
+TEST_F(FailoverEndToEnd, StaleServiceNativeFallbackAndRecovery) {
+  ResilientClientOptions options;
+  options.failure_threshold = 2;
+  options.open_cooldown_seconds = 2.0;
+  options.max_attempts = 4;
+  auto resilient = std::make_unique<ResilientPortalClient>(
+      &dir_, kDomain,
+      [this](const SrvRecord& r) -> std::unique_ptr<Transport> {
+        return std::make_unique<ScriptedTransport>(
+            service_.handler(), r.target == "primary" ? &primary_ : &secondary_,
+            &clock_);
+      },
+      options, clock_.NowFn(), clock_.SleeperFn());
+  auto* resilient_raw = resilient.get();
+
+  const double ttl = 10.0;
+  const std::size_t stale_cap = 3;
+  CachingPortalClient cache(std::move(resilient), clock_.NowFn(), ttl, stale_cap);
+
+  core::AppTracker app(std::make_unique<core::NativeRandomSelector>(), TestPidMap(), 7);
+  app.EnableNativeFallback([&cache] { return cache.TryGetExternalView() != nullptr; });
+
+  core::AnnounceRequest req;
+  req.content_id = "film";
+  req.client_ip = "10.0.0.1";
+
+  // Healthy: guided announce, view fetched once.
+  app.Announce(req);
+  EXPECT_FALSE(app.degraded());
+  EXPECT_EQ(cache.fetch_count(), 1u);
+
+  // Primary blackholed inside the TTL: nothing even notices.
+  primary_.Set(EndpointMode::kDead);
+  app.Announce(req);
+  EXPECT_FALSE(app.degraded());
+  EXPECT_EQ(cache.hit_count(), 1u);  // served from the cached view
+
+  // Past the TTL: the refresh fails over to the secondary within budget.
+  clock_.Advance(ttl + 1.0);
+  app.Announce(req);
+  EXPECT_FALSE(app.degraded());
+  EXPECT_GE(resilient_raw->failover_count(), 1u);
+
+  // Every replica dies: refreshes fail, the stale matrix keeps serving and
+  // announces fall back to native selection only once the budget is spent.
+  secondary_.Set(EndpointMode::kDead);
+  clock_.Advance(ttl + 1.0);
+  std::size_t native_announces = 0;
+  for (int i = 0; i < 8; ++i) {
+    app.Announce(req);
+    if (app.degraded()) ++native_announces;
+    clock_.Advance(0.1);
+  }
+  EXPECT_EQ(cache.stale_served_total(), stale_cap);
+  EXPECT_TRUE(app.degraded());
+  EXPECT_EQ(app.fallback_transition_count(), 1u);
+  EXPECT_EQ(native_announces, 8u - stale_cap);
+  EXPECT_EQ(app.degraded_announce_count(), 8u - stale_cap);
+
+  // Replicas return: past the breaker cooldown the next probe refreshes and
+  // guided selection resumes.
+  primary_.Set(EndpointMode::kOk);
+  secondary_.Set(EndpointMode::kOk);
+  clock_.Advance(options.open_cooldown_seconds + 1.0);
+  app.Announce(req);
+  EXPECT_FALSE(app.degraded());
+  EXPECT_EQ(app.recovery_transition_count(), 1u);
+  EXPECT_FALSE(cache.stale());
+}
+
+}  // namespace
+}  // namespace p4p::proto

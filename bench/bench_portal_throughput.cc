@@ -16,6 +16,13 @@
 //                   client rides it out over the secondary (failover_p99_ms).
 //   * stale       — every replica dead; the caching client serves the
 //                   expired matrix instead of failing (stale_served_total).
+//   * federation  — a publisher pushes pre-encoded snapshot frames to 3
+//                   followers over TCP; reports replication lag, per-frame
+//                   install cost, aggregate NotModified throughput at
+//                   1/2/4 replicas (measured per-endpoint in isolation and
+//                   summed — replicas model separate hosts), and the
+//                   publisher-kill continuity check (a token from the
+//                   publisher earns NotModified from a follower).
 //
 // Emits BENCH_portal.json; P4P_BENCH_SCALE shrinks request counts.
 #include <netinet/in.h>
@@ -38,6 +45,7 @@
 #include "net/synth.h"
 #include "proto/caching_client.h"
 #include "proto/directory.h"
+#include "proto/federation.h"
 #include "proto/messages.h"
 #include "proto/resilient_client.h"
 #include "proto/service.h"
@@ -407,6 +415,131 @@ int Run() {
   std::printf("  stale-while-unreachable:           served %4.0f expired accesses\n",
               stale_served_total);
 
+  // --- federation: aggregate NotModified throughput scales with replica
+  // count, because a follower serves the publisher's pre-encoded frames
+  // through the identical atomic-load path. Replicas model separate hosts:
+  // on this box each endpoint is measured sequentially in isolation and the
+  // aggregate is the sum (no fake speedup from loopback parallelism, no
+  // fake slowdown from replicas fighting over the same cores).
+  double fed_single = 0.0;
+  double fed_two = 0.0;
+  double fed_four = 0.0;
+  double fed_scaling = 0.0;
+  double fed_lag_ms = 0.0;
+  double fed_install_ns = 0.0;
+  double fed_kill_notmodified = 0.0;
+  double fed_kill_latency_ms = 0.0;
+  {
+    constexpr int kReplicas = 4;
+    std::vector<std::unique_ptr<proto::ReplicatedSnapshotStore>> stores;
+    std::vector<std::unique_ptr<proto::FollowerPortalService>> follower_services;
+    std::vector<std::unique_ptr<proto::SnapshotFollower>> followers;
+    std::vector<std::unique_ptr<proto::TcpServer>> replication_endpoints;
+    std::vector<std::unique_ptr<proto::TcpServer>> portals;
+
+    proto::SnapshotPublisher publisher(&cached);
+    portals.push_back(std::make_unique<proto::TcpServer>(0, cached.shared_handler(), 2));
+    for (int i = 1; i < kReplicas; ++i) {
+      stores.push_back(std::make_unique<proto::ReplicatedSnapshotStore>());
+      follower_services.push_back(
+          std::make_unique<proto::FollowerPortalService>(stores.back().get()));
+      followers.push_back(std::make_unique<proto::SnapshotFollower>(stores.back().get()));
+      replication_endpoints.push_back(std::make_unique<proto::TcpServer>(
+          0, followers.back()->replication_handler()));
+      portals.push_back(std::make_unique<proto::TcpServer>(
+          0, follower_services.back()->shared_handler(), 2));
+      publisher.AddFollower(
+          "replica-" + std::to_string(i), portals.back()->port(),
+          std::make_unique<proto::TcpClient>(replication_endpoints.back()->port()));
+    }
+
+    // Replication lag: price update -> every follower installed, over real
+    // TCP push channels (the push frame is encoded once per version).
+    const int rounds = Scaled(20);
+    std::vector<double> lag_ms;
+    lag_ms.reserve(static_cast<std::size_t>(rounds));
+    for (int round = 0; round < rounds; ++round) {
+      prices.assign(prices.size(), 10.0 + static_cast<double>(round));
+      tracker.SetStaticPrices(prices);
+      const auto t0 = Clock::now();
+      const std::size_t confirmed = publisher.PublishOnce();
+      lag_ms.push_back(
+          std::chrono::duration<double, std::milli>(Clock::now() - t0).count());
+      if (confirmed != static_cast<std::size_t>(kReplicas - 1)) {
+        throw std::runtime_error("federation bench: follower failed to confirm");
+      }
+    }
+    std::sort(lag_ms.begin(), lag_ms.end());
+    fed_lag_ms = PercentileUs(lag_ms, 0.50);  // vector already in ms
+
+    // Aggregate conditional-validation throughput at 1/2/4 replicas. Every
+    // replica answers the same version token with the same ~16-byte frame.
+    const auto fed_req = proto::Encode(proto::GetExternalViewReq{tracker.version()});
+    std::vector<double> replica_rps;
+    for (const auto& portal : portals) {
+      replica_rps.push_back(
+          RunScenario(portal->port(), fed_req, 2, Scaled(1200)).rps);
+    }
+    fed_single = replica_rps[0];
+    fed_two = replica_rps[0] + replica_rps[1];
+    for (const double rps : replica_rps) fed_four += rps;
+    fed_scaling = fed_single > 0 ? fed_four / fed_single : 0.0;
+
+    // Frame install cost: decode + monotone install of a full push frame
+    // (the follower-side unit of replication work, no sockets).
+    {
+      auto frames = cached.ExportFrames();
+      const std::uint64_t base = frames.version;
+      const int installs = Scaled(100);
+      std::vector<std::vector<std::uint8_t>> push_frames;
+      push_frames.reserve(static_cast<std::size_t>(installs));
+      for (int i = 0; i < installs; ++i) {
+        frames.version = base + static_cast<std::uint64_t>(i) + 1;
+        push_frames.push_back(proto::EncodeFramePush(frames));
+      }
+      proto::ReplicatedSnapshotStore victim_store;
+      proto::SnapshotFollower victim(&victim_store);
+      const auto t0 = Clock::now();
+      for (const auto& push : push_frames) (void)victim.HandleReplication(push);
+      const auto elapsed = std::chrono::duration<double, std::nano>(Clock::now() - t0);
+      fed_install_ns = installs > 0 ? elapsed.count() / installs : 0.0;
+    }
+
+    // Publisher killed: a version token fetched from the publisher must
+    // earn NotModified from a follower, so the conditional/UDP fast path
+    // survives failover. Runs last — it tears down the publisher's portal.
+    {
+      proto::PortalDirectory dir;
+      dir.AddRecord("fed.isp", {"publisher", portals[0]->port(), 0, 1});
+      dir.AddRecord("fed.isp", {"replica-1", portals[1]->port(), 1, 1});
+      proto::ResilientClientOptions options;
+      options.failure_threshold = 2;
+      options.backoff_initial_seconds = 0.001;
+      options.backoff_max_seconds = 0.01;
+      proto::PortalClient fed_client(std::make_unique<proto::ResilientPortalClient>(
+          &dir, "fed.isp",
+          [](const proto::SrvRecord& r) -> std::unique_ptr<proto::Transport> {
+            return std::make_unique<proto::TcpClient>(r.port);
+          },
+          options));
+      const auto [view, version] = fed_client.GetExternalViewWithVersion();
+      (void)view;
+      portals[0].reset();  // publisher gone
+      const auto t0 = Clock::now();
+      const auto refreshed = fed_client.GetExternalViewIfModified(version);
+      fed_kill_latency_ms =
+          std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+      fed_kill_notmodified = refreshed.has_value() ? 0.0 : 1.0;
+    }
+  }
+  std::printf("  federation replication lag:        p50 %7.2f ms (price update -> 3 followers)\n",
+              fed_lag_ms);
+  std::printf("  federation frame install:          %10.0f ns/install\n", fed_install_ns);
+  std::printf("  federation agg NotModified:        %10.0f req/s x1   %10.0f x2   %10.0f x4 (%.1fx)\n",
+              fed_single, fed_two, fed_four, fed_scaling);
+  std::printf("  federation publisher-kill:         NotModified from follower %s in %.2f ms\n",
+              fed_kill_notmodified > 0 ? "yes" : "NO", fed_kill_latency_ms);
+
   const double speedup = baseline.rps > 0 ? hit.rps / baseline.rps : 0.0;
   const double udp_vs_tcp = validation.rps > 0 ? udp.rps / validation.rps : 0.0;
   std::printf("\n  version-hit vs baseline speedup: %.1fx\n", speedup);
@@ -415,6 +548,11 @@ int Run() {
   PrintComparisons({
       {"version-hit speedup over thread/conn+re-encode", ">= 10x", Fmt("%.1fx", speedup),
        speedup >= 10.0},
+      {"4-replica aggregate NotModified vs single portal", ">= 3x",
+       Fmt("%.1fx", fed_scaling), fed_scaling >= 3.0},
+      {"publisher kill: follower honors the version token", "NotModified",
+       fed_kill_notmodified > 0 ? "NotModified" : "full refetch",
+       fed_kill_notmodified > 0},
   });
 
   WriteBenchJson("BENCH_portal.json", {
@@ -438,6 +576,14 @@ int Run() {
                                           {"failover_p99_ms", failover_p99_ms},
                                           {"failover_count", failover_count},
                                           {"stale_served_total", stale_served_total},
+                                          {"fed_agg_notmodified_per_sec", fed_four},
+                                          {"fed_agg_notmodified_1_replica", fed_single},
+                                          {"fed_agg_notmodified_2_replicas", fed_two},
+                                          {"fed_replica_scaling", fed_scaling},
+                                          {"fed_replication_lag_ms", fed_lag_ms},
+                                          {"fed_frame_install_ns", fed_install_ns},
+                                          {"fed_publisher_kill_notmodified", fed_kill_notmodified},
+                                          {"fed_publisher_kill_latency_ms", fed_kill_latency_ms},
                                       });
   return 0;
 }

@@ -44,12 +44,28 @@ void ITracker::set_background_bps(std::span<const double> bps) {
       throw std::invalid_argument("ITracker: negative background traffic");
     }
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  for (std::size_t l = 0; l < bps.size(); ++l) {
-    background_[l] = bps[l];
-    peak_background_[l] = std::max(peak_background_[l], bps[l]);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::size_t l = 0; l < bps.size(); ++l) {
+      background_[l] = bps[l];
+      peak_background_[l] = std::max(peak_background_[l], bps[l]);
+    }
+    BumpVersionLocked();
   }
-  BumpVersionLocked();
+  NotifyVersionListeners();
+}
+
+void ITracker::RegisterVersionListener(VersionListener listener) {
+  if (!listener) {
+    throw std::invalid_argument("ITracker: null version listener");
+  }
+  version_listeners_.push_back(std::move(listener));
+}
+
+void ITracker::NotifyVersionListeners() const {
+  if (version_listeners_.empty()) return;
+  const std::uint64_t v = version();
+  for (const auto& listener : version_listeners_) listener(v);
 }
 
 double ITracker::price_unit() const {
@@ -70,9 +86,12 @@ void ITracker::SetUniformPrices() {
   double cap_sum = 0.0;
   for (const auto& l : graph_.links()) cap_sum += l.capacity_bps;
   const double p = cap_sum > 0 ? 1.0 / cap_sum : 0.0;
-  std::lock_guard<std::mutex> lock(mu_);
-  std::fill(prices_.begin(), prices_.end(), p);
-  BumpVersionLocked();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::fill(prices_.begin(), prices_.end(), p);
+    BumpVersionLocked();
+  }
+  NotifyVersionListeners();
 }
 
 void ITracker::SetPricesFromOspf() {
@@ -82,11 +101,14 @@ void ITracker::SetPricesFromOspf() {
   if (denom <= 0) {
     throw std::runtime_error("ITracker: degenerate OSPF weights");
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  for (std::size_t e = 0; e < prices_.size(); ++e) {
-    prices_[e] = graph_.link(static_cast<net::LinkId>(e)).ospf_weight / denom;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::size_t e = 0; e < prices_.size(); ++e) {
+      prices_[e] = graph_.link(static_cast<net::LinkId>(e)).ospf_weight / denom;
+    }
+    BumpVersionLocked();
   }
-  BumpVersionLocked();
+  NotifyVersionListeners();
 }
 
 void ITracker::SetStaticPrices(std::span<const double> prices) {
@@ -98,9 +120,12 @@ void ITracker::SetStaticPrices(std::span<const double> prices) {
       throw std::invalid_argument("ITracker: prices must be non-negative");
     }
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  std::copy(prices.begin(), prices.end(), prices_.begin());
-  BumpVersionLocked();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::copy(prices.begin(), prices.end(), prices_.begin());
+    BumpVersionLocked();
+  }
+  NotifyVersionListeners();
 }
 
 void ITracker::ProtectLink(net::LinkId link, ProtectedLinkRule rule) {
@@ -163,7 +188,7 @@ void ITracker::Update(std::span<const double> p4p_bps) {
   if (p4p_bps.size() != prices_.size()) {
     throw std::invalid_argument("ITracker: traffic vector size mismatch");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(mu_);
   const std::size_t num_links = prices_.size();
   const double unit = price_unit();
 
@@ -232,6 +257,8 @@ void ITracker::Update(std::span<const double> p4p_bps) {
   }
 
   BumpVersionLocked();
+  lock.unlock();
+  NotifyVersionListeners();
 }
 
 double ITracker::perturb(Pid i, Pid j, double value) const {

@@ -28,6 +28,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -156,6 +157,15 @@ class ITracker {
 
   std::uint64_t version() const { return version_.load(std::memory_order_acquire); }
 
+  /// Called with the new version after every price/background mutation,
+  /// outside the tracker's internal lock (so a listener may call snapshot()
+  /// or query the serving path). The federation publisher registers its
+  /// republish trigger here. Registration is a setup-time operation: it
+  /// must not race mutators; listeners themselves must be thread-safe when
+  /// mutators run on more than one thread.
+  using VersionListener = std::function<void(std::uint64_t)>;
+  void RegisterVersionListener(VersionListener listener);
+
  private:
   double price_unit() const;
   double perturb(Pid i, Pid j, double value) const;
@@ -167,6 +177,9 @@ class ITracker {
     version_.store(version_.load(std::memory_order_relaxed) + 1,
                    std::memory_order_release);
   }
+  /// Invokes every registered listener with the current version. Must be
+  /// called after releasing mu_ — listeners may re-enter the read path.
+  void NotifyVersionListeners() const;
 
   const net::Graph& graph_;
   const net::RoutingTable& routing_;
@@ -180,6 +193,7 @@ class ITracker {
     double price = 0.0;  // q_e
   };
   std::unordered_map<net::LinkId, InterdomainState> interdomain_;
+  std::vector<VersionListener> version_listeners_;
   std::atomic<std::uint64_t> version_{0};
   /// Serializes mutators with each other and with snapshot rebuilds. Held
   /// only during mutations and the once-per-version rebuild, never on the

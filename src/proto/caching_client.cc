@@ -101,6 +101,10 @@ void CachingPortalClient::EnableUdpValidation(std::unique_ptr<UdpValidationClien
     throw std::invalid_argument("CachingPortalClient: null UDP validation client");
   }
   udp_ = std::move(udp);
+  // New validation path, fresh degraded-mode budget: stale serves that
+  // accumulated against the old configuration must not count against the
+  // new one.
+  stale_streak_ = 0;
 }
 
 }  // namespace p4p::proto

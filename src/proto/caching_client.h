@@ -58,7 +58,9 @@ class CachingPortalClient {
   /// answer — drops, corruption, dead server — does the refresh fall back
   /// to the TCP conditional request. Zero behavior change on failure: every
   /// UDP outcome that is not a clean NotModified for the held version is
-  /// re-checked authoritatively over TCP.
+  /// re-checked authoritatively over TCP. Reconfiguring the validation path
+  /// also resets the staleness streak: the operator just changed how the
+  /// client reaches the portal, so the degraded-mode budget starts afresh.
   void EnableUdpValidation(std::unique_ptr<UdpValidationClient> udp);
   bool validate_via_udp() const { return udp_ != nullptr; }
 
@@ -78,6 +80,13 @@ class CachingPortalClient {
   /// Consecutive stale serves since the last successful refresh (the value
   /// bounded by `max_stale_serves`).
   std::size_t stale_serve_count() const { return stale_streak_; }
+  /// How many more accesses the expired matrix may serve before refresh
+  /// failures surface to the caller — the unspent staleness budget. Equals
+  /// `max_stale_serves` when healthy; hits 0 exactly when the next failed
+  /// refresh throws.
+  std::size_t stale_serves_remaining() const {
+    return stale_streak_ >= max_stale_serves_ ? 0 : max_stale_serves_ - stale_streak_;
+  }
   /// Cumulative accesses ever served stale (monotone; benches report this).
   std::size_t stale_served_total() const { return stale_served_total_; }
 

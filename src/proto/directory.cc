@@ -54,12 +54,14 @@ void PortalDirectory::AddRecord(const std::string& domain, SrvRecord record) {
   if (record.priority < 0 || record.weight < 0) {
     throw std::invalid_argument("PortalDirectory: negative priority or weight");
   }
+  std::lock_guard<std::mutex> lock(mu_);
   records_[domain].push_back(std::move(record));
 }
 
 std::size_t PortalDirectory::RemoveRecord(const std::string& domain,
                                           const std::string& target,
                                           std::uint16_t port) {
+  std::lock_guard<std::mutex> lock(mu_);
   const auto it = records_.find(domain);
   if (it == records_.end()) return 0;
   auto& recs = it->second;
@@ -76,6 +78,7 @@ std::size_t PortalDirectory::RemoveRecord(const std::string& domain,
 
 std::optional<SrvRecord> PortalDirectory::Resolve(const std::string& domain,
                                                   std::mt19937_64& rng) const {
+  std::lock_guard<std::mutex> lock(mu_);
   const auto it = records_.find(domain);
   if (it == records_.end() || it->second.empty()) return std::nullopt;
 
@@ -92,6 +95,7 @@ std::optional<SrvRecord> PortalDirectory::Resolve(const std::string& domain,
 
 std::vector<SrvRecord> PortalDirectory::ResolveOrdering(const std::string& domain,
                                                         std::mt19937_64& rng) const {
+  std::lock_guard<std::mutex> lock(mu_);
   const auto it = records_.find(domain);
   if (it == records_.end() || it->second.empty()) return {};
 
@@ -112,8 +116,52 @@ std::vector<SrvRecord> PortalDirectory::ResolveOrdering(const std::string& domai
 }
 
 std::vector<SrvRecord> PortalDirectory::Records(const std::string& domain) const {
+  std::lock_guard<std::mutex> lock(mu_);
   const auto it = records_.find(domain);
   return it == records_.end() ? std::vector<SrvRecord>{} : it->second;
+}
+
+std::size_t PortalDirectory::UpdateVersionEpoch(const std::string& domain,
+                                                const std::string& target,
+                                                std::uint16_t port,
+                                                std::uint64_t version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = records_.find(domain);
+  if (it == records_.end()) return 0;
+  std::size_t updated = 0;
+  for (auto& r : it->second) {
+    if (r.target == target && r.port == port && r.version_epoch < version) {
+      r.version_epoch = version;
+      ++updated;
+    }
+  }
+  return updated;
+}
+
+std::uint64_t PortalDirectory::version_epoch(const std::string& domain,
+                                             const std::string& target,
+                                             std::uint16_t port) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = records_.find(domain);
+  if (it == records_.end()) return 0;
+  for (const auto& r : it->second) {
+    if (r.target == target && r.port == port) return r.version_epoch;
+  }
+  return 0;
+}
+
+std::uint64_t PortalDirectory::max_version_epoch(const std::string& domain) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = records_.find(domain);
+  if (it == records_.end()) return 0;
+  std::uint64_t max_epoch = 0;
+  for (const auto& r : it->second) max_epoch = std::max(max_epoch, r.version_epoch);
+  return max_epoch;
+}
+
+std::size_t PortalDirectory::domain_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_.size();
 }
 
 }  // namespace p4p::proto

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <map>
+#include <mutex>
 #include <optional>
 #include <random>
 #include <string>
@@ -27,11 +28,18 @@ struct SrvRecord {
   std::uint16_t port = 0;
   int priority = 0;         ///< lower is preferred
   int weight = 1;           ///< tie-break weight within a priority class
+  /// Highest snapshot version known installed at this replica (0 =
+  /// unknown). Maintained by the federation publisher through
+  /// UpdateVersionEpoch as followers acknowledge pushes; failover clients
+  /// use it to prefer up-to-date replicas over laggards.
+  std::uint64_t version_epoch = 0;
 };
 
 /// The symbolic SRV name for a domain's portal, e.g. "_p4p._tcp.isp-b.net".
 std::string P4pServiceName(const std::string& domain);
 
+/// Thread-safe: the federation publisher updates version epochs from its
+/// replication thread while failover clients resolve concurrently.
 class PortalDirectory {
  public:
   /// Registers a record for `domain`. Throws std::invalid_argument for
@@ -57,9 +65,26 @@ class PortalDirectory {
   /// All records for a domain, in registration order.
   std::vector<SrvRecord> Records(const std::string& domain) const;
 
-  std::size_t domain_count() const { return records_.size(); }
+  /// Records that the replica at (target, port) now holds snapshot
+  /// `version`. Epochs are monotone: a lower version than the recorded one
+  /// is ignored (acks can arrive out of order). Returns the number of
+  /// matching records updated (0 for unknown endpoints — the directory
+  /// never invents records).
+  std::size_t UpdateVersionEpoch(const std::string& domain, const std::string& target,
+                                 std::uint16_t port, std::uint64_t version);
+
+  /// The recorded epoch of one endpoint (0 when unknown).
+  std::uint64_t version_epoch(const std::string& domain, const std::string& target,
+                              std::uint16_t port) const;
+
+  /// Highest epoch over the domain's records (0 when none recorded) — the
+  /// freshness bar a replica must meet to not count as a laggard.
+  std::uint64_t max_version_epoch(const std::string& domain) const;
+
+  std::size_t domain_count() const;
 
  private:
+  mutable std::mutex mu_;
   std::map<std::string, std::vector<SrvRecord>> records_;
 };
 

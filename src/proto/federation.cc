@@ -1,0 +1,468 @@
+#include "proto/federation.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <tuple>
+
+#include "proto/messages.h"
+
+namespace p4p::proto {
+
+namespace {
+
+/// Appends the frame header (magic + protocol version + tag).
+void FrameHeader(Writer& w, FederationTag tag) {
+  w.u32(kFederationMagic);
+  w.u8(kProtocolVersion);
+  w.u8(static_cast<std::uint8_t>(tag));
+}
+
+/// Seals the frame with the trailing FNV-1a checksum.
+std::vector<std::uint8_t> Seal(Writer& w) {
+  w.u32(FrameChecksum(w.bytes()));
+  return w.take();
+}
+
+/// Verifies the trailing checksum and the header; returns a Reader over
+/// the payload after the tag, or std::nullopt. `expected` pins the tag.
+std::optional<std::span<const std::uint8_t>> CheckedPayload(
+    std::span<const std::uint8_t> bytes, FederationTag expected) {
+  // Header (6) + checksum (4) is the minimum frame.
+  if (bytes.size() < 10) return std::nullopt;
+  const auto body = bytes.first(bytes.size() - 4);
+  Reader tail(bytes.subspan(body.size()));
+  if (tail.u32() != FrameChecksum(body)) return std::nullopt;
+  Reader header(body);
+  if (header.u32() != kFederationMagic) return std::nullopt;
+  if (header.u8() != kProtocolVersion) return std::nullopt;
+  if (header.u8() != static_cast<std::uint8_t>(expected)) return std::nullopt;
+  return body.subspan(6);
+}
+
+}  // namespace
+
+std::optional<FederationTag> PeekFederationTag(std::span<const std::uint8_t> bytes) {
+  Reader r(bytes);
+  if (r.u32() != kFederationMagic) return std::nullopt;
+  if (r.u8() != kProtocolVersion) return std::nullopt;
+  const std::uint8_t tag = r.u8();
+  if (!r.ok() || tag < static_cast<std::uint8_t>(FederationTag::kFramePush) ||
+      tag > static_cast<std::uint8_t>(FederationTag::kBeacon)) {
+    return std::nullopt;
+  }
+  return static_cast<FederationTag>(tag);
+}
+
+std::vector<std::uint8_t> EncodeFramePush(const SnapshotFrameSet& frames) {
+  Writer w;
+  std::size_t payload = 8 + 4 + 4 + frames.external_view.size() + 4 +
+                        frames.not_modified.size() + 4 + 1 + 4 + frames.policy.size();
+  for (const auto& row : frames.rows) payload += 4 + row.size();
+  w.reserve(6 + payload + 4);
+  FrameHeader(w, FederationTag::kFramePush);
+  w.u64(frames.version);
+  w.i32(frames.num_pids);
+  w.blob(frames.not_modified);
+  w.blob(frames.external_view);
+  w.u32(static_cast<std::uint32_t>(frames.rows.size()));
+  for (const auto& row : frames.rows) w.blob(row);
+  w.u8(frames.policy.empty() ? 0 : 1);
+  if (!frames.policy.empty()) w.blob(frames.policy);
+  return Seal(w);
+}
+
+std::optional<SnapshotFrameSet> DecodeFramePush(std::span<const std::uint8_t> bytes) {
+  const auto payload = CheckedPayload(bytes, FederationTag::kFramePush);
+  if (!payload) return std::nullopt;
+  Reader r(*payload);
+  SnapshotFrameSet frames;
+  frames.version = r.u64();
+  frames.num_pids = r.i32();
+  frames.not_modified = r.blob();
+  frames.external_view = r.blob();
+  const std::uint32_t num_rows = r.u32();
+  if (!r.ok() || frames.num_pids < 0 ||
+      num_rows != static_cast<std::uint32_t>(frames.num_pids)) {
+    return std::nullopt;
+  }
+  frames.rows.reserve(num_rows);
+  for (std::uint32_t i = 0; i < num_rows && r.ok(); ++i) {
+    frames.rows.push_back(r.blob());
+  }
+  const std::uint8_t has_policy = r.u8();
+  if (has_policy > 1) return std::nullopt;
+  if (has_policy == 1) frames.policy = r.blob();
+  if (!r.done()) return std::nullopt;
+  return frames;
+}
+
+std::vector<std::uint8_t> EncodeFrameAck(const FrameAck& ack) {
+  Writer w;
+  w.reserve(6 + 1 + 8 + 4);
+  FrameHeader(w, FederationTag::kFrameAck);
+  w.u8(static_cast<std::uint8_t>(ack.status));
+  w.u64(ack.version);
+  return Seal(w);
+}
+
+std::optional<FrameAck> DecodeFrameAck(std::span<const std::uint8_t> bytes) {
+  const auto payload = CheckedPayload(bytes, FederationTag::kFrameAck);
+  if (!payload) return std::nullopt;
+  Reader r(*payload);
+  const std::uint8_t status = r.u8();
+  FrameAck ack;
+  ack.version = r.u64();
+  if (!r.done()) return std::nullopt;
+  if (status < static_cast<std::uint8_t>(AckStatus::kInstalled) ||
+      status > static_cast<std::uint8_t>(AckStatus::kRejected)) {
+    return std::nullopt;
+  }
+  ack.status = static_cast<AckStatus>(status);
+  return ack;
+}
+
+std::vector<std::uint8_t> EncodeFramePull(const FramePull& pull) {
+  Writer w;
+  w.reserve(6 + 8 + 4);
+  FrameHeader(w, FederationTag::kFramePull);
+  w.u64(pull.have_version);
+  return Seal(w);
+}
+
+std::optional<FramePull> DecodeFramePull(std::span<const std::uint8_t> bytes) {
+  const auto payload = CheckedPayload(bytes, FederationTag::kFramePull);
+  if (!payload) return std::nullopt;
+  Reader r(*payload);
+  FramePull pull;
+  pull.have_version = r.u64();
+  if (!r.done()) return std::nullopt;
+  return pull;
+}
+
+std::vector<std::uint8_t> EncodeBeacon(std::uint64_t version) {
+  Writer w;
+  w.reserve(6 + 8 + 4);
+  FrameHeader(w, FederationTag::kBeacon);
+  w.u64(version);
+  return Seal(w);
+}
+
+std::optional<std::uint64_t> DecodeBeacon(std::span<const std::uint8_t> datagram) {
+  const auto payload = CheckedPayload(datagram, FederationTag::kBeacon);
+  if (!payload) return std::nullopt;
+  Reader r(*payload);
+  const std::uint64_t version = r.u64();
+  if (!r.done()) return std::nullopt;
+  return version;
+}
+
+// --- ReplicatedSnapshotStore ------------------------------------------------
+
+bool ReplicatedSnapshotStore::Install(SnapshotFrameSet frames) {
+  std::lock_guard<std::mutex> lock(install_mu_);
+  const auto held = current_.load(std::memory_order_acquire);
+  if (held && frames.version <= held->version) {
+    stale_installs_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  current_.store(std::make_shared<const SnapshotFrameSet>(std::move(frames)),
+                 std::memory_order_release);
+  installs_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+std::uint64_t ReplicatedSnapshotStore::version() const {
+  const auto held = current_.load(std::memory_order_acquire);
+  return held ? held->version : 0;
+}
+
+// --- FollowerPortalService --------------------------------------------------
+
+FollowerPortalService::FollowerPortalService(const ReplicatedSnapshotStore* store)
+    : store_(store) {
+  if (store_ == nullptr) {
+    throw std::invalid_argument("FollowerPortalService: null store");
+  }
+  // Not-synced-yet shedding frame: explicitly retryable, so failover
+  // clients try the next replica instead of surfacing an error.
+  not_synced_ = std::make_shared<const std::vector<std::uint8_t>>(
+      Encode(UnavailableResp{/*retry_after_ms=*/100}));
+}
+
+namespace {
+
+/// Aliases a frame inside `frames` as a SharedResponse (no copy; the
+/// aliased shared_ptr keeps the whole frame set alive).
+SharedResponse AliasFrame(const std::shared_ptr<const SnapshotFrameSet>& frames,
+                          const std::vector<std::uint8_t>& bytes) {
+  return SharedResponse(frames, &bytes);
+}
+
+std::optional<MsgType> PeekMsgType(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < 2 || bytes[0] != kProtocolVersion) return std::nullopt;
+  return static_cast<MsgType>(bytes[1]);
+}
+
+}  // namespace
+
+SharedResponse FollowerPortalService::HandleShared(
+    std::span<const std::uint8_t> request) const {
+  const auto frames = store_->current();
+  if (!frames) return not_synced_;
+  const auto type = PeekMsgType(request);
+  const auto decoded = Decode(request);
+  if (!type || !decoded) {
+    return std::make_shared<const std::vector<std::uint8_t>>(
+        Encode(ErrorMsg{"malformed request"}));
+  }
+  switch (*type) {
+    case MsgType::kGetExternalViewReq: {
+      const auto& req = std::get<GetExternalViewReq>(*decoded);
+      if (req.if_version != 0 && req.if_version == frames->version) {
+        return AliasFrame(frames, frames->not_modified);
+      }
+      return AliasFrame(frames, frames->external_view);
+    }
+    case MsgType::kGetPDistancesReq: {
+      const auto& req = std::get<GetPDistancesReq>(*decoded);
+      if (req.from < 0 ||
+          static_cast<std::size_t>(req.from) >= frames->rows.size()) {
+        return std::make_shared<const std::vector<std::uint8_t>>(
+            Encode(ErrorMsg{"unknown PID"}));
+      }
+      if (req.if_version != 0 && req.if_version == frames->version) {
+        return AliasFrame(frames, frames->not_modified);
+      }
+      return AliasFrame(frames, frames->rows[static_cast<std::size_t>(req.from)]);
+    }
+    case MsgType::kGetPolicyReq: {
+      if (frames->policy.empty()) {
+        return std::make_shared<const std::vector<std::uint8_t>>(
+            Encode(ErrorMsg{"policy interface not offered"}));
+      }
+      return AliasFrame(frames, frames->policy);
+    }
+    default:
+      // Followers replicate the p4p-distance/policy frames only; the
+      // capability and pid-map interfaces stay on the publisher.
+      return std::make_shared<const std::vector<std::uint8_t>>(
+          Encode(ErrorMsg{"interface not offered by follower replica"}));
+  }
+}
+
+std::vector<std::uint8_t> FollowerPortalService::Handle(
+    std::span<const std::uint8_t> request) const {
+  return *HandleShared(request);
+}
+
+std::optional<std::vector<std::uint8_t>> FollowerPortalService::HandleValidationDatagram(
+    std::span<const std::uint8_t> datagram) const {
+  const auto request = DecodeValidationRequest(datagram);
+  if (!request) return std::nullopt;
+  const auto frames = store_->current();
+  // Before the first install the follower has no version to vouch for:
+  // stay silent and let the client's UDP retry/TCP fallback find a synced
+  // replica (answering kRevalidateOverTcp would need a version token we
+  // don't have).
+  if (!frames) return std::nullopt;
+  const auto status = (request->if_version != 0 && request->if_version == frames->version)
+                          ? ValidationStatus::kNotModified
+                          : ValidationStatus::kRevalidateOverTcp;
+  return EncodeValidationResponse(request->nonce, status, frames->not_modified);
+}
+
+// --- SnapshotFollower -------------------------------------------------------
+
+SnapshotFollower::SnapshotFollower(ReplicatedSnapshotStore* store) : store_(store) {
+  if (store_ == nullptr) {
+    throw std::invalid_argument("SnapshotFollower: null store");
+  }
+}
+
+std::vector<std::uint8_t> SnapshotFollower::HandleReplication(
+    std::span<const std::uint8_t> request) {
+  auto frames = DecodeFramePush(request);
+  if (!frames) {
+    push_rejects_.fetch_add(1, std::memory_order_relaxed);
+    return EncodeFrameAck(FrameAck{AckStatus::kRejected, store_->version()});
+  }
+  if (store_->Install(std::move(*frames))) {
+    push_installs_.fetch_add(1, std::memory_order_relaxed);
+    return EncodeFrameAck(FrameAck{AckStatus::kInstalled, store_->version()});
+  }
+  push_stales_.fetch_add(1, std::memory_order_relaxed);
+  return EncodeFrameAck(FrameAck{AckStatus::kAlreadyCurrent, store_->version()});
+}
+
+std::optional<std::vector<std::uint8_t>> SnapshotFollower::HandleBeacon(
+    std::span<const std::uint8_t> datagram) {
+  const auto version = DecodeBeacon(datagram);
+  if (version) {
+    beacons_.fetch_add(1, std::memory_order_relaxed);
+    // Monotone max: reordered beacons must not shrink the known horizon.
+    std::uint64_t known = beacon_version_.load(std::memory_order_relaxed);
+    while (*version > known &&
+           !beacon_version_.compare_exchange_weak(known, *version,
+                                                  std::memory_order_acq_rel)) {
+    }
+  }
+  return std::nullopt;
+}
+
+bool SnapshotFollower::behind() const {
+  return beacon_version_.load(std::memory_order_acquire) > store_->version();
+}
+
+bool SnapshotFollower::PullOnce(Transport& publisher) {
+  pulls_.fetch_add(1, std::memory_order_relaxed);
+  const auto response =
+      publisher.Call(EncodeFramePull(FramePull{store_->version()}));
+  const auto tag = PeekFederationTag(response);
+  if (tag == FederationTag::kFramePush) {
+    auto frames = DecodeFramePush(response);
+    if (frames && store_->Install(std::move(*frames))) {
+      pull_installs_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  // kFrameAck (kAlreadyCurrent) or malformed: nothing newer installed.
+  return false;
+}
+
+// --- SnapshotPublisher ------------------------------------------------------
+
+SnapshotPublisher::SnapshotPublisher(const ITrackerService* service,
+                                     PublisherOptions options)
+    : service_(service), options_(std::move(options)) {
+  if (service_ == nullptr) {
+    throw std::invalid_argument("SnapshotPublisher: null service");
+  }
+  if (options_.directory != nullptr &&
+      (options_.domain.empty() || options_.self_target.empty() ||
+       options_.self_port == 0)) {
+    throw std::invalid_argument(
+        "SnapshotPublisher: directory epoch updates need domain and self identity");
+  }
+}
+
+void SnapshotPublisher::AddFollower(std::string target, std::uint16_t port,
+                                    std::unique_ptr<Transport> channel) {
+  if (!channel) {
+    throw std::invalid_argument("SnapshotPublisher: null follower channel");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  followers_.push_back(FollowerChannel{std::move(target), port, std::move(channel), 0});
+}
+
+std::size_t SnapshotPublisher::follower_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return followers_.size();
+}
+
+std::shared_ptr<const std::vector<std::uint8_t>>
+SnapshotPublisher::CurrentPushFrameLocked() {
+  const std::uint64_t version = service_->price_version();
+  if (!push_frame_ || encoded_version_ != version) {
+    // One encode per version regardless of follower count; ExportFrames
+    // reads the service's already-encoded response cache.
+    push_frame_ = std::make_shared<const std::vector<std::uint8_t>>(
+        EncodeFramePush(service_->ExportFrames()));
+    encoded_version_ = version;
+    if (options_.directory != nullptr) {
+      options_.directory->UpdateVersionEpoch(options_.domain, options_.self_target,
+                                             options_.self_port, version);
+    }
+  }
+  return push_frame_;
+}
+
+std::size_t SnapshotPublisher::PublishOnce() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto frame = CurrentPushFrameLocked();
+  const std::uint64_t version = encoded_version_;
+  std::size_t confirmed = 0;
+  for (auto& follower : followers_) {
+    if (follower.acked_version >= version) {
+      ++confirmed;
+      continue;
+    }
+    ++pushes_;
+    try {
+      const auto response = follower.channel->Call(*frame);
+      const auto ack = DecodeFrameAck(response);
+      if (ack && (ack->status == AckStatus::kInstalled ||
+                  ack->status == AckStatus::kAlreadyCurrent)) {
+        follower.acked_version = std::max(follower.acked_version, ack->version);
+        if (options_.directory != nullptr) {
+          options_.directory->UpdateVersionEpoch(options_.domain, follower.target,
+                                                 follower.port, ack->version);
+        }
+        if (follower.acked_version >= version) ++confirmed;
+        continue;
+      }
+      ++push_failures_;
+    } catch (const std::exception&) {
+      // Dead or lossy channel: the follower keeps its last good frames and
+      // the next PublishOnce (or its own pull) retries.
+      ++push_failures_;
+    }
+  }
+  return confirmed;
+}
+
+std::uint64_t SnapshotPublisher::published_version() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return encoded_version_;
+}
+
+std::vector<std::uint8_t> SnapshotPublisher::BeaconFrame() const {
+  return EncodeBeacon(service_->price_version());
+}
+
+std::vector<std::uint8_t> SnapshotPublisher::HandleReplication(
+    std::span<const std::uint8_t> request) {
+  const auto pull = DecodeFramePull(request);
+  if (!pull) {
+    return EncodeFrameAck(FrameAck{AckStatus::kRejected, service_->price_version()});
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto frame = CurrentPushFrameLocked();
+  if (pull->have_version >= encoded_version_) {
+    return EncodeFrameAck(FrameAck{AckStatus::kAlreadyCurrent, encoded_version_});
+  }
+  pulls_served_.fetch_add(1, std::memory_order_relaxed);
+  return *frame;
+}
+
+std::uint64_t SnapshotPublisher::push_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pushes_;
+}
+
+std::uint64_t SnapshotPublisher::push_failure_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return push_failures_;
+}
+
+std::uint64_t SnapshotPublisher::pull_served_count() const {
+  return pulls_served_.load(std::memory_order_relaxed);
+}
+
+// --- publisher election -----------------------------------------------------
+
+std::optional<SrvRecord> ElectPublisher(const PortalDirectory& directory,
+                                        const std::string& domain) {
+  const auto records = directory.Records(domain);
+  if (records.empty()) return std::nullopt;
+  const auto* best = &records.front();
+  for (const auto& r : records) {
+    if (r.priority < best->priority ||
+        (r.priority == best->priority &&
+         std::tie(r.target, r.port) < std::tie(best->target, best->port))) {
+      best = &r;
+    }
+  }
+  return *best;
+}
+
+}  // namespace p4p::proto

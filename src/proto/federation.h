@@ -1,0 +1,315 @@
+// Federated serving plane: snapshot replication across portal replicas.
+//
+// The paper's iTracker is "the" portal of an ISP, but one ISP runs many
+// portal replicas (Section 3's availability argument). Only one of them —
+// the publisher, elected statically from the SRV records — runs the
+// super-gradient update; the rest are followers that serve the publisher's
+// snapshot from replicated bytes. What replicates is not the matrix but the
+// already-encoded response frames (SnapshotFrameSet): a follower installs
+// the publisher's NotModifiedResp / GetExternalViewResp / per-PID row /
+// GetPolicyResp buffers verbatim and serves them through the same
+// atomic<shared_ptr> publication path the publisher uses. Consequences:
+//
+//   * Version tokens are portal-wide, not per-replica: a client that
+//     fetched from replica A gets NotModified from replica B after
+//     failover, so the conditional/UDP fast path survives failover.
+//   * Aggregate NotModified throughput scales with replica count — a
+//     follower's serving cost is identical to the publisher's (one atomic
+//     load + a pre-encoded frame), with zero re-encode anywhere.
+//   * Consistency is monotone-prefix: a follower either serves the frames
+//     of some version the publisher published, or sheds with
+//     UnavailableResp before its first install. It never mixes versions
+//     and never serves a version it holds no frames for.
+//
+// Wire format (big-endian, same Writer/Reader codec as the protocol):
+//   u32 magic "P4PF" | u8 protocol version | u8 tag | payload | u32 FNV-1a
+// with the trailing checksum over everything before it (shared with the
+// UDP validation codec via FrameChecksum). Tags:
+//   kFramePush (publisher -> follower, TCP): the full SnapshotFrameSet.
+//   kFrameAck  (follower -> publisher, TCP): install outcome + version.
+//   kFramePull (follower -> publisher, TCP): anti-entropy catch-up.
+//   kBeacon    (publisher -> followers, UDP): current version, ~20 bytes.
+// Push and pull ride the existing length-prefixed request/response
+// transports (TcpServer/TcpClient or any Transport); the beacon is a
+// fire-and-forget datagram — loss only delays gap detection until the next
+// beacon or push.
+#pragma once
+
+#include <atomic>
+#include <mutex>
+
+#include "proto/directory.h"
+#include "proto/service.h"
+
+namespace p4p::proto {
+
+/// First four bytes of every federation frame ("P4PF").
+inline constexpr std::uint32_t kFederationMagic = 0x50345046u;
+
+enum class FederationTag : std::uint8_t {
+  kFramePush = 1,
+  kFrameAck = 2,
+  kFramePull = 3,
+  kBeacon = 4,
+};
+
+enum class AckStatus : std::uint8_t {
+  kInstalled = 1,      ///< frames newer than the held version: installed
+  kAlreadyCurrent = 2, ///< the follower already holds this (or a newer) version
+  kRejected = 3,       ///< malformed push, or a pull the endpoint cannot serve
+};
+
+struct FrameAck {
+  AckStatus status = AckStatus::kRejected;
+  /// The responder's installed version after handling the frame.
+  std::uint64_t version = 0;
+};
+
+struct FramePull {
+  /// Version the follower already holds (0 = nothing); the publisher
+  /// answers kAlreadyCurrent when nothing newer exists.
+  std::uint64_t have_version = 0;
+};
+
+// --- frame codec ------------------------------------------------------------
+// Total like the message codec: malformed bytes (bad magic/tag/checksum,
+// truncation, trailing garbage, row-count mismatch) decode to std::nullopt.
+
+std::vector<std::uint8_t> EncodeFramePush(const SnapshotFrameSet& frames);
+std::optional<SnapshotFrameSet> DecodeFramePush(std::span<const std::uint8_t> bytes);
+
+std::vector<std::uint8_t> EncodeFrameAck(const FrameAck& ack);
+std::optional<FrameAck> DecodeFrameAck(std::span<const std::uint8_t> bytes);
+
+std::vector<std::uint8_t> EncodeFramePull(const FramePull& pull);
+std::optional<FramePull> DecodeFramePull(std::span<const std::uint8_t> bytes);
+
+std::vector<std::uint8_t> EncodeBeacon(std::uint64_t version);
+std::optional<std::uint64_t> DecodeBeacon(std::span<const std::uint8_t> datagram);
+
+/// Tag of a well-framed federation message (magic + protocol version
+/// checked, checksum NOT yet verified — dispatch only).
+std::optional<FederationTag> PeekFederationTag(std::span<const std::uint8_t> bytes);
+
+// --- replica-side state -----------------------------------------------------
+
+/// Holds the latest installed SnapshotFrameSet behind an atomic shared_ptr:
+/// any number of serving threads read it lock-free while the replication
+/// path installs newer versions. Installs are monotone — a frame set whose
+/// version does not exceed the installed one is ignored, so duplicated or
+/// reordered pushes can never roll a follower back.
+class ReplicatedSnapshotStore {
+ public:
+  /// Installs `frames` if strictly newer than the held version. Returns
+  /// true when installed.
+  bool Install(SnapshotFrameSet frames);
+
+  /// The installed frame set (null before the first install). One acquire
+  /// load; the returned pointer stays valid for as long as the caller
+  /// holds it, across any number of later installs.
+  std::shared_ptr<const SnapshotFrameSet> current() const {
+    return current_.load(std::memory_order_acquire);
+  }
+  /// Version of the installed frame set (0 before the first install).
+  std::uint64_t version() const;
+  std::uint64_t install_count() const { return installs_.load(std::memory_order_relaxed); }
+  /// Pushes ignored because their version did not exceed the held one.
+  std::uint64_t stale_install_count() const {
+    return stale_installs_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// Serializes the compare in Install against concurrent installers;
+  /// readers never touch it.
+  std::mutex install_mu_;
+  std::atomic<std::shared_ptr<const SnapshotFrameSet>> current_;
+  std::atomic<std::uint64_t> installs_{0};
+  std::atomic<std::uint64_t> stale_installs_{0};
+};
+
+/// The follower's serving half: answers the portal protocol from a
+/// ReplicatedSnapshotStore exactly as ITrackerService answers it from its
+/// response cache — the same bytes, via the same zero-copy aliasing.
+/// Before the first install every request gets a retryable UnavailableResp
+/// (and validation datagrams get silence), so failover clients move on to
+/// a synced replica instead of caching an error.
+///
+/// Thread safety: all handlers may run concurrently with installs.
+class FollowerPortalService {
+ public:
+  /// `store` must outlive the service.
+  explicit FollowerPortalService(const ReplicatedSnapshotStore* store);
+
+  std::vector<std::uint8_t> Handle(std::span<const std::uint8_t> request) const;
+  SharedResponse HandleShared(std::span<const std::uint8_t> request) const;
+  std::optional<std::vector<std::uint8_t>> HandleValidationDatagram(
+      std::span<const std::uint8_t> datagram) const;
+
+  Handler handler() const {
+    return [this](std::span<const std::uint8_t> req) { return Handle(req); };
+  }
+  SharedHandler shared_handler() const {
+    return [this](std::span<const std::uint8_t> req) { return HandleShared(req); };
+  }
+  DatagramHandler validation_handler() const {
+    return [this](std::span<const std::uint8_t> d) {
+      return HandleValidationDatagram(d);
+    };
+  }
+
+ private:
+  const ReplicatedSnapshotStore* store_;
+  /// Pre-encoded UnavailableResp served before the first install.
+  SharedResponse not_synced_;
+};
+
+/// The follower's replication half: accepts frame pushes, watches version
+/// beacons for gaps, and pulls from the publisher to catch up. One
+/// SnapshotFollower feeds one ReplicatedSnapshotStore; handlers may run on
+/// transport threads concurrently with each other and with PullOnce.
+class SnapshotFollower {
+ public:
+  /// `store` must outlive the follower.
+  explicit SnapshotFollower(ReplicatedSnapshotStore* store);
+
+  /// Handler for the replication endpoint (a TcpServer or any request/
+  /// response transport): installs FramePush, answers FrameAck. Malformed
+  /// frames get AckStatus::kRejected — never silence, so the publisher can
+  /// tell a corrupt channel from a dead one.
+  std::vector<std::uint8_t> HandleReplication(std::span<const std::uint8_t> request);
+  Handler replication_handler() {
+    return [this](std::span<const std::uint8_t> req) { return HandleReplication(req); };
+  }
+
+  /// Consumes one version beacon datagram; never answers (returns
+  /// std::nullopt always — beacons are fire-and-forget). Malformed or
+  /// corrupt beacons are dropped by checksum.
+  std::optional<std::vector<std::uint8_t>> HandleBeacon(
+      std::span<const std::uint8_t> datagram);
+  DatagramHandler beacon_handler() {
+    return [this](std::span<const std::uint8_t> d) { return HandleBeacon(d); };
+  }
+
+  /// True when a beacon announced a version newer than the installed one —
+  /// a push was lost and a pull is due.
+  bool behind() const;
+  /// Highest version any beacon announced (0 = none seen).
+  std::uint64_t beacon_version() const {
+    return beacon_version_.load(std::memory_order_acquire);
+  }
+
+  /// Anti-entropy catch-up: asks `publisher` (its replication endpoint) for
+  /// anything newer than the installed version and installs the answer.
+  /// Returns true when a newer version was installed. Throws what the
+  /// transport throws; a malformed answer returns false.
+  bool PullOnce(Transport& publisher);
+
+  std::uint64_t push_install_count() const { return push_installs_.load(); }
+  std::uint64_t push_stale_count() const { return push_stales_.load(); }
+  std::uint64_t push_rejected_count() const { return push_rejects_.load(); }
+  std::uint64_t beacon_count() const { return beacons_.load(); }
+  std::uint64_t pull_count() const { return pulls_.load(); }
+  std::uint64_t pull_install_count() const { return pull_installs_.load(); }
+
+ private:
+  ReplicatedSnapshotStore* store_;
+  std::atomic<std::uint64_t> beacon_version_{0};
+  std::atomic<std::uint64_t> push_installs_{0};
+  std::atomic<std::uint64_t> push_stales_{0};
+  std::atomic<std::uint64_t> push_rejects_{0};
+  std::atomic<std::uint64_t> beacons_{0};
+  std::atomic<std::uint64_t> pulls_{0};
+  std::atomic<std::uint64_t> pull_installs_{0};
+};
+
+struct PublisherOptions {
+  /// When set, every acked push (and every republish by the publisher
+  /// itself) records the replica's new version epoch in the directory, so
+  /// prefer_fresh_replicas clients steer around laggards. The directory
+  /// must outlive the publisher.
+  PortalDirectory* directory = nullptr;
+  std::string domain;
+  /// The publisher's own SRV identity, epoch-stamped on every republish.
+  std::string self_target;
+  std::uint16_t self_port = 0;
+};
+
+/// The publisher's replication half, layered on an ITrackerService: encodes
+/// the current version's frames into one push frame (cached per version —
+/// republishing to N followers encodes once) and pushes it to every
+/// follower lagging the current version. Also answers follower pulls from
+/// the same cached frame.
+///
+/// Thread safety: PublishOnce, HandleReplication, and BeaconFrame may be
+/// called concurrently (the TSan hammer does); AddFollower is setup-time.
+class SnapshotPublisher {
+ public:
+  /// `service` must outlive the publisher.
+  explicit SnapshotPublisher(const ITrackerService* service,
+                             PublisherOptions options = {});
+
+  /// Registers a follower push channel under its SRV identity. The channel
+  /// is typically a TcpClient to the follower's replication TcpServer.
+  void AddFollower(std::string target, std::uint16_t port,
+                   std::unique_ptr<Transport> channel);
+  std::size_t follower_count() const;
+
+  /// Pushes the current version to every follower that has not acked it
+  /// yet; followers already at the current version cost nothing. A failed
+  /// push (transport error or rejection) is counted and retried on the
+  /// next call — PublishOnce is the idempotent unit a version listener or
+  /// republish loop drives. Returns the number of followers confirmed at
+  /// the current version after this round.
+  std::size_t PublishOnce();
+
+  /// The version PublishOnce last encoded (0 before the first publish).
+  std::uint64_t published_version() const;
+
+  /// Encoded beacon datagram for the service's current version; broadcast
+  /// it over any datagram channel(s) after a publish.
+  std::vector<std::uint8_t> BeaconFrame() const;
+
+  /// Replication endpoint: answers FramePull with the cached push frame
+  /// (or kAlreadyCurrent), anything else with kRejected. Lets followers
+  /// catch up through the same TcpServer machinery the portal uses.
+  std::vector<std::uint8_t> HandleReplication(std::span<const std::uint8_t> request);
+  Handler replication_handler() {
+    return [this](std::span<const std::uint8_t> req) { return HandleReplication(req); };
+  }
+
+  std::uint64_t push_count() const;
+  std::uint64_t push_failure_count() const;
+  std::uint64_t pull_served_count() const;
+
+ private:
+  struct FollowerChannel {
+    std::string target;
+    std::uint16_t port = 0;
+    std::unique_ptr<Transport> channel;
+    std::uint64_t acked_version = 0;
+  };
+
+  /// Returns the push frame for the service's current version, re-encoding
+  /// only when the version moved since the last call. Caller must hold mu_.
+  std::shared_ptr<const std::vector<std::uint8_t>> CurrentPushFrameLocked();
+
+  const ITrackerService* service_;
+  PublisherOptions options_;
+  mutable std::mutex mu_;
+  std::uint64_t encoded_version_ = 0;
+  std::shared_ptr<const std::vector<std::uint8_t>> push_frame_;
+  std::vector<FollowerChannel> followers_;
+  std::uint64_t pushes_ = 0;
+  std::uint64_t push_failures_ = 0;
+  std::atomic<std::uint64_t> pulls_served_{0};
+};
+
+/// Static publisher election: the record with the lowest SRV priority wins,
+/// ties broken by (target, port) lexicographic order. Every replica
+/// resolving the same records computes the same winner with no
+/// coordination — exactly the determinism DNS SRV failover already gives
+/// the client side. std::nullopt for unknown/empty domains.
+std::optional<SrvRecord> ElectPublisher(const PortalDirectory& directory,
+                                        const std::string& domain);
+
+}  // namespace p4p::proto

@@ -256,19 +256,8 @@ constexpr std::uint8_t kValidationResponseTag = 2;
 /// magic + protocol version + tag + status + nonce.
 constexpr std::size_t kValidationResponseHeaderBytes = 4 + 1 + 1 + 1 + 8;
 
-/// FNV-1a over the datagram body; a trailing u32 of this guards against
-/// corruption that UDP's 16-bit checksum (or a test's bit flip) lets through.
-std::uint32_t ValidationChecksum(std::span<const std::uint8_t> bytes) {
-  std::uint32_t h = 2166136261u;
-  for (const std::uint8_t b : bytes) {
-    h ^= b;
-    h *= 16777619u;
-  }
-  return h;
-}
-
 void AppendChecksum(Writer& w) {
-  const std::uint32_t sum = ValidationChecksum(w.bytes());
+  const std::uint32_t sum = FrameChecksum(w.bytes());
   w.u32(sum);
 }
 
@@ -280,11 +269,22 @@ std::optional<std::span<const std::uint8_t>> ChecksummedBody(
   }
   const auto body = datagram.first(datagram.size() - 4);
   Reader tail(datagram.subspan(body.size()));
-  if (tail.u32() != ValidationChecksum(body)) return std::nullopt;
+  if (tail.u32() != FrameChecksum(body)) return std::nullopt;
   return body;
 }
 
 }  // namespace
+
+/// A trailing u32 of this guards against corruption that UDP's 16-bit
+/// checksum (or a test's bit flip) lets through.
+std::uint32_t FrameChecksum(std::span<const std::uint8_t> bytes) {
+  std::uint32_t h = 2166136261u;
+  for (const std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 16777619u;
+  }
+  return h;
+}
 
 std::vector<std::uint8_t> EncodeValidationRequest(const ValidationRequest& request) {
   Writer w;

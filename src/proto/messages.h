@@ -134,6 +134,11 @@ MsgType TypeOf(const Message& message);
 /// First four bytes of every validation datagram ("P4PV").
 inline constexpr std::uint32_t kValidationMagic = 0x50345056u;
 
+/// FNV-1a (32-bit) over `bytes` — the integrity check appended to every
+/// validation datagram and federation frame. Exported so the federation
+/// codec guards its frames with the same function the datagram codec uses.
+std::uint32_t FrameChecksum(std::span<const std::uint8_t> bytes);
+
 /// Hard cap on validation datagram size. Both directions are a few dozen
 /// bytes; anything larger is hostile and rejected before parsing.
 inline constexpr std::size_t kMaxValidationDatagramBytes = 64;

@@ -94,6 +94,20 @@ ITrackerService::encoded_policy() const {
   return next;
 }
 
+std::uint64_t ITrackerService::price_version() const { return tracker_->version(); }
+
+SnapshotFrameSet ITrackerService::ExportFrames() const {
+  SnapshotFrameSet out;
+  const auto state = encoded_state();
+  out.version = state->version;
+  out.num_pids = tracker_->num_pids();
+  out.not_modified = state->not_modified;
+  out.external_view = state->external_view;
+  out.rows = state->rows;
+  if (policy_ != nullptr) out.policy = encoded_policy()->bytes;
+  return out;
+}
+
 SharedResponse ITrackerService::ValidationFrame(std::uint64_t* version_out) const {
   // version() is the cheap atomic counter; unlike snapshot() it never
   // triggers a matrix rebuild, so the UDP answer stays O(1) even when the

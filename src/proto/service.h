@@ -32,6 +32,23 @@ struct ServiceOptions {
   bool enable_response_cache = true;
 };
 
+/// Everything a portal replica needs to serve one price version: the
+/// version token plus every pre-encoded response frame, exactly as the
+/// owning service would write them. The federation publisher ships these
+/// bytes to follower replicas, which install them verbatim — a follower
+/// never decodes the matrix or re-encodes a response, so its answers are
+/// byte-identical to the publisher's.
+struct SnapshotFrameSet {
+  std::uint64_t version = 0;
+  std::int32_t num_pids = 0;
+  std::vector<std::uint8_t> not_modified;       // NotModifiedResp{version}
+  std::vector<std::uint8_t> external_view;      // GetExternalViewResp
+  std::vector<std::vector<std::uint8_t>> rows;  // GetPDistancesResp per PID
+  /// GetPolicyResp frame; empty when the publisher offers no policy
+  /// interface (followers then answer policy queries with an ErrorMsg).
+  std::vector<std::uint8_t> policy;
+};
+
 /// Server-side dispatcher. The referenced components must outlive the
 /// service. Any of policy/capabilities/pid_map may be null, in which case
 /// the corresponding interface answers with an ErrorMsg ("a network
@@ -80,6 +97,16 @@ class ITrackerService {
       return HandleValidationDatagram(d);
     };
   }
+
+  /// The tracker's current price version — the cheap atomic counter the
+  /// federation publisher polls to decide whether a republish is due.
+  std::uint64_t price_version() const;
+
+  /// Exports the current version's pre-encoded response frames for
+  /// federation. The buffers are copied out of the response cache (one copy
+  /// per republish, not per request); the publisher encodes them into a
+  /// push frame once per version.
+  SnapshotFrameSet ExportFrames() const;
 
  private:
   /// All p4p-distance responses for one price version, encoded once.

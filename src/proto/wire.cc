@@ -49,6 +49,15 @@ void Writer::raw(std::span<const std::uint8_t> bytes) {
   buf_.insert(buf_.end(), bytes.begin(), bytes.end());
 }
 
+void Writer::blob(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() > 0xFFFFFFFFULL) {
+    throw std::length_error("Writer::blob: blob too long");
+  }
+  reserve(4 + bytes.size());
+  u32(static_cast<std::uint32_t>(bytes.size()));
+  raw(bytes);
+}
+
 bool Reader::take(std::size_t n, const std::uint8_t** out) {
   if (!ok_ || data_.size() - pos_ < n) {
     ok_ = false;
@@ -92,6 +101,15 @@ std::string Reader::str() {
   const std::uint8_t* p = nullptr;
   if (!take(len, &p)) return {};
   return std::string(reinterpret_cast<const char*>(p), len);
+}
+
+std::vector<std::uint8_t> Reader::blob() {
+  const std::uint32_t len = u32();
+  const std::uint8_t* p = nullptr;
+  // take() validates the length against the remaining buffer before any
+  // allocation, so a hostile prefix cannot trigger a huge reserve.
+  if (!take(len, &p)) return {};
+  return std::vector<std::uint8_t>(p, p + len);
 }
 
 std::vector<double> Reader::f64_vec() {

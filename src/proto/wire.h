@@ -37,6 +37,10 @@ class Writer {
   void f64_vec(std::span<const double> values);
   /// Appends raw bytes verbatim (used to embed pre-encoded frames).
   void raw(std::span<const std::uint8_t> bytes);
+  /// Length-prefixed (u32) byte blob — a pre-encoded frame carried as an
+  /// opaque payload inside another frame (the federation push carries whole
+  /// response frames this way).
+  void blob(std::span<const std::uint8_t> bytes);
 
   const std::vector<std::uint8_t>& bytes() const { return buf_; }
   std::vector<std::uint8_t> take() { return std::move(buf_); }
@@ -59,6 +63,7 @@ class Reader {
   double f64();
   std::string str();
   std::vector<double> f64_vec();
+  std::vector<std::uint8_t> blob();
 
   bool ok() const { return ok_; }
   /// True when the whole buffer was consumed and no error occurred.

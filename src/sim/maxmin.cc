@@ -75,27 +75,38 @@ std::span<const double> MaxMinWorkspace::Compute(std::span<const double> capacit
   rate_.assign(num_flows, 0.0);
   frozen_.assign(num_flows, 0);
 
-  // Min-heap of (fair share, link) over the reused buffer; std::push_heap /
-  // pop_heap replicate priority_queue behavior exactly.
+  // Min-heap of (fair share, link) over the reused buffer. Every live link
+  // keeps exactly one entry: fair shares only rise as flows freeze (a flow
+  // frozen elsewhere was frozen at the global-minimum share, so removing it
+  // never lowers this link's share), so a popped entry is at most the
+  // link's current share. A stale entry is re-pushed at the current share
+  // instead of being re-pushed on every decrement — the old scheme kept one
+  // heap entry per historical share, and the pops that drained those stale
+  // entries for already-saturated links dominated the round.
   heap_.clear();
-  const auto push_link = [this](std::size_t l) {
+  heap_.reserve(num_links);
+  for (std::size_t l = 0; l < num_links; ++l) {
     if (active_count_[l] > 0) {
       heap_.emplace_back(std::max(0.0, remaining_[l]) / active_count_[l],
                          static_cast<int>(l));
-      std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
     }
-  };
-  for (std::size_t l = 0; l < num_links; ++l) push_link(l);
+  }
+  std::make_heap(heap_.begin(), heap_.end(), std::greater<>{});
 
   while (!heap_.empty()) {
     const auto [share, l] = heap_.front();
     std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
     heap_.pop_back();
     const auto lu = static_cast<std::size_t>(l);
-    if (active_count_[lu] == 0) continue;
-    // Lazy invalidation: skip stale entries.
+    if (active_count_[lu] == 0) continue;  // fully frozen via other links
     const double current = std::max(0.0, remaining_[lu]) / active_count_[lu];
-    if (share < current - 1e-12 * std::max(1.0, current)) continue;
+    if (share < current - 1e-12 * std::max(1.0, current)) {
+      // Stale: the share rose since this entry was pushed. Re-insert at the
+      // current share; the link keeps its single up-to-date entry.
+      heap_.emplace_back(current, l);
+      std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+      continue;
+    }
     // Freeze every unfrozen flow crossing this bottleneck at `current`.
     for (std::size_t a = adj_offsets_[lu]; a < adj_offsets_[lu + 1]; ++a) {
       const auto fu = static_cast<std::size_t>(adj_flows_[a]);
@@ -107,14 +118,12 @@ std::span<const double> MaxMinWorkspace::Compute(std::span<const double> capacit
         if (l2u == lu) continue;
         remaining_[l2u] -= current;
         --active_count_[l2u];
-        push_link(l2u);
       }
       const int cl = cap_link_of_flow_[fu];
       if (cl >= 0 && static_cast<std::size_t>(cl) != lu) {
         const auto clu = static_cast<std::size_t>(cl);
         remaining_[clu] -= current;
         --active_count_[clu];
-        push_link(clu);
       }
     }
     remaining_[lu] = 0.0;

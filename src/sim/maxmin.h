@@ -5,8 +5,10 @@
 // Bindal et al.). This allocator is the realization of that model: given
 // link capacities and flows (each a list of links it traverses, plus an
 // optional per-flow rate cap), it computes the unique max-min fair rate
-// vector using progressive filling with a lazy priority queue, i.e.
-// O(F·log L) per recomputation.
+// vector using progressive filling with a lazy priority queue. Each live
+// link holds exactly one heap entry, refreshed on pop when stale (fair
+// shares are monotone non-decreasing), so saturated links are never
+// rescanned through piles of outdated entries.
 //
 // The simulators recompute rates every fluid step over mostly-unchanged
 // flow sets, so the hot entry point is MaxMinWorkspace::Compute, which

@@ -220,6 +220,54 @@ TEST_F(CachingClientStaleTest, ColdFailureHasNothingToServeStale) {
   EXPECT_EQ(client.fetch_count(), 1u);
 }
 
+TEST_F(CachingClientStaleTest, StaleServesRemainingTracksBudget) {
+  auto client = MakeFlaky(10.0, 3);
+  EXPECT_EQ(client.stale_serves_remaining(), 3u);  // full budget when healthy
+  client.GetExternalView();
+  EXPECT_EQ(client.stale_serves_remaining(), 3u);
+  down_ = true;
+  now_ = 11.0;
+  client.GetExternalView();
+  EXPECT_EQ(client.stale_serves_remaining(), 2u);
+  client.GetExternalView();
+  EXPECT_EQ(client.stale_serves_remaining(), 1u);
+  client.GetExternalView();
+  EXPECT_EQ(client.stale_serves_remaining(), 0u);
+  // Remaining 0 means exactly this: the next failed refresh throws.
+  EXPECT_THROW(client.GetExternalView(), std::exception);
+  EXPECT_EQ(client.stale_serves_remaining(), 0u);
+  // Recovery restores the full budget.
+  down_ = false;
+  client.GetExternalView();
+  EXPECT_EQ(client.stale_serves_remaining(), 3u);
+}
+
+TEST_F(CachingClientStaleTest, EnableUdpValidationResetsStalenessBudget) {
+  auto client = MakeFlaky(10.0, 2);
+  client.GetExternalView();
+  down_ = true;
+  now_ = 11.0;
+  client.GetExternalView();
+  client.GetExternalView();
+  ASSERT_TRUE(client.stale());
+  ASSERT_EQ(client.stale_serves_remaining(), 0u);
+  // Reconfiguring the validation path starts a fresh degraded-mode budget:
+  // stale serves accumulated against the old configuration do not count.
+  // (The new UDP path drops everything, so refreshes still fail and the
+  // next access draws on the fresh budget.)
+  testsupport::FaultProfile black_hole;
+  black_hole.drop_rate = 1.0;
+  client.EnableUdpValidation(std::make_unique<UdpValidationClient>(
+      std::make_unique<testsupport::FaultInjectingTransport>(
+          service_.validation_handler(), black_hole, /*seed=*/1),
+      UdpValidationOptions{}, [] { return std::uint64_t{42}; }));
+  EXPECT_FALSE(client.stale());
+  EXPECT_EQ(client.stale_serves_remaining(), 2u);
+  client.GetExternalView();  // stale serve against the new budget
+  EXPECT_EQ(client.stale_serves_remaining(), 1u);
+  EXPECT_EQ(client.stale_served_total(), 3u);  // cumulative total is untouched
+}
+
 TEST_F(CachingClientStaleTest, InvalidateDropsStalenessState) {
   auto client = MakeFlaky(10.0, 3);
   client.GetExternalView();

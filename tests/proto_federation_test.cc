@@ -1,0 +1,690 @@
+// Federated serving plane tests: frame codec totality, monotone installs,
+// byte-identical follower serving, publisher push/pull/beacon replication
+// under lossy links, directory version epochs, static publisher election,
+// and the end-to-end failover guarantee — a version token obtained from the
+// publisher must earn NotModified from a follower after failover.
+#include "proto/federation.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <random>
+#include <thread>
+
+#include "core/policy.h"
+#include "net/topology.h"
+#include "proto/resilient_client.h"
+#include "support/fault_injection.h"
+
+namespace p4p::proto {
+namespace {
+
+// --- codec ------------------------------------------------------------------
+
+class FederationCodecTest : public ::testing::Test {
+ protected:
+  SnapshotFrameSet MakeFrames(std::uint64_t version, int num_pids) {
+    SnapshotFrameSet f;
+    f.version = version;
+    f.num_pids = num_pids;
+    f.not_modified = Encode(NotModifiedResp{version});
+    GetExternalViewResp view;
+    view.num_pids = num_pids;
+    view.version = version;
+    view.distances.assign(
+        static_cast<std::size_t>(num_pids) * static_cast<std::size_t>(num_pids), 1.5);
+    f.external_view = Encode(view);
+    for (int i = 0; i < num_pids; ++i) {
+      GetPDistancesResp row;
+      row.from = i;
+      row.version = version;
+      row.distances.assign(static_cast<std::size_t>(num_pids), 2.5);
+      f.rows.push_back(Encode(row));
+    }
+    return f;
+  }
+};
+
+TEST_F(FederationCodecTest, PushRoundTrip) {
+  auto frames = MakeFrames(7, 4);
+  frames.policy = Encode(GetPolicyResp{});
+  const auto bytes = EncodeFramePush(frames);
+  EXPECT_EQ(PeekFederationTag(bytes), FederationTag::kFramePush);
+  const auto decoded = DecodeFramePush(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->version, 7u);
+  EXPECT_EQ(decoded->num_pids, 4);
+  EXPECT_EQ(decoded->not_modified, frames.not_modified);
+  EXPECT_EQ(decoded->external_view, frames.external_view);
+  EXPECT_EQ(decoded->rows, frames.rows);
+  EXPECT_EQ(decoded->policy, frames.policy);
+}
+
+TEST_F(FederationCodecTest, PushRoundTripWithoutPolicy) {
+  const auto frames = MakeFrames(3, 2);
+  const auto decoded = DecodeFramePush(EncodeFramePush(frames));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->policy.empty());
+}
+
+TEST_F(FederationCodecTest, PushRejectsCorruptionAndTruncation) {
+  const auto bytes = EncodeFramePush(MakeFrames(5, 3));
+  // Any single-bit flip must be caught by the trailing FNV checksum (or the
+  // header checks); sample positions across the frame.
+  for (std::size_t pos = 0; pos < bytes.size(); pos += 7) {
+    auto corrupt = bytes;
+    corrupt[pos] ^= 0x40;
+    EXPECT_FALSE(DecodeFramePush(corrupt).has_value()) << "bit flip at " << pos;
+  }
+  for (const std::size_t len : {std::size_t{0}, std::size_t{5}, std::size_t{9},
+                                bytes.size() - 5, bytes.size() - 1}) {
+    EXPECT_FALSE(
+        DecodeFramePush(std::span(bytes).first(len)).has_value())
+        << "truncated to " << len;
+  }
+  // Trailing garbage after a valid frame is rejected too.
+  auto extended = bytes;
+  extended.push_back(0);
+  EXPECT_FALSE(DecodeFramePush(extended).has_value());
+}
+
+TEST_F(FederationCodecTest, AckPullBeaconRoundTrip) {
+  const auto ack_bytes = EncodeFrameAck(FrameAck{AckStatus::kInstalled, 9});
+  EXPECT_EQ(PeekFederationTag(ack_bytes), FederationTag::kFrameAck);
+  const auto ack = DecodeFrameAck(ack_bytes);
+  ASSERT_TRUE(ack.has_value());
+  EXPECT_EQ(ack->status, AckStatus::kInstalled);
+  EXPECT_EQ(ack->version, 9u);
+
+  const auto pull_bytes = EncodeFramePull(FramePull{4});
+  EXPECT_EQ(PeekFederationTag(pull_bytes), FederationTag::kFramePull);
+  const auto pull = DecodeFramePull(pull_bytes);
+  ASSERT_TRUE(pull.has_value());
+  EXPECT_EQ(pull->have_version, 4u);
+
+  const auto beacon_bytes = EncodeBeacon(12);
+  EXPECT_EQ(PeekFederationTag(beacon_bytes), FederationTag::kBeacon);
+  EXPECT_EQ(DecodeBeacon(beacon_bytes), 12u);
+
+  // Cross-tag decoding fails: a beacon is not an ack and vice versa.
+  EXPECT_FALSE(DecodeFrameAck(beacon_bytes).has_value());
+  EXPECT_FALSE(DecodeBeacon(ack_bytes).has_value());
+  EXPECT_FALSE(DecodeFramePush(pull_bytes).has_value());
+}
+
+TEST_F(FederationCodecTest, DecodersTotalOnRandomBytes) {
+  std::mt19937_64 rng(0xFEDED);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::vector<std::uint8_t> noise(rng() % 64);
+    for (auto& b : noise) b = static_cast<std::uint8_t>(rng());
+    // Random bytes must never decode (the 1-in-2^32 checksum fluke aside,
+    // these seeds don't hit it) and must never crash.
+    EXPECT_FALSE(DecodeFramePush(noise).has_value());
+    EXPECT_FALSE(DecodeFrameAck(noise).has_value());
+    EXPECT_FALSE(DecodeFramePull(noise).has_value());
+    EXPECT_FALSE(DecodeBeacon(noise).has_value());
+  }
+}
+
+// --- store ------------------------------------------------------------------
+
+TEST(FederationStoreTest, InstallsAreMonotone) {
+  ReplicatedSnapshotStore store;
+  EXPECT_EQ(store.current(), nullptr);
+  EXPECT_EQ(store.version(), 0u);
+
+  SnapshotFrameSet v2;
+  v2.version = 2;
+  EXPECT_TRUE(store.Install(v2));
+  EXPECT_EQ(store.version(), 2u);
+
+  SnapshotFrameSet v1;
+  v1.version = 1;
+  EXPECT_FALSE(store.Install(v1));  // older: ignored
+  EXPECT_EQ(store.version(), 2u);
+  EXPECT_FALSE(store.Install(v2));  // duplicate: ignored
+  EXPECT_EQ(store.version(), 2u);
+  EXPECT_EQ(store.install_count(), 1u);
+  EXPECT_EQ(store.stale_install_count(), 2u);
+
+  // A reader holding the old frame set keeps it across a newer install.
+  const auto held = store.current();
+  SnapshotFrameSet v3;
+  v3.version = 3;
+  EXPECT_TRUE(store.Install(v3));
+  EXPECT_EQ(held->version, 2u);
+  EXPECT_EQ(store.version(), 3u);
+}
+
+// --- replica fixtures -------------------------------------------------------
+
+class FederationTest : public ::testing::Test {
+ protected:
+  FederationTest()
+      : graph_(net::MakeAbilene()), routing_(graph_), tracker_(graph_, routing_),
+        service_(&tracker_, &policy_), follower_service_(&store_),
+        follower_(&store_) {
+    policy_.SetThresholds(core::UsageThresholds{0.7, 0.9});
+  }
+
+  /// Bumps the tracker's price version deterministically.
+  void BumpVersion(int round) {
+    std::vector<double> prices(graph_.link_count());
+    for (std::size_t e = 0; e < prices.size(); ++e) {
+      prices[e] = 1e-9 * (1.0 + static_cast<double>((round + 1) * (e + 1)));
+    }
+    tracker_.SetStaticPrices(prices);
+  }
+
+  net::Graph graph_;
+  net::RoutingTable routing_;
+  core::ITracker tracker_;
+  core::PolicyRegistry policy_;
+  ITrackerService service_;
+  ReplicatedSnapshotStore store_;
+  FollowerPortalService follower_service_;
+  SnapshotFollower follower_;
+};
+
+TEST_F(FederationTest, ExportFramesMatchesServedBytes) {
+  BumpVersion(0);
+  const auto frames = service_.ExportFrames();
+  EXPECT_EQ(frames.version, tracker_.version());
+  EXPECT_EQ(frames.num_pids, tracker_.num_pids());
+  EXPECT_EQ(frames.external_view, service_.Handle(Encode(GetExternalViewReq{})));
+  EXPECT_EQ(frames.rows.size(), static_cast<std::size_t>(tracker_.num_pids()));
+  for (core::Pid i = 0; i < tracker_.num_pids(); ++i) {
+    EXPECT_EQ(frames.rows[static_cast<std::size_t>(i)],
+              service_.Handle(Encode(GetPDistancesReq{i})));
+  }
+  EXPECT_EQ(frames.not_modified,
+            service_.Handle(Encode(GetExternalViewReq{frames.version})));
+  EXPECT_EQ(frames.policy, service_.Handle(Encode(GetPolicyReq{})));
+}
+
+TEST_F(FederationTest, FollowerServesByteIdenticalFrames) {
+  BumpVersion(0);
+  ASSERT_TRUE(store_.Install(service_.ExportFrames()));
+  const auto version = tracker_.version();
+
+  // Every follower answer is byte-identical to the publisher's.
+  for (const auto& request :
+       {Encode(GetExternalViewReq{}), Encode(GetExternalViewReq{version}),
+        Encode(GetPDistancesReq{3}), Encode(GetPDistancesReq{3, version}),
+        Encode(GetPolicyReq{})}) {
+    EXPECT_EQ(follower_service_.Handle(request), service_.Handle(request));
+  }
+  // Out-of-range PID errors identically.
+  EXPECT_EQ(follower_service_.Handle(Encode(GetPDistancesReq{99})),
+            service_.Handle(Encode(GetPDistancesReq{99})));
+
+  // UDP validation answers are byte-identical as well (same nonce in, same
+  // pre-encoded NotModifiedResp tail out).
+  const auto datagram = EncodeValidationRequest(ValidationRequest{77, version});
+  EXPECT_EQ(follower_service_.HandleValidationDatagram(datagram),
+            service_.HandleValidationDatagram(datagram));
+}
+
+TEST_F(FederationTest, FollowerShedsBeforeFirstInstall) {
+  const auto response = follower_service_.Handle(Encode(GetExternalViewReq{}));
+  const auto decoded = Decode(response);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_NE(std::get_if<UnavailableResp>(&*decoded), nullptr);
+  // Validation datagrams get silence, not a bogus version.
+  EXPECT_EQ(follower_service_.HandleValidationDatagram(
+                EncodeValidationRequest(ValidationRequest{1, 5})),
+            std::nullopt);
+}
+
+TEST_F(FederationTest, PublishOncePushesAndCachesPerVersion) {
+  SnapshotPublisher publisher(&service_);
+  publisher.AddFollower("b.example", 1,
+                        std::make_unique<InProcessTransport>(
+                            follower_.replication_handler()));
+
+  BumpVersion(0);
+  EXPECT_EQ(publisher.PublishOnce(), 1u);
+  EXPECT_EQ(store_.version(), tracker_.version());
+  EXPECT_EQ(publisher.published_version(), tracker_.version());
+  EXPECT_EQ(publisher.push_count(), 1u);
+
+  // Republishing the same version pushes nothing.
+  EXPECT_EQ(publisher.PublishOnce(), 1u);
+  EXPECT_EQ(publisher.push_count(), 1u);
+
+  BumpVersion(1);
+  EXPECT_EQ(publisher.PublishOnce(), 1u);
+  EXPECT_EQ(store_.version(), tracker_.version());
+  EXPECT_EQ(publisher.push_count(), 2u);
+  EXPECT_EQ(follower_.push_install_count(), 2u);
+  EXPECT_EQ(publisher.push_failure_count(), 0u);
+}
+
+TEST_F(FederationTest, VersionListenerFiresOnEveryMutator) {
+  std::vector<std::uint64_t> seen;
+  tracker_.RegisterVersionListener([&seen](std::uint64_t v) { seen.push_back(v); });
+
+  tracker_.SetUniformPrices();
+  tracker_.SetPricesFromOspf();
+  BumpVersion(0);  // SetStaticPrices
+  std::vector<double> background(graph_.link_count(), 1e6);
+  tracker_.set_background_bps(background);
+  std::vector<double> p4p(graph_.link_count(), 5e5);
+  tracker_.Update(p4p);
+
+  ASSERT_EQ(seen.size(), 5u);
+  for (std::size_t i = 1; i < seen.size(); ++i) EXPECT_GT(seen[i], seen[i - 1]);
+  EXPECT_EQ(seen.back(), tracker_.version());
+}
+
+TEST_F(FederationTest, BeaconGapDetectionTriggersPull) {
+  SnapshotPublisher publisher(&service_);
+  BumpVersion(0);
+  // No push channel: the follower only hears the beacon.
+  EXPECT_FALSE(follower_.behind());
+  EXPECT_EQ(follower_.HandleBeacon(publisher.BeaconFrame()), std::nullopt);
+  EXPECT_TRUE(follower_.behind());
+  EXPECT_EQ(follower_.beacon_version(), tracker_.version());
+
+  InProcessTransport to_publisher(publisher.replication_handler());
+  EXPECT_TRUE(follower_.PullOnce(to_publisher));
+  EXPECT_EQ(store_.version(), tracker_.version());
+  EXPECT_FALSE(follower_.behind());
+  EXPECT_EQ(publisher.pull_served_count(), 1u);
+
+  // Already current: the next pull is answered kAlreadyCurrent.
+  EXPECT_FALSE(follower_.PullOnce(to_publisher));
+  EXPECT_EQ(follower_.pull_install_count(), 1u);
+
+  // A stale (reordered) beacon never shrinks the known horizon.
+  follower_.HandleBeacon(EncodeBeacon(1));
+  EXPECT_EQ(follower_.beacon_version(), tracker_.version());
+  // Corrupt beacons are dropped by checksum.
+  auto corrupt = publisher.BeaconFrame();
+  corrupt[8] ^= 0x01;
+  follower_.HandleBeacon(corrupt);
+  EXPECT_EQ(follower_.beacon_version(), tracker_.version());
+}
+
+// A request/response channel that drops (throws) or corrupts frames with
+// seeded randomness — the TCP-push analogue of FaultyDatagramLink.
+class LossyFrameChannel final : public Transport {
+ public:
+  LossyFrameChannel(Handler backend, double drop_rate, double corrupt_rate,
+                    std::uint64_t seed)
+      : backend_(std::move(backend)), drop_rate_(drop_rate),
+        corrupt_rate_(corrupt_rate), rng_(seed) {}
+
+  std::vector<std::uint8_t> Call(std::span<const std::uint8_t> request) override {
+    std::uniform_real_distribution<double> u(0.0, 1.0);
+    if (u(rng_) < drop_rate_) throw std::runtime_error("request lost");
+    std::vector<std::uint8_t> delivered(request.begin(), request.end());
+    if (!delivered.empty() && u(rng_) < corrupt_rate_) FlipBit(delivered);
+    auto response = backend_(delivered);
+    if (u(rng_) < drop_rate_) throw std::runtime_error("response lost");
+    if (!response.empty() && u(rng_) < corrupt_rate_) FlipBit(response);
+    return response;
+  }
+
+ private:
+  void FlipBit(std::vector<std::uint8_t>& bytes) {
+    std::uniform_int_distribution<std::size_t> pick(0, bytes.size() * 8 - 1);
+    const std::size_t bit = pick(rng_);
+    bytes[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+  }
+
+  Handler backend_;
+  double drop_rate_;
+  double corrupt_rate_;
+  std::mt19937_64 rng_;
+};
+
+TEST_F(FederationTest, LossyReplicationConvergesWithInvariants) {
+  // Fresh replica state per run lives in the fixture; this test drives one
+  // lossy scenario and checks the safety invariants every round.
+  SnapshotPublisher publisher(&service_);
+  publisher.AddFollower(
+      "b.example", 1,
+      std::make_unique<LossyFrameChannel>(follower_.replication_handler(),
+                                          /*drop_rate=*/0.3, /*corrupt_rate=*/0.3,
+                                          /*seed=*/0xBADBEEF));
+  InProcessTransport pull_channel(publisher.replication_handler());
+
+  std::mt19937_64 beacon_rng(0xB34C04);
+  testsupport::FaultProfile beacon_faults;
+  beacon_faults.drop_rate = 0.3;
+  beacon_faults.reorder_rate = 0.3;
+  beacon_faults.corrupt_rate = 0.2;
+  beacon_faults.delay_rate = 0.3;
+  testsupport::FaultyDatagramLink beacon_link(beacon_faults, &beacon_rng);
+
+  std::uint64_t last_served_version = 0;
+  for (int round = 0; round < 40; ++round) {
+    BumpVersion(round);
+    publisher.PublishOnce();
+    beacon_link.Push(publisher.BeaconFrame());
+    beacon_link.Tick();
+    while (auto datagram = beacon_link.Pop()) follower_.HandleBeacon(*datagram);
+    if (follower_.behind()) {
+      try {
+        follower_.PullOnce(pull_channel);
+      } catch (const std::exception&) {
+      }
+    }
+
+    // Invariant: whatever the follower serves is a complete frame set of
+    // one published version — never a version it holds no frames for,
+    // never a mix, never a rollback.
+    const auto frames = store_.current();
+    const auto response = follower_service_.Handle(Encode(GetExternalViewReq{}));
+    if (!frames) {
+      const auto decoded = Decode(response);
+      ASSERT_TRUE(decoded.has_value());
+      EXPECT_NE(std::get_if<UnavailableResp>(&*decoded), nullptr);
+      continue;
+    }
+    EXPECT_EQ(response, frames->external_view);
+    const auto decoded = Decode(response);
+    ASSERT_TRUE(decoded.has_value());
+    const auto* view = std::get_if<GetExternalViewResp>(&*decoded);
+    ASSERT_NE(view, nullptr);
+    EXPECT_EQ(view->version, frames->version);
+    EXPECT_LE(view->version, tracker_.version());
+    EXPECT_GE(view->version, last_served_version);  // monotone
+    last_served_version = view->version;
+  }
+
+  // Corruption was detected, never installed: rejects happened, yet every
+  // installed frame set decoded cleanly (Install only sees decoded frames).
+  EXPECT_GT(follower_.push_rejected_count() + follower_.push_install_count(), 0u);
+
+  // Anti-entropy closes the gap once the link heals.
+  while (store_.version() < tracker_.version()) {
+    follower_.PullOnce(pull_channel);
+  }
+  EXPECT_EQ(store_.version(), tracker_.version());
+  EXPECT_EQ(follower_service_.Handle(Encode(GetExternalViewReq{})),
+            service_.Handle(Encode(GetExternalViewReq{})));
+}
+
+TEST(FederationReplayTest, LossySameSeedReplayIsBitIdentical) {
+  // The whole lossy scenario — fault decisions, installs, served bytes — is
+  // a pure function of the seed. Two runs must match bit for bit.
+  const auto run = [](std::uint64_t seed) {
+    net::Graph graph = net::MakeAbilene();
+    net::RoutingTable routing(graph);
+    core::ITracker tracker(graph, routing);
+    ITrackerService service(&tracker);
+    ReplicatedSnapshotStore store;
+    FollowerPortalService follower_service(&store);
+    SnapshotFollower follower(&store);
+    SnapshotPublisher publisher(&service);
+    publisher.AddFollower(
+        "b.example", 1,
+        std::make_unique<LossyFrameChannel>(follower.replication_handler(), 0.35,
+                                            0.35, seed));
+
+    std::vector<std::uint64_t> versions;
+    std::vector<std::uint8_t> served;
+    for (int round = 0; round < 30; ++round) {
+      std::vector<double> prices(graph.link_count());
+      for (std::size_t e = 0; e < prices.size(); ++e) {
+        prices[e] = 1e-9 * static_cast<double>((round + 1) + 3 * e);
+      }
+      tracker.SetStaticPrices(prices);
+      publisher.PublishOnce();
+      versions.push_back(store.version());
+      const auto response = follower_service.Handle(Encode(GetExternalViewReq{}));
+      served.insert(served.end(), response.begin(), response.end());
+    }
+    return std::make_pair(versions, served);
+  };
+
+  const auto first = run(0x5EED);
+  const auto second = run(0x5EED);
+  EXPECT_EQ(first.first, second.first);
+  EXPECT_EQ(first.second, second.second);
+  // A different seed takes a different lossy path (sanity that the faults
+  // actually bite).
+  const auto other = run(0xD1FF);
+  EXPECT_NE(first.first, other.first);
+}
+
+TEST_F(FederationTest, DirectoryEpochsSteerClientsAwayFromLaggards) {
+  PortalDirectory directory;
+  directory.AddRecord("isp.example", SrvRecord{"fresh.example", 7001, 0, 1});
+  directory.AddRecord("isp.example", SrvRecord{"laggard.example", 7002, 0, 1});
+  directory.UpdateVersionEpoch("isp.example", "fresh.example", 7001, 5);
+  directory.UpdateVersionEpoch("isp.example", "laggard.example", 7002, 2);
+  EXPECT_EQ(directory.version_epoch("isp.example", "fresh.example", 7001), 5u);
+  EXPECT_EQ(directory.max_version_epoch("isp.example"), 5u);
+  // Epochs are monotone: an out-of-order (older) ack cannot regress one.
+  EXPECT_EQ(directory.UpdateVersionEpoch("isp.example", "fresh.example", 7001, 3), 0u);
+  EXPECT_EQ(directory.version_epoch("isp.example", "fresh.example", 7001), 5u);
+  // Unknown endpoints are not invented.
+  EXPECT_EQ(directory.UpdateVersionEpoch("isp.example", "ghost.example", 9, 9), 0u);
+
+  // With prefer_fresh_replicas, the fresh replica is tried first on every
+  // call, regardless of where the SRV weighted shuffle puts it.
+  std::atomic<int> fresh_calls{0};
+  std::atomic<int> laggard_calls{0};
+  ResilientClientOptions options;
+  options.prefer_fresh_replicas = true;
+  ResilientPortalClient client(
+      &directory, "isp.example",
+      [&](const SrvRecord& record) -> std::unique_ptr<Transport> {
+        auto& counter = record.target == "fresh.example" ? fresh_calls : laggard_calls;
+        return std::make_unique<InProcessTransport>(
+            [&counter](std::span<const std::uint8_t>) {
+              ++counter;
+              return Encode(NotModifiedResp{5});
+            });
+      },
+      options);
+
+  for (int i = 0; i < 20; ++i) {
+    client.Call(Encode(GetExternalViewReq{5}));
+  }
+  EXPECT_EQ(fresh_calls.load(), 20);
+  EXPECT_EQ(laggard_calls.load(), 0);
+  EXPECT_EQ(client.laggard_demotion_count(), 20u);
+}
+
+TEST_F(FederationTest, ElectPublisherIsDeterministic) {
+  PortalDirectory directory;
+  EXPECT_EQ(ElectPublisher(directory, "isp.example"), std::nullopt);
+  directory.AddRecord("isp.example", SrvRecord{"c.example", 7003, 1, 9});
+  directory.AddRecord("isp.example", SrvRecord{"b.example", 7002, 0, 1});
+  directory.AddRecord("isp.example", SrvRecord{"a.example", 7001, 0, 100});
+
+  // Lowest priority wins; the weight never matters for election. Ties break
+  // on (target, port) so every replica elects the same publisher.
+  const auto elected = ElectPublisher(directory, "isp.example");
+  ASSERT_TRUE(elected.has_value());
+  EXPECT_EQ(elected->target, "a.example");
+  EXPECT_EQ(elected->port, 7001);
+
+  directory.AddRecord("isp.example", SrvRecord{"a.example", 7000, 0, 1});
+  EXPECT_EQ(ElectPublisher(directory, "isp.example")->port, 7000);
+}
+
+// --- end-to-end failover over real sockets ----------------------------------
+
+TEST(FederationFailoverTest, VersionTokenStaysValidAcrossReplicaFailover) {
+  net::Graph graph = net::MakeAbilene();
+  net::RoutingTable routing(graph);
+  core::ITracker tracker(graph, routing);
+  ITrackerService service(&tracker);
+
+  ReplicatedSnapshotStore store;
+  FollowerPortalService follower_service(&store);
+  SnapshotFollower follower(&store);
+
+  // Replica A: the publisher's portal. Replica B: a follower portal plus
+  // its replication endpoint, all on real sockets.
+  auto server_a = std::make_unique<TcpServer>(0, service.shared_handler(), 1);
+  TcpServer server_b(0, follower_service.shared_handler(), 1);
+  TcpServer replication_b(0, [&follower](std::span<const std::uint8_t> req) {
+    return follower.HandleReplication(req);
+  });
+
+  PortalDirectory directory;
+  directory.AddRecord("isp.example",
+                      SrvRecord{"a.example", server_a->port(), 0, 1});
+  directory.AddRecord("isp.example", SrvRecord{"b.example", server_b.port(), 1, 1});
+
+  PublisherOptions pub_options;
+  pub_options.directory = &directory;
+  pub_options.domain = "isp.example";
+  pub_options.self_target = "a.example";
+  pub_options.self_port = server_a->port();
+  SnapshotPublisher publisher(&service, pub_options);
+  publisher.AddFollower("b.example", server_b.port(),
+                        std::make_unique<TcpClient>(replication_b.port()));
+
+  std::vector<double> prices(graph.link_count(), 2e-9);
+  tracker.SetStaticPrices(prices);
+  ASSERT_EQ(publisher.PublishOnce(), 1u);
+  ASSERT_EQ(store.version(), tracker.version());
+  EXPECT_EQ(directory.version_epoch("isp.example", "b.example", server_b.port()),
+            tracker.version());
+  EXPECT_EQ(directory.max_version_epoch("isp.example"), tracker.version());
+
+  // All replicas serve behind one failover transport (every connection goes
+  // to the live SRV-preferred replica).
+  ResilientClientOptions options;
+  options.prefer_fresh_replicas = true;
+  auto resilient = std::make_unique<ResilientPortalClient>(
+      &directory, "isp.example",
+      [](const SrvRecord& record) -> std::unique_ptr<Transport> {
+        return std::make_unique<TcpClient>(record.port);
+      },
+      options);
+  auto* resilient_raw = resilient.get();
+  PortalClient client(std::move(resilient));
+
+  // Fetch from replica A (priority 0) and hold its version token.
+  const auto [view, version] = client.GetExternalViewWithVersion();
+  ASSERT_EQ(version, tracker.version());
+
+  // Kill the publisher. The token must stay valid: replica B answers the
+  // conditional fetch with NotModified from the replicated frames.
+  server_a.reset();
+  const auto refreshed = client.GetExternalViewIfModified(version);
+  EXPECT_FALSE(refreshed.has_value()) << "follower re-sent the matrix";
+  EXPECT_GE(resilient_raw->failover_count(), 1u);
+
+  // And a full fetch from B returns the same view bytes version-for-version.
+  const auto [view_b, version_b] = client.GetExternalViewWithVersion();
+  EXPECT_EQ(version_b, version);
+  EXPECT_EQ(view_b.values().size(), view.values().size());
+  for (std::size_t i = 0; i < view.values().size(); ++i) {
+    EXPECT_EQ(view.values()[i], view_b.values()[i]);
+  }
+}
+
+// --- publisher-republish vs follower-serve hammer (TSan target) -------------
+
+TEST(FederationConcurrencyTest, RepublishVsServeHammer) {
+  net::Graph graph = net::MakeAbilene();
+  net::RoutingTable routing(graph);
+  core::ITracker tracker(graph, routing);
+  ITrackerService service(&tracker);
+  ReplicatedSnapshotStore store;
+  FollowerPortalService follower_service(&store);
+  SnapshotFollower follower(&store);
+  SnapshotPublisher publisher(&service);
+  publisher.AddFollower("b.example", 1,
+                        std::make_unique<InProcessTransport>(
+                            follower.replication_handler()));
+
+  // The republish trigger under test: every version bump publishes.
+  tracker.RegisterVersionListener([&publisher](std::uint64_t) {
+    publisher.PublishOnce();
+  });
+
+  constexpr int kMutations = 300;
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> served{0};
+
+  // 1 mutator/publisher thread + 1 beacon thread + 1 pull thread + 5
+  // serve threads = 8 threads hammering the shared store.
+  std::thread mutator([&] {
+    std::vector<double> prices(graph.link_count());
+    for (int round = 0; round < kMutations; ++round) {
+      for (std::size_t e = 0; e < prices.size(); ++e) {
+        prices[e] = 1e-9 * static_cast<double>((round + 1) + e);
+      }
+      tracker.SetStaticPrices(prices);
+    }
+    done.store(true);
+  });
+
+  std::thread beaconer([&] {
+    while (!done.load()) follower.HandleBeacon(publisher.BeaconFrame());
+  });
+
+  std::thread puller([&] {
+    InProcessTransport to_publisher(publisher.replication_handler());
+    while (!done.load()) {
+      if (follower.behind()) follower.PullOnce(to_publisher);
+    }
+  });
+
+  std::vector<std::thread> servers;
+  for (int t = 0; t < 5; ++t) {
+    servers.emplace_back([&, t] {
+      std::uint64_t last_version = 0;
+      const auto view_req = Encode(GetExternalViewReq{});
+      while (!done.load()) {
+        const auto response = follower_service.HandleShared(view_req);
+        const auto decoded = Decode(*response);
+        ASSERT_TRUE(decoded.has_value());
+        if (const auto* view = std::get_if<GetExternalViewResp>(&*decoded)) {
+          ASSERT_GE(view->version, last_version);  // never a rollback
+          last_version = view->version;
+          // Conditional re-ask with the version just seen must yield
+          // NotModified for that version or a newer full view.
+          const auto conditional =
+              Decode(follower_service.Handle(Encode(GetExternalViewReq{view->version})));
+          ASSERT_TRUE(conditional.has_value());
+          if (const auto* nm = std::get_if<NotModifiedResp>(&*conditional)) {
+            ASSERT_EQ(nm->version, view->version);
+          } else {
+            const auto* newer = std::get_if<GetExternalViewResp>(&*conditional);
+            ASSERT_NE(newer, nullptr);
+            ASSERT_GT(newer->version, view->version);
+          }
+          // Row and validation answers come from one coherent frame set.
+          const auto row = Decode(follower_service.Handle(
+              Encode(GetPDistancesReq{static_cast<core::Pid>(t)})));
+          ASSERT_TRUE(row.has_value());
+          follower_service.HandleValidationDatagram(
+              EncodeValidationRequest(ValidationRequest{served.load(), view->version}));
+          served.fetch_add(1);
+        } else {
+          // Before the first install only UnavailableResp is acceptable.
+          ASSERT_NE(std::get_if<UnavailableResp>(&*decoded), nullptr);
+        }
+      }
+    });
+  }
+
+  mutator.join();
+  beaconer.join();
+  puller.join();
+  for (auto& t : servers) t.join();
+
+  // Convergence: one final publish round settles the follower at the last
+  // version.
+  publisher.PublishOnce();
+  InProcessTransport to_publisher(publisher.replication_handler());
+  follower.PullOnce(to_publisher);
+  EXPECT_EQ(store.version(), tracker.version());
+  EXPECT_GT(served.load(), 0u);
+  EXPECT_EQ(follower_service.Handle(Encode(GetExternalViewReq{})),
+            service.Handle(Encode(GetExternalViewReq{})));
+}
+
+}  // namespace
+}  // namespace p4p::proto

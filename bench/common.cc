@@ -1,8 +1,10 @@
 #include "common.h"
 
+#include <cctype>
 #include <cmath>
 #include <cstdarg>
 #include <cstdlib>
+#include <limits>
 #include <random>
 
 namespace p4p::bench {
@@ -84,6 +86,52 @@ void WriteBenchJson(const std::string& filename,
   std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("\nwrote %s\n", path.c_str());
+}
+
+void MergeBenchJson(const std::string& filename,
+                    const std::vector<std::pair<std::string, double>>& metrics) {
+  std::string path = filename;
+  if (const char* dir = std::getenv("P4P_BENCH_JSON_DIR"); dir != nullptr && *dir != '\0') {
+    path = std::string(dir) + "/" + filename;
+  }
+  // Parse the existing flat object ({"name": number|null, ...}) if present;
+  // keys not overridden by `metrics` are carried over in file order.
+  std::vector<std::pair<std::string, double>> merged;
+  if (std::FILE* f = std::fopen(path.c_str(), "r")) {
+    std::string text;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+    std::fclose(f);
+    std::size_t pos = 0;
+    while ((pos = text.find('"', pos)) != std::string::npos) {
+      const std::size_t end = text.find('"', pos + 1);
+      if (end == std::string::npos) break;
+      const std::string key = text.substr(pos + 1, end - pos - 1);
+      std::size_t colon = text.find(':', end);
+      if (colon == std::string::npos) break;
+      ++colon;
+      while (colon < text.size() && std::isspace(static_cast<unsigned char>(text[colon]))) {
+        ++colon;
+      }
+      double value = std::numeric_limits<double>::quiet_NaN();  // "null"
+      if (colon < text.size() && text[colon] != 'n') {
+        value = std::strtod(text.c_str() + colon, nullptr);
+      }
+      bool overridden = false;
+      for (const auto& [name, unused] : metrics) {
+        (void)unused;
+        if (name == key) {
+          overridden = true;
+          break;
+        }
+      }
+      if (!overridden) merged.emplace_back(key, value);
+      pos = end + 1;
+    }
+  }
+  merged.insert(merged.end(), metrics.begin(), metrics.end());
+  WriteBenchJson(filename, merged);
 }
 
 std::vector<sim::PeerSpec> MakeSwarm(const SwarmSpec& spec) {

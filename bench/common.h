@@ -55,6 +55,13 @@ std::string Fmt(const char* format, ...);
 void WriteBenchJson(const std::string& filename,
                     const std::vector<std::pair<std::string, double>>& metrics);
 
+/// Like WriteBenchJson, but preserves metrics already present in the file
+/// (new keys win on conflict) — lets several bench binaries contribute to
+/// one trajectory file, e.g. bench_announce_plane merging into
+/// BENCH_scalability.json.
+void MergeBenchJson(const std::string& filename,
+                    const std::vector<std::pair<std::string, double>>& metrics);
+
 /// A PlanetLab-style swarm: n campus-access leechers placed over the given
 /// PoPs (optionally weighted) plus one seed.
 struct SwarmSpec {

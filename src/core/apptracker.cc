@@ -1,15 +1,21 @@
 #include "core/apptracker.h"
 
-#include <algorithm>
 #include <stdexcept>
 
 namespace p4p::core {
 
 AppTracker::AppTracker(std::unique_ptr<sim::PeerSelector> selector, PidMap pid_map,
-                       std::uint64_t rng_seed)
-    : selector_(std::move(selector)), pid_map_(std::move(pid_map)), rng_(rng_seed) {
+                       std::uint64_t rng_seed, std::size_t shard_count)
+    : selector_(std::move(selector)),
+      pid_map_(std::move(pid_map)),
+      shards_(shard_count == 0 ? 1 : shard_count) {
   if (!selector_) {
     throw std::invalid_argument("AppTracker: null selector");
+  }
+  // Decorrelated per-shard streams from the one user-provided seed.
+  std::mt19937_64 seeder(rng_seed);
+  for (auto& shard : shards_) {
+    shard.rng.seed(seeder());
   }
 }
 
@@ -21,6 +27,8 @@ void AppTracker::EnableNativeFallback(ViewProbe probe) {
 }
 
 AnnounceResponse AppTracker::Announce(const AnnounceRequest& request) {
+  // PID resolution runs outside any lock: PidMap lookups are const and
+  // thread-safe against each other.
   const auto mapping = pid_map_.lookup(request.client_ip);
   if (!mapping) {
     throw std::invalid_argument("AppTracker: client IP '" + request.client_ip +
@@ -30,23 +38,23 @@ AnnounceResponse AppTracker::Announce(const AnnounceRequest& request) {
   sim::PeerSelector* selector = selector_.get();
   if (view_probe_) {
     const bool usable = view_probe_();
-    if (!usable && !degraded_) {
-      degraded_ = true;
-      ++fallback_transitions_;
-    } else if (usable && degraded_) {
-      degraded_ = false;
-      ++recovery_transitions_;
-    }
+    // Transition accounting: exactly one count per actual flip, even when
+    // announces race — the thread whose exchange() observed the old value
+    // owns the transition.
     if (!usable) {
+      if (!degraded_.exchange(true, std::memory_order_acq_rel)) {
+        fallback_transitions_.fetch_add(1, std::memory_order_acq_rel);
+      }
       selector = &native_fallback_;
-      ++degraded_announces_;
+      degraded_announces_.fetch_add(1, std::memory_order_acq_rel);
+    } else if (degraded_.load(std::memory_order_acquire) &&
+               degraded_.exchange(false, std::memory_order_acq_rel)) {
+      recovery_transitions_.fetch_add(1, std::memory_order_acq_rel);
     }
   }
 
-  auto& swarm = swarms_[request.content_id];
-
   sim::PeerInfo info;
-  info.id = next_id_++;
+  info.id = next_id_.fetch_add(1, std::memory_order_relaxed);
   info.node = mapping->pid;  // PoP-level aggregation: PID == node id
   info.as_number = mapping->as_number;
   info.up_bps = request.up_bps;
@@ -57,26 +65,39 @@ AnnounceResponse AppTracker::Announce(const AnnounceRequest& request) {
   response.assigned_id = info.id;
   response.pid = mapping->pid;
   response.as_number = mapping->as_number;
-  response.peers = selector->SelectPeers(
-      info, std::span<const sim::PeerInfo>(swarm.peers), request.want, rng_);
 
-  swarm.peers.push_back(info);
+  Shard& shard = shard_for(request.content_id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  sim::PeerBuckets& swarm = shard.swarms[request.content_id];
+  response.peers = selector->SelectFromBuckets(info, swarm, request.want, shard.rng);
+  swarm.Insert(info);
   return response;
 }
 
-void AppTracker::Depart(const std::string& content_id, sim::PeerId peer) {
-  const auto it = swarms_.find(content_id);
-  if (it == swarms_.end()) return;
-  auto& peers = it->second.peers;
-  peers.erase(std::remove_if(peers.begin(), peers.end(),
-                             [peer](const sim::PeerInfo& p) { return p.id == peer; }),
-              peers.end());
-  if (peers.empty()) swarms_.erase(it);
+bool AppTracker::Depart(const std::string& content_id, sim::PeerId peer) {
+  Shard& shard = shard_for(content_id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.swarms.find(content_id);
+  if (it == shard.swarms.end()) return false;
+  const bool removed = it->second.Erase(peer);
+  if (it->second.empty()) shard.swarms.erase(it);
+  return removed;
 }
 
 std::size_t AppTracker::swarm_size(const std::string& content_id) const {
-  const auto it = swarms_.find(content_id);
-  return it == swarms_.end() ? 0 : it->second.peers.size();
+  const Shard& shard = shard_for(content_id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.swarms.find(content_id);
+  return it == shard.swarms.end() ? 0 : it->second.size();
+}
+
+std::size_t AppTracker::swarm_count() const {
+  std::size_t count = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    count += shard.swarms.size();
+  }
+  return count;
 }
 
 }  // namespace p4p::core

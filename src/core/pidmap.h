@@ -41,6 +41,11 @@ struct Prefix {
 };
 
 /// Longest-prefix-match table from prefixes to (PID, AS).
+///
+/// Thread-safety contract: `lookup` is const and touches no mutable state,
+/// so concurrent lookups are safe once the table is built — the sharded
+/// announce plane resolves client IPs outside any shard lock. `add` is a
+/// build-time operation and must not race with lookups.
 class PidMap {
  public:
   PidMap();

@@ -49,4 +49,10 @@ std::vector<sim::PeerId> PolicyAdaptiveSelector::SelectPeers(
   return inner_->SelectPeers(client, candidates, EffectiveWant(m), rng);
 }
 
+std::vector<sim::PeerId> PolicyAdaptiveSelector::SelectFromBuckets(
+    const sim::PeerInfo& client, const sim::PeerBuckets& swarm, int m,
+    std::mt19937_64& rng) {
+  return inner_->SelectFromBuckets(client, swarm, EffectiveWant(m), rng);
+}
+
 }  // namespace p4p::core

@@ -31,6 +31,11 @@ class PolicyAdaptiveSelector final : public sim::PeerSelector {
   std::vector<sim::PeerId> SelectPeers(const sim::PeerInfo& client,
                                        std::span<const sim::PeerInfo> candidates,
                                        int m, std::mt19937_64& rng) override;
+  /// Bucket path: the congestion backoff applies to `m`, then defers to the
+  /// inner selector's bucket-aware implementation.
+  std::vector<sim::PeerId> SelectFromBuckets(const sim::PeerInfo& client,
+                                             const sim::PeerBuckets& swarm,
+                                             int m, std::mt19937_64& rng) override;
   std::string name() const override;
 
   /// The peer count that would currently be requested for a nominal `m`.

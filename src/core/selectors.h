@@ -21,14 +21,43 @@
 #include "core/itracker.h"
 #include "core/matching.h"
 #include "sim/bittorrent.h"
+#include "sim/peer_buckets.h"
 
 namespace p4p::core {
+
+/// Reusable scratch state for bucket-driven selection, in the style of
+/// MaxMinWorkspace: one workspace serves one caller at a time, and reusing
+/// it across announces keeps steady-state selection free of per-call
+/// allocations — no per-announce partition maps, no full-swarm copies, no
+/// distribution temporaries. NativeRandomSelector and P4PSelector keep one
+/// instance per thread; benches and tests may pass their own through
+/// P4PSelector::SelectWithWorkspace.
+class SelectionWorkspace {
+ public:
+  SelectionWorkspace() = default;
+  SelectionWorkspace(const SelectionWorkspace&) = delete;
+  SelectionWorkspace& operator=(const SelectionWorkspace&) = delete;
+
+ private:
+  friend class NativeRandomSelector;
+  friend class P4PSelector;
+  std::vector<int> take_;                   // per-bucket take count this call
+  std::vector<std::uint32_t> entry_bucket_; // candidate buckets, current stage
+  std::vector<double> entry_weight_;
+  std::vector<int> entry_avail_;            // remaining candidates per entry
+  std::vector<std::uint64_t> picks_;        // Floyd-sampling scratch
+  std::vector<std::size_t> prefix_;         // bucket-size prefix sums
+};
 
 class NativeRandomSelector final : public sim::PeerSelector {
  public:
   std::vector<sim::PeerId> SelectPeers(const sim::PeerInfo& client,
                                        std::span<const sim::PeerInfo> candidates,
                                        int m, std::mt19937_64& rng) override;
+  /// Index-driven uniform sampling: O(#buckets + m^2), never flattens.
+  std::vector<sim::PeerId> SelectFromBuckets(const sim::PeerInfo& client,
+                                             const sim::PeerBuckets& swarm,
+                                             int m, std::mt19937_64& rng) override;
   std::string name() const override { return "Native"; }
 };
 
@@ -99,6 +128,21 @@ class P4PSelector final : public sim::PeerSelector {
   std::vector<sim::PeerId> SelectPeers(const sim::PeerInfo& client,
                                        std::span<const sim::PeerInfo> candidates,
                                        int m, std::mt19937_64& rng) override;
+
+  /// Index-driven three-stage selection: stages sample from the swarm's
+  /// per-PID buckets and per-AS groups directly — O(#buckets + m^2) per
+  /// announce instead of O(swarm) — using a per-thread workspace.
+  std::vector<sim::PeerId> SelectFromBuckets(const sim::PeerInfo& client,
+                                             const sim::PeerBuckets& swarm,
+                                             int m, std::mt19937_64& rng) override;
+
+  /// Same as SelectFromBuckets but against an explicit workspace (one
+  /// workspace serves one caller at a time).
+  std::vector<sim::PeerId> SelectWithWorkspace(const sim::PeerInfo& client,
+                                               const sim::PeerBuckets& swarm,
+                                               int m, std::mt19937_64& rng,
+                                               SelectionWorkspace& ws);
+
   std::string name() const override { return "P4P"; }
 
  private:

@@ -33,6 +33,8 @@ struct PeerInfo {
   bool seed = false;
 };
 
+class PeerBuckets;  // sim/peer_buckets.h
+
 /// Strategy interface for appTracker peer selection. Implementations must
 /// return at most `m` distinct candidate ids, never including the client.
 class PeerSelector {
@@ -41,6 +43,18 @@ class PeerSelector {
   virtual std::vector<PeerId> SelectPeers(const PeerInfo& client,
                                           std::span<const PeerInfo> candidates,
                                           int m, std::mt19937_64& rng) = 0;
+
+  /// Bucket-aware entry point used by the announce plane: selects against a
+  /// PeerBuckets swarm store without requiring a flat candidate array. The
+  /// client may or may not already be a member of `swarm`; implementations
+  /// must never return it. The default implementation flattens the store
+  /// into a per-thread scratch buffer and delegates to SelectPeers — a
+  /// compatibility shim; index-aware selectors (P4P, native random)
+  /// override this to sample directly from the per-PID/per-AS buckets.
+  virtual std::vector<PeerId> SelectFromBuckets(const PeerInfo& client,
+                                                const PeerBuckets& swarm,
+                                                int m, std::mt19937_64& rng);
+
   /// Human-readable policy name for reports.
   virtual std::string name() const = 0;
 };

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <random>
 #include <set>
+#include <vector>
 
 namespace p4p::core {
 namespace {
@@ -129,6 +132,85 @@ TEST(AppTracker, AssignsMonotonicIds) {
     EXPECT_GT(resp.assigned_id, prev);
     prev = resp.assigned_id;
   }
+}
+
+// --- sharded swarm state + bucketed membership -------------------------------
+
+TEST(AppTracker, ShardCountIsConfigurableAndClamped) {
+  AppTracker def(std::make_unique<NativeRandomSelector>(), TestPidMap());
+  EXPECT_EQ(def.shard_count(), 16u);
+  AppTracker wide(std::make_unique<NativeRandomSelector>(), TestPidMap(), 1, 64);
+  EXPECT_EQ(wide.shard_count(), 64u);
+  AppTracker clamped(std::make_unique<NativeRandomSelector>(), TestPidMap(), 1, 0);
+  EXPECT_EQ(clamped.shard_count(), 1u);
+}
+
+TEST(AppTracker, AccountingHoldsAcrossManySwarmsAndShards) {
+  // More swarms than shards: per-swarm accounting must be exact even when
+  // swarms share a shard.
+  AppTracker tracker(std::make_unique<NativeRandomSelector>(), TestPidMap(), 7, 4);
+  AnnounceRequest req;
+  for (int s = 0; s < 40; ++s) {
+    req.content_id = "swarm-" + std::to_string(s);
+    for (int i = 0; i <= s % 5; ++i) {
+      req.client_ip = "10." + std::to_string(i % 3) + ".0." + std::to_string(i + 1);
+      tracker.Announce(req);
+    }
+  }
+  EXPECT_EQ(tracker.swarm_count(), 40u);
+  for (int s = 0; s < 40; ++s) {
+    EXPECT_EQ(tracker.swarm_size("swarm-" + std::to_string(s)),
+              static_cast<std::size_t>(s % 5 + 1));
+  }
+}
+
+TEST(AppTracker, DepartReportsMembershipAndKeepsEraseSemantics) {
+  auto tracker = MakeTracker();
+  AnnounceRequest req;
+  req.content_id = "film";
+  std::vector<sim::PeerId> ids;
+  for (int i = 0; i < 20; ++i) {
+    req.client_ip = "10." + std::to_string(i % 3) + ".0." + std::to_string(i + 1);
+    ids.push_back(tracker.Announce(req).assigned_id);
+  }
+  // Depart in a scrambled order; every first depart hits, every second
+  // misses, sizes stay exact throughout.
+  std::mt19937_64 rng(99);
+  std::shuffle(ids.begin(), ids.end(), rng);
+  std::size_t remaining = ids.size();
+  for (sim::PeerId id : ids) {
+    EXPECT_TRUE(tracker.Depart("film", id));
+    EXPECT_FALSE(tracker.Depart("film", id));
+    EXPECT_EQ(tracker.swarm_size("film"), --remaining);
+  }
+  EXPECT_EQ(tracker.swarm_count(), 0u);  // empty swarm dropped
+}
+
+TEST(AppTracker, DepartedIdsAreNeverReused) {
+  auto tracker = MakeTracker();
+  AnnounceRequest req;
+  req.content_id = "film";
+  req.client_ip = "10.0.0.1";
+  const auto first = tracker.Announce(req);
+  EXPECT_TRUE(tracker.Depart("film", first.assigned_id));
+  const auto second = tracker.Announce(req);
+  // Fresh id, and the departed id is not resurrected by the rejoin.
+  EXPECT_GT(second.assigned_id, first.assigned_id);
+  EXPECT_FALSE(tracker.Depart("film", first.assigned_id));
+  EXPECT_EQ(tracker.swarm_size("film"), 1u);
+}
+
+TEST(AppTracker, RejoinAfterSwarmDropStartsCleanSwarm) {
+  auto tracker = MakeTracker();
+  AnnounceRequest req;
+  req.content_id = "film";
+  req.client_ip = "10.0.0.1";
+  const auto a = tracker.Announce(req);
+  tracker.Depart("film", a.assigned_id);
+  EXPECT_EQ(tracker.swarm_count(), 0u);
+  const auto b = tracker.Announce(req);
+  EXPECT_TRUE(b.peers.empty());  // no ghost of the departed peer
+  EXPECT_EQ(tracker.swarm_count(), 1u);
 }
 
 // --- degraded mode: native-selection fallback --------------------------------

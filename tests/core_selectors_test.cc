@@ -343,5 +343,222 @@ TEST_F(SelectorsTest, P4PZeroDistanceWeightScalesWithPriceMagnitude) {
   EXPECT_GT(chi, dc);
 }
 
+// --- bucket-aware selection (SelectFromBuckets) ------------------------------
+//
+// The index-driven path must be a drop-in replacement for the span path:
+// same invariants (distinctness, never the client, full sets when the swarm
+// allows), same stage quotas, and the same locality preferences — checked
+// against the flat candidate array as the oracle.
+
+sim::PeerBuckets MakeStore(std::span<const sim::PeerInfo> candidates) {
+  sim::PeerBuckets store;
+  for (const auto& c : candidates) store.Insert(c);
+  return store;
+}
+
+TEST_F(SelectorsTest, BucketNativeMatchesSpanInvariants) {
+  NativeRandomSelector sel;
+  auto candidates =
+      MakeCandidates({{0, 1}, {1, 1}, {2, 1}, {3, 2}, {4, 2}, {5, 3}});
+  const auto store = MakeStore(candidates);
+  // Client is a member of the store: must be excluded by slot.
+  const auto chosen = sel.SelectFromBuckets(candidates[0], store, 4, rng_);
+  EXPECT_EQ(chosen.size(), 4u);
+  std::set<sim::PeerId> unique(chosen.begin(), chosen.end());
+  EXPECT_EQ(unique.size(), chosen.size());
+  EXPECT_EQ(unique.count(candidates[0].id), 0u);
+  // Asking for more than available returns everyone else.
+  const auto all = sel.SelectFromBuckets(candidates[0], store, 50, rng_);
+  EXPECT_EQ(all.size(), 5u);
+  // m <= 0 and empty swarms are no-ops.
+  EXPECT_TRUE(sel.SelectFromBuckets(candidates[0], store, 0, rng_).empty());
+  sim::PeerBuckets empty;
+  EXPECT_TRUE(sel.SelectFromBuckets(candidates[0], empty, 4, rng_).empty());
+}
+
+TEST_F(SelectorsTest, BucketNativeIsApproximatelyUniform) {
+  NativeRandomSelector sel;
+  std::vector<std::pair<net::NodeId, std::int32_t>> placements;
+  for (int i = 0; i < 11; ++i) placements.push_back({i % 11, 1 + i % 2});
+  auto candidates = MakeCandidates(placements);
+  const auto store = MakeStore(candidates);
+  std::vector<int> counts(11, 0);
+  for (int trial = 0; trial < 3000; ++trial) {
+    for (sim::PeerId id : sel.SelectFromBuckets(candidates[0], store, 3, rng_)) {
+      ++counts[static_cast<std::size_t>(id)];
+    }
+  }
+  EXPECT_EQ(counts[0], 0);  // never self
+  for (int i = 1; i < 11; ++i) {
+    EXPECT_GT(counts[static_cast<std::size_t>(i)], 600);
+    EXPECT_LT(counts[static_cast<std::size_t>(i)], 1200);
+  }
+}
+
+TEST_F(SelectorsTest, BucketP4PRespectsIntraPidBound) {
+  ITracker tracker(graph_, routing_);
+  P4PSelectorConfig cfg;
+  cfg.upper_bound_intra_pid = 0.5;
+  P4PSelector sel(cfg);
+  sel.RegisterITracker(1, &tracker);
+  std::vector<std::pair<net::NodeId, std::int32_t>> placements;
+  for (int i = 0; i < 30; ++i) placements.push_back({net::kNewYork, 1});
+  for (int i = 0; i < 30; ++i) placements.push_back({net::kChicago, 1});
+  auto candidates = MakeCandidates(placements);
+  const auto store = MakeStore(candidates);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto chosen = sel.SelectFromBuckets(candidates[0], store, 10, rng_);
+    int local = 0;
+    for (sim::PeerId id : chosen) {
+      if (candidates[static_cast<std::size_t>(id)].node == net::kNewYork) ++local;
+    }
+    // Same bound as the span path: quota floor(0.5 * 10) = 5, plus at most
+    // 2 locals from the uniform backfill.
+    EXPECT_LE(local, 7);
+    EXPECT_EQ(chosen.size(), 10u);
+  }
+}
+
+TEST_F(SelectorsTest, BucketP4PMatchesSpanPathPreferences) {
+  // Same expensive-toward-Seattle setup as the span test; the bucket path
+  // must show the same preference ordering at comparable rates.
+  ITrackerConfig tcfg;
+  tcfg.mode = PriceMode::kStatic;
+  ITracker tracker(graph_, routing_, tcfg);
+  std::vector<double> prices(graph_.link_count(), 0.01);
+  for (net::LinkId e : routing_.path(net::kNewYork, net::kSeattle)) {
+    prices[static_cast<std::size_t>(e)] = 10.0;
+  }
+  tracker.SetStaticPrices(prices);
+
+  P4PSelector sel;
+  sel.RegisterITracker(1, &tracker);
+  std::vector<std::pair<net::NodeId, std::int32_t>> placements;
+  placements.push_back({net::kNewYork, 1});  // client
+  for (int i = 0; i < 20; ++i) placements.push_back({net::kWashingtonDC, 1});
+  for (int i = 0; i < 20; ++i) placements.push_back({net::kSeattle, 1});
+  auto candidates = MakeCandidates(placements);
+  const auto store = MakeStore(candidates);
+
+  int span_dc = 0, span_sea = 0, bucket_dc = 0, bucket_sea = 0;
+  for (int trial = 0; trial < 50; ++trial) {
+    for (sim::PeerId id : sel.SelectPeers(candidates[0], candidates, 10, rng_)) {
+      const auto node = candidates[static_cast<std::size_t>(id)].node;
+      span_dc += node == net::kWashingtonDC;
+      span_sea += node == net::kSeattle;
+    }
+    for (sim::PeerId id : sel.SelectFromBuckets(candidates[0], store, 10, rng_)) {
+      const auto node = candidates[static_cast<std::size_t>(id)].node;
+      bucket_dc += node == net::kWashingtonDC;
+      bucket_sea += node == net::kSeattle;
+    }
+  }
+  EXPECT_GT(bucket_dc, 2 * bucket_sea);  // same shape as the span assertion
+  // Rates agree between paths within a loose statistical band.
+  EXPECT_NEAR(static_cast<double>(bucket_dc) / (bucket_dc + bucket_sea),
+              static_cast<double>(span_dc) / (span_dc + span_sea), 0.15);
+}
+
+TEST_F(SelectorsTest, BucketP4PInterAsStageFillsRemainder) {
+  ITracker tracker(graph_, routing_);
+  P4PSelector sel;
+  sel.RegisterITracker(1, &tracker);
+  std::vector<std::pair<net::NodeId, std::int32_t>> placements = {
+      {net::kNewYork, 1}, {net::kNewYork, 1}, {net::kChicago, 1}};
+  for (int i = 0; i < 20; ++i) placements.push_back({net::kAtlanta, 2});
+  auto candidates = MakeCandidates(placements);
+  const auto store = MakeStore(candidates);
+  const auto chosen = sel.SelectFromBuckets(candidates[0], store, 10, rng_);
+  EXPECT_EQ(chosen.size(), 10u);
+  int external = 0;
+  for (sim::PeerId id : chosen) {
+    if (candidates[static_cast<std::size_t>(id)].as_number == 2) ++external;
+  }
+  EXPECT_GE(external, 7);
+}
+
+TEST_F(SelectorsTest, BucketP4PUsesMatchingWeights) {
+  ITracker tracker(graph_, routing_);
+  P4PSelector sel;
+  sel.RegisterITracker(1, &tracker);
+  std::vector<std::vector<double>> weights(
+      graph_.node_count(), std::vector<double>(graph_.node_count(), 0.0));
+  weights[net::kNewYork][net::kChicago] = 1.0;
+  sel.SetMatchingWeights(1, weights);
+
+  std::vector<std::pair<net::NodeId, std::int32_t>> placements;
+  placements.push_back({net::kNewYork, 1});
+  for (int i = 0; i < 15; ++i) placements.push_back({net::kChicago, 1});
+  for (int i = 0; i < 15; ++i) placements.push_back({net::kAtlanta, 1});
+  auto candidates = MakeCandidates(placements);
+  const auto store = MakeStore(candidates);
+  const auto chosen = sel.SelectFromBuckets(candidates[0], store, 8, rng_);
+  for (sim::PeerId id : chosen) {
+    EXPECT_EQ(candidates[static_cast<std::size_t>(id)].node, net::kChicago);
+  }
+}
+
+TEST_F(SelectorsTest, BucketP4PFallsBackToRandomWithoutTracker) {
+  P4PSelector sel;
+  auto candidates = MakeCandidates({{0, 1}, {1, 1}, {2, 1}});
+  const auto store = MakeStore(candidates);
+  const auto chosen = sel.SelectFromBuckets(candidates[0], store, 2, rng_);
+  EXPECT_EQ(chosen.size(), 2u);
+}
+
+TEST_F(SelectorsTest, BucketP4PNeverReturnsSelfOrDuplicates) {
+  ITracker tracker(graph_, routing_);
+  P4PSelector sel;
+  sel.RegisterITracker(1, &tracker);
+  sel.RegisterITracker(2, &tracker);
+  std::vector<std::pair<net::NodeId, std::int32_t>> placements;
+  for (int i = 0; i < 40; ++i) {
+    placements.push_back({static_cast<net::NodeId>(i % 11), i % 3 == 0 ? 2 : 1});
+  }
+  auto candidates = MakeCandidates(placements);
+  const auto store = MakeStore(candidates);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto client = candidates[static_cast<std::size_t>(trial % 40)];
+    const auto chosen = sel.SelectFromBuckets(client, store, 12, rng_);
+    std::set<sim::PeerId> unique(chosen.begin(), chosen.end());
+    EXPECT_EQ(unique.size(), chosen.size());
+    EXPECT_EQ(unique.count(client.id), 0u);
+    EXPECT_EQ(chosen.size(), 12u);  // 39 other members: always a full set
+  }
+}
+
+TEST_F(SelectorsTest, BucketP4PHandlesNonMemberClient) {
+  // The announce plane selects before inserting the client: the client is
+  // not in the store and every member is fair game.
+  ITracker tracker(graph_, routing_);
+  P4PSelector sel;
+  sel.RegisterITracker(1, &tracker);
+  auto candidates = MakeCandidates({{0, 1}, {0, 1}, {1, 1}});
+  const auto store = MakeStore(candidates);
+  sim::PeerInfo joiner;
+  joiner.id = 999;
+  joiner.node = 0;
+  joiner.as_number = 1;
+  const auto chosen = sel.SelectFromBuckets(joiner, store, 3, rng_);
+  EXPECT_EQ(chosen.size(), 3u);
+}
+
+TEST_F(SelectorsTest, DefaultBucketShimDelegatesToSpanPath) {
+  // Selectors without a bucket-aware override (e.g. delay-localized) run
+  // through the flatten shim and keep their semantics.
+  DelayLocalizedSelector sel(routing_, 0.0, 5.0, 0.0, /*subset=*/0);
+  std::vector<std::pair<net::NodeId, std::int32_t>> placements;
+  placements.push_back({net::kNewYork, 1});
+  for (int i = 0; i < 30; ++i) placements.push_back({net::kNewYork, 1});
+  for (int i = 0; i < 30; ++i) placements.push_back({net::kSeattle, 1});
+  auto candidates = MakeCandidates(placements);
+  const auto store = MakeStore(candidates);
+  const auto chosen = sel.SelectFromBuckets(candidates[0], store, 10, rng_);
+  ASSERT_EQ(chosen.size(), 10u);
+  for (sim::PeerId id : chosen) {
+    EXPECT_EQ(candidates[static_cast<std::size_t>(id)].node, net::kNewYork);
+  }
+}
+
 }  // namespace
 }  // namespace p4p::core

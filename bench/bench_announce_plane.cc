@@ -178,8 +178,9 @@ int main() {
   }
   const double shard_scaling = agg_isolated / rate_1t;
   std::printf("  1 thread : %.0f announces/s\n", rate_1t);
-  std::printf("  %d threads: %.0f announces/s (%.2fx wall scaling)\n", kThreads,
-              rate_4t, scaling);
+  std::printf("  %d threads: %.0f announces/s (%.2fx wall scaling on %u hw threads)\n",
+              kThreads, rate_4t, scaling,
+              std::max(1u, std::thread::hardware_concurrency()));
   std::printf("  isolated shard aggregate: %.0f announces/s (%.2fx over 1 thread)\n",
               agg_isolated, shard_scaling);
 
@@ -290,6 +291,8 @@ int main() {
   bench::MergeBenchJson(
       "BENCH_scalability.json",
       {
+          {"bench_hw_threads",
+           static_cast<double>(std::max(1u, std::thread::hardware_concurrency()))},
           {"announces_per_sec", announces_per_sec},
           {"announces_per_sec_churn", churn_ops_per_sec},
           {"announce_total_peers", static_cast<double>(total_peers)},

@@ -94,6 +94,11 @@ struct BitTorrentConfig {
   double tcp_window_bytes = 0.0;
   /// One-way last-mile latency used by the RTT model (ms).
   double access_latency_ms = 5.0;
+  /// When > 0, every Nth fluid step additionally runs a from-scratch
+  /// max-min solve over all live flows and checks it bitwise against the
+  /// incremental allocator, recording both timings for the speedup
+  /// metrics (see BitTorrentResult). 0 disables the sampling.
+  int maxmin_full_sample_every = 0;
   std::uint64_t rng_seed = 1;
 };
 
@@ -120,6 +125,14 @@ struct BitTorrentResult {
   double total_bytes = 0.0;
   /// Fluid-model steps executed (for swarm-rounds/sec throughput reporting).
   int rounds = 0;
+  /// Incremental-allocator instrumentation. The _ns fields are wall-clock
+  /// measurements and are NOT covered by same-seed determinism; comparisons
+  /// across runs should zero them first.
+  double maxmin_incremental_ns = 0.0;  ///< total time inside incremental rate pulls
+  double maxmin_full_ns_est = 0.0;     ///< sampled full-solve time extrapolated to all rounds
+  int maxmin_full_samples = 0;         ///< full solves actually run for parity/timing
+  int maxmin_parity_mismatches = 0;    ///< bitwise divergences vs the full solve (expect 0)
+  int maxmin_dirty_steps = 0;          ///< steps where any component was re-solved
 
   /// Unit bandwidth-distance product: average backbone links traversed per
   /// unit of P2P traffic.

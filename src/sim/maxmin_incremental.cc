@@ -1,0 +1,345 @@
+#include "sim/maxmin_incremental.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace p4p::sim {
+
+IncrementalMaxMin::IncrementalMaxMin(std::vector<double> capacities)
+    : capacities_(std::move(capacities)) {
+  for (double c : capacities_) {
+    if (c < 0.0 || std::isnan(c)) {
+      throw std::invalid_argument("IncrementalMaxMin: negative or NaN capacity");
+    }
+  }
+  link_flows_.resize(capacities_.size());
+  link_dirty_.assign(capacities_.size(), 0);
+  link_visited_.assign(capacities_.size(), 0);
+  link_local_.assign(capacities_.size(), -1);
+}
+
+void IncrementalMaxMin::MarkLinkDirty(int link) {
+  const auto lu = static_cast<std::size_t>(link);
+  if (link_dirty_[lu] == 0) {
+    link_dirty_[lu] = 1;
+    dirty_links_.push_back(link);
+  }
+}
+
+void IncrementalMaxMin::MarkFlowDirty(int slot) {
+  const auto su = static_cast<std::size_t>(slot);
+  if (flow_dirty_[su] == 0) {
+    flow_dirty_[su] = 1;
+    dirty_flows_.push_back(slot);
+  }
+}
+
+int IncrementalMaxMin::AddFlow(std::span<const int> links, double rate_cap) {
+  if (std::isnan(rate_cap) || rate_cap < 0.0) {
+    throw std::invalid_argument("IncrementalMaxMin: negative or NaN rate cap");
+  }
+  if (links.empty() && !std::isfinite(rate_cap)) {
+    throw std::invalid_argument(
+        "IncrementalMaxMin: flow with no links and no rate cap is unbounded");
+  }
+  for (int l : links) {
+    if (l < 0 || static_cast<std::size_t>(l) >= capacities_.size()) {
+      throw std::invalid_argument("IncrementalMaxMin: flow references unknown link");
+    }
+  }
+
+  // Slot allocation.
+  int slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<int>(flow_off_.size());
+    flow_off_.push_back(0);
+    flow_len_.push_back(0);
+    chunk_len_.push_back(0);
+    flow_cap_.push_back(0.0);
+    flow_live_.push_back(0);
+    rate_.push_back(0.0);
+    flow_dirty_.push_back(0);
+    flow_visited_.push_back(0);
+  }
+  const auto su = static_cast<std::size_t>(slot);
+
+  // Pooled chunk for the link list (exact-size recycling).
+  const auto len = static_cast<std::uint32_t>(links.size());
+  std::uint32_t off = 0;
+  auto it = free_chunks_.find(len);
+  if (len > 0 && it != free_chunks_.end() && !it->second.empty()) {
+    off = it->second.back();
+    it->second.pop_back();
+  } else if (len > 0) {
+    off = static_cast<std::uint32_t>(links_pool_.size());
+    links_pool_.resize(links_pool_.size() + len);
+    pos_pool_.resize(pos_pool_.size() + len);
+  }
+  flow_off_[su] = off;
+  flow_len_[su] = len;
+  chunk_len_[su] = len;
+  flow_cap_[su] = rate_cap;
+  flow_live_[su] = 1;
+  rate_[su] = 0.0;
+  ++num_flows_;
+
+  for (std::uint32_t i = 0; i < len; ++i) {
+    const int l = links[i];
+    links_pool_[off + i] = l;
+    auto& members = link_flows_[static_cast<std::size_t>(l)];
+    pos_pool_[off + i] = static_cast<std::uint32_t>(members.size());
+    members.push_back(LinkEntry{slot, i});
+    MarkLinkDirty(l);
+  }
+  MarkFlowDirty(slot);
+  return slot;
+}
+
+void IncrementalMaxMin::RemoveFlow(int slot) {
+  const auto su = static_cast<std::size_t>(slot);
+  if (slot < 0 || su >= flow_live_.size() || flow_live_[su] == 0) {
+    throw std::invalid_argument("IncrementalMaxMin: RemoveFlow on dead slot");
+  }
+  const std::uint32_t off = flow_off_[su];
+  const std::uint32_t len = flow_len_[su];
+  for (std::uint32_t i = 0; i < len; ++i) {
+    const int l = links_pool_[off + i];
+    auto& members = link_flows_[static_cast<std::size_t>(l)];
+    const std::uint32_t p = pos_pool_[off + i];
+    const LinkEntry moved = members.back();
+    members[p] = moved;
+    members.pop_back();
+    if (moved.slot != slot) {
+      pos_pool_[flow_off_[static_cast<std::size_t>(moved.slot)] + moved.li] = p;
+    }
+    MarkLinkDirty(l);
+  }
+  if (len > 0) free_chunks_[len].push_back(off);
+  flow_live_[su] = 0;
+  rate_[su] = 0.0;
+  --num_flows_;
+  free_slots_.push_back(slot);
+}
+
+void IncrementalMaxMin::SetCapacity(int link, double capacity_bps) {
+  if (std::isnan(capacity_bps) || capacity_bps < 0.0) {
+    throw std::invalid_argument("IncrementalMaxMin: negative or NaN capacity");
+  }
+  auto& slot = capacities_.at(static_cast<std::size_t>(link));
+  if (slot == capacity_bps) return;
+  slot = capacity_bps;
+  MarkLinkDirty(link);
+}
+
+void IncrementalMaxMin::SetRateCap(int slot, double rate_cap) {
+  const auto su = static_cast<std::size_t>(slot);
+  if (slot < 0 || su >= flow_live_.size() || flow_live_[su] == 0) {
+    throw std::invalid_argument("IncrementalMaxMin: SetRateCap on dead slot");
+  }
+  if (std::isnan(rate_cap) || rate_cap < 0.0) {
+    throw std::invalid_argument("IncrementalMaxMin: negative or NaN rate cap");
+  }
+  if (flow_len_[su] == 0 && !std::isfinite(rate_cap)) {
+    throw std::invalid_argument(
+        "IncrementalMaxMin: flow with no links and no rate cap is unbounded");
+  }
+  if (flow_cap_[su] == rate_cap) return;
+  flow_cap_[su] = rate_cap;
+  MarkFlowDirty(slot);
+}
+
+void IncrementalMaxMin::GatherDirtyComponent() {
+  comp_flows_.clear();
+  comp_links_.clear();
+  bfs_stack_.clear();
+
+  auto visit_link = [this](int l) {
+    const auto lu = static_cast<std::size_t>(l);
+    if (link_visited_[lu] != 0) return;
+    link_visited_[lu] = 1;
+    comp_links_.push_back(l);
+    bfs_stack_.push_back(l);
+  };
+  // visit_flow expands the flow's links immediately; links queue for later
+  // member expansion, so the traversal alternates link->flows->links.
+  auto visit_flow = [this, &visit_link](int slot) {
+    const auto su = static_cast<std::size_t>(slot);
+    if (flow_visited_[su] != 0) return;
+    flow_visited_[su] = 1;
+    comp_flows_.push_back(slot);
+    const std::uint32_t off = flow_off_[su];
+    for (std::uint32_t i = 0; i < flow_len_[su]; ++i) visit_link(links_pool_[off + i]);
+  };
+
+  for (int l : dirty_links_) visit_link(l);
+  for (int f : dirty_flows_) {
+    if (flow_live_[static_cast<std::size_t>(f)] != 0) visit_flow(f);
+  }
+  while (!bfs_stack_.empty()) {
+    const int l = bfs_stack_.back();
+    bfs_stack_.pop_back();
+    for (const LinkEntry& e : link_flows_[static_cast<std::size_t>(l)]) {
+      visit_flow(e.slot);
+    }
+  }
+
+  // Canonical orders: flows by slot (the oracle's flow enumeration order),
+  // links ascending for a deterministic local layout.
+  std::sort(comp_flows_.begin(), comp_flows_.end());
+  std::sort(comp_links_.begin(), comp_links_.end());
+}
+
+void IncrementalMaxMin::SolveComponent() {
+  const std::size_t num_comp_links = comp_links_.size();
+  const std::size_t num_comp_flows = comp_flows_.size();
+  const auto num_real_links = static_cast<std::int64_t>(capacities_.size());
+
+  for (std::size_t i = 0; i < num_comp_links; ++i) {
+    link_local_[static_cast<std::size_t>(comp_links_[i])] = static_cast<int>(i);
+  }
+  // Virtual links for rate caps, ordered after the component's real links.
+  // Their tie-break gid is num_real_links + slot: all virtual links compare
+  // after all real links, and among themselves in flow (slot) order —
+  // order-isomorphic to MaxMinWorkspace's compacted numbering.
+  flow_local_cap_.assign(num_comp_flows, -1);
+  std::size_t num_links = num_comp_links;
+  for (std::size_t j = 0; j < num_comp_flows; ++j) {
+    if (std::isfinite(flow_cap_[static_cast<std::size_t>(comp_flows_[j])])) {
+      flow_local_cap_[j] = static_cast<int>(num_links++);
+    }
+  }
+
+  local_remaining_.assign(num_links, 0.0);
+  for (std::size_t i = 0; i < num_comp_links; ++i) {
+    local_remaining_[i] = capacities_[static_cast<std::size_t>(comp_links_[i])];
+  }
+  for (std::size_t j = 0; j < num_comp_flows; ++j) {
+    if (flow_local_cap_[j] >= 0) {
+      local_remaining_[static_cast<std::size_t>(flow_local_cap_[j])] =
+          flow_cap_[static_cast<std::size_t>(comp_flows_[j])];
+    }
+  }
+
+  // CSR adjacency, flows appended per link in slot order (matches the
+  // oracle's flow-major construction).
+  adj_offsets_.assign(num_links + 1, 0);
+  for (std::size_t j = 0; j < num_comp_flows; ++j) {
+    const auto su = static_cast<std::size_t>(comp_flows_[j]);
+    const std::uint32_t off = flow_off_[su];
+    for (std::uint32_t i = 0; i < flow_len_[su]; ++i) {
+      const int local = link_local_[static_cast<std::size_t>(links_pool_[off + i])];
+      ++adj_offsets_[static_cast<std::size_t>(local) + 1];
+    }
+    if (flow_local_cap_[j] >= 0) {
+      ++adj_offsets_[static_cast<std::size_t>(flow_local_cap_[j]) + 1];
+    }
+  }
+  for (std::size_t l = 0; l < num_links; ++l) adj_offsets_[l + 1] += adj_offsets_[l];
+  adj_flows_.resize(adj_offsets_[num_links]);
+  adj_fill_.assign(adj_offsets_.begin(), adj_offsets_.end() - 1);
+  for (std::size_t j = 0; j < num_comp_flows; ++j) {
+    const auto su = static_cast<std::size_t>(comp_flows_[j]);
+    const std::uint32_t off = flow_off_[su];
+    for (std::uint32_t i = 0; i < flow_len_[su]; ++i) {
+      const int local = link_local_[static_cast<std::size_t>(links_pool_[off + i])];
+      adj_flows_[adj_fill_[static_cast<std::size_t>(local)]++] = static_cast<int>(j);
+    }
+    if (flow_local_cap_[j] >= 0) {
+      adj_flows_[adj_fill_[static_cast<std::size_t>(flow_local_cap_[j])]++] =
+          static_cast<int>(j);
+    }
+  }
+
+  local_active_.resize(num_links);
+  for (std::size_t l = 0; l < num_links; ++l) {
+    local_active_[l] = static_cast<int>(adj_offsets_[l + 1] - adj_offsets_[l]);
+  }
+  local_frozen_.assign(num_comp_flows, 0);
+
+  heap_.clear();
+  heap_.reserve(num_links);
+  for (std::size_t l = 0; l < num_comp_links; ++l) {
+    if (local_active_[l] > 0) {
+      heap_.push_back(HeapEntry{std::max(0.0, local_remaining_[l]) / local_active_[l],
+                                comp_links_[l], static_cast<int>(l)});
+    }
+  }
+  for (std::size_t j = 0; j < num_comp_flows; ++j) {
+    const int cl = flow_local_cap_[j];
+    if (cl >= 0 && local_active_[static_cast<std::size_t>(cl)] > 0) {
+      heap_.push_back(HeapEntry{
+          std::max(0.0, local_remaining_[static_cast<std::size_t>(cl)]) /
+              local_active_[static_cast<std::size_t>(cl)],
+          num_real_links + comp_flows_[j], cl});
+    }
+  }
+  auto heap_cmp = [](const HeapEntry& a, const HeapEntry& b) {
+    if (a.share != b.share) return a.share > b.share;
+    return a.gid > b.gid;
+  };
+  std::make_heap(heap_.begin(), heap_.end(), heap_cmp);
+
+  while (!heap_.empty()) {
+    const HeapEntry top = heap_.front();
+    std::pop_heap(heap_.begin(), heap_.end(), heap_cmp);
+    heap_.pop_back();
+    const auto lu = static_cast<std::size_t>(top.local);
+    if (local_active_[lu] == 0) continue;  // fully frozen via other links
+    const double current = std::max(0.0, local_remaining_[lu]) / local_active_[lu];
+    if (top.share < current - 1e-12 * std::max(1.0, current)) {
+      heap_.push_back(HeapEntry{current, top.gid, top.local});
+      std::push_heap(heap_.begin(), heap_.end(), heap_cmp);
+      continue;
+    }
+    for (std::size_t a = adj_offsets_[lu]; a < adj_offsets_[lu + 1]; ++a) {
+      const auto j = static_cast<std::size_t>(adj_flows_[a]);
+      if (local_frozen_[j] != 0) continue;
+      local_frozen_[j] = 1;
+      const auto su = static_cast<std::size_t>(comp_flows_[j]);
+      rate_[su] = current;
+      const std::uint32_t off = flow_off_[su];
+      for (std::uint32_t i = 0; i < flow_len_[su]; ++i) {
+        const auto l2 = static_cast<std::size_t>(
+            link_local_[static_cast<std::size_t>(links_pool_[off + i])]);
+        if (l2 == lu) continue;
+        local_remaining_[l2] -= current;
+        --local_active_[l2];
+      }
+      const int cl = flow_local_cap_[j];
+      if (cl >= 0 && static_cast<std::size_t>(cl) != lu) {
+        local_remaining_[static_cast<std::size_t>(cl)] -= current;
+        --local_active_[static_cast<std::size_t>(cl)];
+      }
+    }
+    local_remaining_[lu] = 0.0;
+    local_active_[lu] = 0;
+  }
+}
+
+std::span<const double> IncrementalMaxMin::Rates() {
+  if (dirty_links_.empty() && dirty_flows_.empty()) return rate_;
+  GatherDirtyComponent();
+  if (!comp_flows_.empty()) SolveComponent();
+
+  // Reset traversal marks and dirty state.
+  for (int l : comp_links_) {
+    link_visited_[static_cast<std::size_t>(l)] = 0;
+    link_local_[static_cast<std::size_t>(l)] = -1;
+  }
+  for (int f : comp_flows_) flow_visited_[static_cast<std::size_t>(f)] = 0;
+  for (int l : dirty_links_) link_dirty_[static_cast<std::size_t>(l)] = 0;
+  for (int f : dirty_flows_) flow_dirty_[static_cast<std::size_t>(f)] = 0;
+  dirty_links_.clear();
+  dirty_flows_.clear();
+
+  last_recomputed_flows_ = comp_flows_.size();
+  total_recomputed_flows_ += comp_flows_.size();
+  ++recompute_passes_;
+  return rate_;
+}
+
+}  // namespace p4p::sim

@@ -1,0 +1,143 @@
+// Incremental max-min fair allocator: O(dirty-component) recomputation.
+//
+// MaxMinWorkspace::Compute rebuilds the link-flow adjacency and re-runs
+// progressive filling from scratch every call. The fluid simulators call it
+// every step over flow sets that barely change: a stream keeps its flow
+// (same route, same cap) across every block it transfers, so between
+// rechoke bursts most steps change nothing at all. This class keeps the
+// flows registered across steps and exploits two exact properties of
+// max-min fairness:
+//
+//   1. If nothing changed since the last solve, the old rates are the
+//      answer (Rates() is O(1) on clean calls).
+//   2. The link-flow incidence graph decomposes into connected components
+//      that share no links, and the max-min allocation of a disjoint union
+//      is the union of the per-component allocations. Only components
+//      containing a changed link or flow need re-solving; untouched
+//      components keep their cached rates.
+//
+// Both reuse paths are bit-identical to a full progressive-filling solve
+// over all live flows (and to the MaxMinFairRates oracle when flows are
+// enumerated in slot order): within a component the sequence of freeze
+// operations — pop order of the (fair share, link id) min-heap restricted
+// to the component, and the flow iteration order of each freeze — depends
+// only on that component's links and flows, never on what else is in the
+// network. Heap ties break on a global link id (rate-cap virtual links
+// ordered after real links, among themselves by flow slot), which is
+// order-isomorphic to the oracle's numbering, so even exact floating-point
+// share ties resolve identically.
+//
+// Storage is pooled: flow link lists live in one arena (freed chunks are
+// recycled by size), per-link flow membership is a swap-and-pop slab with
+// back-pointers, and all recompute scratch is reused across calls.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+namespace p4p::sim {
+
+class IncrementalMaxMin {
+ public:
+  explicit IncrementalMaxMin(std::vector<double> capacities);
+
+  /// Registers a flow traversing `links` (indices into the capacity
+  /// vector) with an optional finite rate cap. Returns the flow's slot id,
+  /// stable until RemoveFlow. Validation matches MaxMinFairRates: throws
+  /// std::invalid_argument on unknown links, a negative/NaN cap, or a flow
+  /// with no links and no finite cap.
+  int AddFlow(std::span<const int> links,
+              double rate_cap = std::numeric_limits<double>::infinity());
+
+  /// Unregisters a flow; its slot may be reused by a later AddFlow.
+  void RemoveFlow(int slot);
+
+  /// Updates a link capacity (>= 0, non-NaN); dirties the link's component.
+  void SetCapacity(int link, double capacity_bps);
+
+  /// Updates a flow's rate cap; dirties the flow's component.
+  void SetRateCap(int slot, double rate_cap);
+
+  /// Rates indexed by slot (freed slots read 0). Recomputes only dirty
+  /// components; the span stays valid until the next mutating call.
+  std::span<const double> Rates();
+
+  double capacity(int link) const {
+    return capacities_.at(static_cast<std::size_t>(link));
+  }
+  std::span<const double> capacities() const { return capacities_; }
+  std::size_t num_links() const { return capacities_.size(); }
+  std::size_t num_flows() const { return num_flows_; }
+
+  /// Introspection for tests and benches: flows re-solved by the last
+  /// Rates() call, and cumulative counts across the allocator's lifetime.
+  std::size_t last_recomputed_flows() const { return last_recomputed_flows_; }
+  std::uint64_t total_recomputed_flows() const { return total_recomputed_flows_; }
+  std::uint64_t recompute_passes() const { return recompute_passes_; }
+
+ private:
+  struct LinkEntry {
+    int slot;          // flow occupying this entry
+    std::uint32_t li;  // index of this link within the flow's link list
+  };
+
+  void MarkLinkDirty(int link);
+  void MarkFlowDirty(int slot);
+  void GatherDirtyComponent();
+  void SolveComponent();
+
+  // --- network state ---
+  std::vector<double> capacities_;
+  std::vector<std::vector<LinkEntry>> link_flows_;  // per-link membership
+
+  // --- per-flow state (slot-indexed SoA) ---
+  std::vector<std::uint32_t> flow_off_;    // offset into links_pool_
+  std::vector<std::uint32_t> flow_len_;    // links on this flow
+  std::vector<std::uint32_t> chunk_len_;   // allocated chunk size (for reuse)
+  std::vector<double> flow_cap_;
+  std::vector<char> flow_live_;
+  std::vector<double> rate_;
+  std::vector<int> free_slots_;
+  std::size_t num_flows_ = 0;
+
+  // --- pooled link-list storage ---
+  std::vector<int> links_pool_;            // flow link ids
+  std::vector<std::uint32_t> pos_pool_;    // back-pointer into link_flows_[l]
+  std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> free_chunks_;
+
+  // --- dirty tracking ---
+  std::vector<int> dirty_links_;
+  std::vector<char> link_dirty_;
+  std::vector<int> dirty_flows_;
+  std::vector<char> flow_dirty_;
+
+  // --- recompute scratch (reused) ---
+  std::vector<int> comp_flows_;            // slots, sorted ascending
+  std::vector<int> comp_links_;            // global real link ids
+  std::vector<char> link_visited_;
+  std::vector<char> flow_visited_;
+  std::vector<int> bfs_stack_;             // links pending expansion
+  std::vector<int> link_local_;            // global link -> local index
+  std::vector<int> flow_local_cap_;        // comp flow idx -> local cap link or -1
+  std::vector<double> local_remaining_;
+  std::vector<int> local_active_;
+  std::vector<std::size_t> adj_offsets_;
+  std::vector<std::size_t> adj_fill_;
+  std::vector<int> adj_flows_;
+  std::vector<char> local_frozen_;
+  struct HeapEntry {
+    double share;
+    std::int64_t gid;  // global tie-break id (virtual cap links after real)
+    int local;
+  };
+  std::vector<HeapEntry> heap_;
+
+  std::size_t last_recomputed_flows_ = 0;
+  std::uint64_t total_recomputed_flows_ = 0;
+  std::uint64_t recompute_passes_ = 0;
+};
+
+}  // namespace p4p::sim

@@ -1,0 +1,207 @@
+// IncrementalMaxMin parity tests: randomized flow/capacity churn checked
+// bit-identical against the from-scratch MaxMinFairRates oracle, plus
+// component-reuse accounting and validation behavior.
+#include "sim/maxmin_incremental.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <random>
+
+#include "sim/maxmin.h"
+
+namespace p4p::sim {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Full-solve reference over the live slots in ascending slot order. The
+/// incremental allocator's tie-break gids are order-isomorphic to the
+/// oracle's numbering exactly under this enumeration.
+void ExpectMatchesOracle(IncrementalMaxMin& inc,
+                         const std::vector<double>& capacities,
+                         const std::map<int, Flow>& model) {
+  std::vector<Flow> flows;
+  flows.reserve(model.size());
+  for (const auto& [slot, flow] : model) flows.push_back(flow);
+  const auto expect = MaxMinFairRates(capacities, flows);
+  const auto rates = inc.Rates();
+  std::size_t i = 0;
+  for (const auto& [slot, flow] : model) {
+    // Bitwise equality, not tolerance: the incremental path must replay the
+    // exact arithmetic sequence of the full solve.
+    EXPECT_EQ(rates[static_cast<std::size_t>(slot)], expect[i])
+        << "slot " << slot << " diverged from oracle";
+    ++i;
+  }
+}
+
+TEST(MaxMinIncremental, MatchesOracleOnStaticTopologies) {
+  // The classic shapes from sim_maxmin_test, driven through AddFlow.
+  {
+    IncrementalMaxMin inc({10.0, 4.0});
+    const std::vector<int> a = {0}, b = {0, 1};
+    inc.AddFlow(a);
+    inc.AddFlow(b);
+    const auto rates = inc.Rates();
+    EXPECT_DOUBLE_EQ(rates[1], 4.0);
+    EXPECT_DOUBLE_EQ(rates[0], 6.0);
+  }
+  {
+    IncrementalMaxMin inc({10.0});
+    const std::vector<int> l = {0};
+    inc.AddFlow(l, 2.0);
+    inc.AddFlow(l);
+    const auto rates = inc.Rates();
+    EXPECT_DOUBLE_EQ(rates[0], 2.0);
+    EXPECT_DOUBLE_EQ(rates[1], 8.0);
+  }
+  {
+    // Cap-only flow: its virtual link is the sole bottleneck.
+    IncrementalMaxMin inc({});
+    inc.AddFlow(std::span<const int>{}, 3.5);
+    EXPECT_DOUBLE_EQ(inc.Rates()[0], 3.5);
+  }
+}
+
+TEST(MaxMinIncremental, RandomChurnBitIdenticalToOracleMultiSeed) {
+  for (std::uint32_t seed : {1u, 7u, 42u, 1234u, 99991u}) {
+    std::mt19937_64 rng(seed);
+    const int num_links = 24;
+    std::vector<double> capacities(num_links);
+    std::uniform_real_distribution<double> cap_dist(0.5, 50.0);
+    for (double& c : capacities) c = cap_dist(rng);
+
+    IncrementalMaxMin inc(capacities);
+    std::map<int, Flow> model;  // slot -> flow
+
+    std::uniform_int_distribution<int> op_dist(0, 99);
+    std::uniform_int_distribution<int> link_dist(0, num_links - 1);
+    std::uniform_int_distribution<int> len_dist(1, 5);
+
+    for (int step = 0; step < 400; ++step) {
+      const int op = op_dist(rng);
+      if (op < 45 || model.empty()) {
+        // Add a flow over distinct random links, sometimes rate-capped.
+        const int len = len_dist(rng);
+        std::vector<int> links;
+        while (static_cast<int>(links.size()) < len) {
+          const int l = link_dist(rng);
+          if (std::find(links.begin(), links.end(), l) == links.end()) {
+            links.push_back(l);
+          }
+        }
+        double cap = kInf;
+        if (op_dist(rng) < 40) cap = cap_dist(rng) * 0.2;
+        const int slot = inc.AddFlow(links, cap);
+        ASSERT_TRUE(model.emplace(slot, Flow{links, cap}).second)
+            << "allocator handed out a live slot twice";
+      } else if (op < 70) {
+        // Remove a random live flow.
+        auto it = model.begin();
+        std::advance(it, static_cast<long>(rng() % model.size()));
+        inc.RemoveFlow(it->first);
+        model.erase(it);
+      } else if (op < 85) {
+        // Retune a rate cap (set, change, or clear).
+        auto it = model.begin();
+        std::advance(it, static_cast<long>(rng() % model.size()));
+        double cap = kInf;
+        if (it->second.links.empty() || op_dist(rng) < 70) {
+          cap = cap_dist(rng) * 0.2;
+        }
+        inc.SetRateCap(it->first, cap);
+        it->second.rate_cap = cap;
+      } else {
+        // Change a link capacity.
+        const int l = link_dist(rng);
+        const double c = cap_dist(rng);
+        inc.SetCapacity(l, c);
+        capacities[static_cast<std::size_t>(l)] = c;
+      }
+
+      // Compare every few steps (and always near the end) so the
+      // incremental state is exercised across multi-op dirty batches.
+      if (step % 3 == 0 || step > 390) {
+        ExpectMatchesOracle(inc, capacities, model);
+      }
+    }
+    ASSERT_GT(inc.recompute_passes(), 0u);
+  }
+}
+
+TEST(MaxMinIncremental, CleanCallDoesNotRecompute) {
+  IncrementalMaxMin inc({10.0, 5.0});
+  const std::vector<int> a = {0}, b = {1};
+  inc.AddFlow(a);
+  inc.AddFlow(b);
+  (void)inc.Rates();
+  const auto passes = inc.recompute_passes();
+  const auto total = inc.total_recomputed_flows();
+  const auto r0 = inc.Rates()[0];
+  EXPECT_EQ(inc.recompute_passes(), passes);
+  EXPECT_EQ(inc.total_recomputed_flows(), total);
+  EXPECT_DOUBLE_EQ(r0, 10.0);
+}
+
+TEST(MaxMinIncremental, OnlyDirtyComponentIsRecomputed) {
+  // Two disjoint components: links {0,1} and links {2,3}.
+  IncrementalMaxMin inc({10.0, 10.0, 8.0, 8.0});
+  const std::vector<int> a = {0, 1}, b = {0}, c = {2, 3}, d = {2};
+  inc.AddFlow(a);
+  inc.AddFlow(b);
+  const int right1 = inc.AddFlow(c);
+  inc.AddFlow(d);
+  (void)inc.Rates();
+  EXPECT_EQ(inc.last_recomputed_flows(), 4u);
+
+  // Touch only the right component: just its two flows re-solve.
+  inc.SetRateCap(right1, 1.5);
+  const auto rates = inc.Rates();
+  EXPECT_EQ(inc.last_recomputed_flows(), 2u);
+  EXPECT_DOUBLE_EQ(rates[static_cast<std::size_t>(right1)], 1.5);
+  EXPECT_DOUBLE_EQ(rates[0], 5.0);  // left component untouched
+
+  // Capacity change on link 0: only the left pair re-solves.
+  inc.SetCapacity(0, 6.0);
+  (void)inc.Rates();
+  EXPECT_EQ(inc.last_recomputed_flows(), 2u);
+}
+
+TEST(MaxMinIncremental, SlotReuseAfterRemove) {
+  IncrementalMaxMin inc({10.0});
+  const std::vector<int> l = {0};
+  const int s0 = inc.AddFlow(l);
+  const int s1 = inc.AddFlow(l);
+  inc.RemoveFlow(s0);
+  const int s2 = inc.AddFlow(l, 2.0);
+  EXPECT_EQ(s2, s0);  // freed slot recycled
+  const auto rates = inc.Rates();
+  EXPECT_DOUBLE_EQ(rates[static_cast<std::size_t>(s2)], 2.0);
+  EXPECT_DOUBLE_EQ(rates[static_cast<std::size_t>(s1)], 8.0);
+  EXPECT_EQ(inc.num_flows(), 2u);
+}
+
+TEST(MaxMinIncremental, ValidationMatchesOracle) {
+  EXPECT_THROW(IncrementalMaxMin({-1.0}), std::invalid_argument);
+  IncrementalMaxMin inc({10.0});
+  const std::vector<int> unknown = {1};
+  const std::vector<int> ok = {0};
+  EXPECT_THROW(inc.AddFlow(unknown), std::invalid_argument);
+  EXPECT_THROW(inc.AddFlow(ok, -2.0), std::invalid_argument);
+  EXPECT_THROW(inc.AddFlow(std::span<const int>{}), std::invalid_argument);
+  const int s = inc.AddFlow(ok);
+  EXPECT_THROW(inc.SetRateCap(s, -1.0), std::invalid_argument);
+  EXPECT_THROW(inc.SetCapacity(0, -1.0), std::invalid_argument);
+  inc.RemoveFlow(s);
+  EXPECT_THROW(inc.RemoveFlow(s), std::invalid_argument);
+  EXPECT_THROW(inc.SetRateCap(s, 1.0), std::invalid_argument);
+  // A cap-only flow may never have its cap cleared to infinity.
+  const int c = inc.AddFlow(std::span<const int>{}, 2.0);
+  EXPECT_THROW(inc.SetRateCap(c, kInf), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace p4p::sim

@@ -1,0 +1,152 @@
+// Sharded multi-swarm runner: same jobs + same seeds must merge to
+// bit-identical results regardless of worker thread count, and the
+// in-simulator incremental max-min must match sampled full solves bitwise.
+#include "sim/swarm_shard.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "net/topology.h"
+#include "sim/workload.h"
+
+namespace p4p::sim {
+namespace {
+
+class ShardRandomSelector final : public PeerSelector {
+ public:
+  std::vector<PeerId> SelectPeers(const PeerInfo& client,
+                                  std::span<const PeerInfo> candidates, int m,
+                                  std::mt19937_64& rng) override {
+    std::vector<PeerId> pool;
+    for (const auto& c : candidates) {
+      if (c.id != client.id) pool.push_back(c.id);
+    }
+    std::shuffle(pool.begin(), pool.end(), rng);
+    if (static_cast<int>(pool.size()) > m) pool.resize(static_cast<std::size_t>(m));
+    return pool;
+  }
+  std::string name() const override { return "ShardRandom"; }
+};
+
+std::vector<SwarmJob> MakeJobs(const net::Graph& graph) {
+  std::vector<SwarmJob> jobs;
+  const int sizes[] = {18, 9, 25, 6};
+  for (int j = 0; j < 4; ++j) {
+    std::mt19937_64 rng(100 + static_cast<std::uint64_t>(j));
+    PopulationConfig pop;
+    pop.num_peers = sizes[j];
+    for (net::NodeId n = 0; n < static_cast<net::NodeId>(graph.node_count()); ++n) {
+      pop.pops.push_back(n);
+    }
+    pop.join_window = 40.0;
+    SwarmJob job;
+    job.peers = MakePopulation(pop, rng);
+    if (j == 2) {
+      // One churny swarm: a third of the leechers leave mid-download.
+      for (std::size_t i = 0; i < job.peers.size(); i += 3) {
+        job.peers[i].leave_time = job.peers[i].join_time + 120.0;
+      }
+    }
+    PeerSpec seed_peer;
+    seed_peer.node = 0;
+    seed_peer.as_number = 1;
+    seed_peer.up_bps = 100e6;
+    seed_peer.down_bps = 100e6;
+    seed_peer.seed = true;
+    job.peers.push_back(seed_peer);
+    job.config.file_bytes = 2.0 * 1024 * 1024;
+    job.config.block_bytes = 256.0 * 1024;
+    job.config.horizon = 4000.0;
+    job.config.rng_seed = 77 + static_cast<std::uint64_t>(j);
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+/// Asserts every deterministic field matches exactly. Wall-clock
+/// instrumentation (the *_ns fields, wall_seconds) is explicitly excluded.
+void ExpectBitIdentical(const BitTorrentResult& a, const BitTorrentResult& b) {
+  ASSERT_EQ(a.completion_times.size(), b.completion_times.size());
+  for (std::size_t i = 0; i < a.completion_times.size(); ++i) {
+    EXPECT_EQ(a.completion_times[i], b.completion_times[i]);
+  }
+  ASSERT_EQ(a.per_peer_completion.size(), b.per_peer_completion.size());
+  for (std::size_t i = 0; i < a.per_peer_completion.size(); ++i) {
+    EXPECT_EQ(a.per_peer_completion[i], b.per_peer_completion[i]);
+  }
+  EXPECT_EQ(a.completed_fraction, b.completed_fraction);
+  ASSERT_EQ(a.link_bytes.size(), b.link_bytes.size());
+  for (std::size_t l = 0; l < a.link_bytes.size(); ++l) {
+    EXPECT_EQ(a.link_bytes[l], b.link_bytes[l]);
+  }
+  EXPECT_EQ(a.sample_times, b.sample_times);
+  EXPECT_EQ(a.pop_traffic, b.pop_traffic);
+  EXPECT_EQ(a.interval_volumes, b.interval_volumes);
+  EXPECT_EQ(a.byte_hops, b.byte_hops);
+  EXPECT_EQ(a.total_bytes, b.total_bytes);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.maxmin_full_samples, b.maxmin_full_samples);
+  EXPECT_EQ(a.maxmin_parity_mismatches, b.maxmin_parity_mismatches);
+  EXPECT_EQ(a.maxmin_dirty_steps, b.maxmin_dirty_steps);
+}
+
+TEST(MultiSwarm, ThreadCountDoesNotChangeResults) {
+  const auto graph = net::MakeAbilene();
+  const net::RoutingTable routing(graph);
+  const auto jobs = MakeJobs(graph);
+  const auto factory = [](std::size_t) -> std::unique_ptr<PeerSelector> {
+    return std::make_unique<ShardRandomSelector>();
+  };
+  const auto r1 = RunSwarms(graph, routing, jobs, factory, 1);
+  const auto r2 = RunSwarms(graph, routing, jobs, factory, 2);
+  const auto r4 = RunSwarms(graph, routing, jobs, factory, 4);
+  ASSERT_EQ(r1.swarms.size(), jobs.size());
+  ASSERT_EQ(r2.swarms.size(), jobs.size());
+  ASSERT_EQ(r4.swarms.size(), jobs.size());
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    ExpectBitIdentical(r1.swarms[j], r2.swarms[j]);
+    ExpectBitIdentical(r1.swarms[j], r4.swarms[j]);
+  }
+  EXPECT_GT(r1.total_bytes(), 0.0);
+  EXPECT_EQ(r1.total_rounds(), r4.total_rounds());
+}
+
+TEST(MultiSwarm, ShardMatchesDirectRun) {
+  const auto graph = net::MakeAbilene();
+  const net::RoutingTable routing(graph);
+  const auto jobs = MakeJobs(graph);
+  const auto factory = [](std::size_t) -> std::unique_ptr<PeerSelector> {
+    return std::make_unique<ShardRandomSelector>();
+  };
+  const auto sharded = RunSwarms(graph, routing, jobs, factory, 3);
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    BitTorrentSimulator sim(graph, routing, jobs[j].config);
+    ShardRandomSelector selector;
+    const auto direct = sim.Run(jobs[j].peers, selector);
+    ExpectBitIdentical(direct, sharded.swarms[j]);
+  }
+}
+
+TEST(MultiSwarm, IncrementalMaxMinMatchesFullSolveInsideSwarm) {
+  // Drive a real swarm with periodic full-solve parity checks: every sampled
+  // step the incremental rates must equal a from-scratch solve bitwise.
+  const auto graph = net::MakeAbilene();
+  const net::RoutingTable routing(graph);
+  auto jobs = MakeJobs(graph);
+  for (auto& job : jobs) job.config.maxmin_full_sample_every = 3;
+  const auto factory = [](std::size_t) -> std::unique_ptr<PeerSelector> {
+    return std::make_unique<ShardRandomSelector>();
+  };
+  const auto res = RunSwarms(graph, routing, jobs, factory, 2);
+  for (const auto& r : res.swarms) {
+    EXPECT_GT(r.maxmin_full_samples, 0);
+    EXPECT_EQ(r.maxmin_parity_mismatches, 0);
+    EXPECT_LE(r.maxmin_dirty_steps, r.rounds);
+    EXPECT_GT(r.rounds, 0);
+  }
+}
+
+}  // namespace
+}  // namespace p4p::sim

@@ -44,15 +44,16 @@ void ITracker::set_background_bps(std::span<const double> bps) {
       throw std::invalid_argument("ITracker: negative background traffic");
     }
   }
+  std::uint64_t notify_version = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (std::size_t l = 0; l < bps.size(); ++l) {
       background_[l] = bps[l];
       peak_background_[l] = std::max(peak_background_[l], bps[l]);
     }
-    BumpVersionLocked();
+    notify_version = BumpVersionLocked();
   }
-  NotifyVersionListeners();
+  NotifyVersionListeners(notify_version);
 }
 
 void ITracker::RegisterVersionListener(VersionListener listener) {
@@ -62,10 +63,8 @@ void ITracker::RegisterVersionListener(VersionListener listener) {
   version_listeners_.push_back(std::move(listener));
 }
 
-void ITracker::NotifyVersionListeners() const {
-  if (version_listeners_.empty()) return;
-  const std::uint64_t v = version();
-  for (const auto& listener : version_listeners_) listener(v);
+void ITracker::NotifyVersionListeners(std::uint64_t version) const {
+  for (const auto& listener : version_listeners_) listener(version);
 }
 
 double ITracker::price_unit() const {
@@ -86,12 +85,13 @@ void ITracker::SetUniformPrices() {
   double cap_sum = 0.0;
   for (const auto& l : graph_.links()) cap_sum += l.capacity_bps;
   const double p = cap_sum > 0 ? 1.0 / cap_sum : 0.0;
+  std::uint64_t notify_version = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     std::fill(prices_.begin(), prices_.end(), p);
-    BumpVersionLocked();
+    notify_version = BumpVersionLocked();
   }
-  NotifyVersionListeners();
+  NotifyVersionListeners(notify_version);
 }
 
 void ITracker::SetPricesFromOspf() {
@@ -101,14 +101,15 @@ void ITracker::SetPricesFromOspf() {
   if (denom <= 0) {
     throw std::runtime_error("ITracker: degenerate OSPF weights");
   }
+  std::uint64_t notify_version = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (std::size_t e = 0; e < prices_.size(); ++e) {
       prices_[e] = graph_.link(static_cast<net::LinkId>(e)).ospf_weight / denom;
     }
-    BumpVersionLocked();
+    notify_version = BumpVersionLocked();
   }
-  NotifyVersionListeners();
+  NotifyVersionListeners(notify_version);
 }
 
 void ITracker::SetStaticPrices(std::span<const double> prices) {
@@ -120,12 +121,13 @@ void ITracker::SetStaticPrices(std::span<const double> prices) {
       throw std::invalid_argument("ITracker: prices must be non-negative");
     }
   }
+  std::uint64_t notify_version = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     std::copy(prices.begin(), prices.end(), prices_.begin());
-    BumpVersionLocked();
+    notify_version = BumpVersionLocked();
   }
-  NotifyVersionListeners();
+  NotifyVersionListeners(notify_version);
 }
 
 void ITracker::ProtectLink(net::LinkId link, ProtectedLinkRule rule) {
@@ -256,9 +258,9 @@ void ITracker::Update(std::span<const double> p4p_bps) {
     state.price = std::max(0.0, state.price + config_.interdomain_step * violation * unit);
   }
 
-  BumpVersionLocked();
+  const std::uint64_t notify_version = BumpVersionLocked();
   lock.unlock();
-  NotifyVersionListeners();
+  NotifyVersionListeners(notify_version);
 }
 
 double ITracker::perturb(Pid i, Pid j, double value) const {

@@ -157,12 +157,18 @@ class ITracker {
 
   std::uint64_t version() const { return version_.load(std::memory_order_acquire); }
 
-  /// Called with the new version after every price/background mutation,
-  /// outside the tracker's internal lock (so a listener may call snapshot()
-  /// or query the serving path). The federation publisher registers its
-  /// republish trigger here. Registration is a setup-time operation: it
-  /// must not race mutators; listeners themselves must be thread-safe when
-  /// mutators run on more than one thread.
+  /// Called with the version each mutation produced (exactly one call per
+  /// mutation — the value is captured inside the lock, not re-read after
+  /// it), outside the tracker's internal lock (so a listener may call
+  /// snapshot() or query the serving path). The federation publisher
+  /// registers its republish trigger here. Under concurrent mutators the
+  /// calls for distinct versions may arrive out of order, so a listener
+  /// must treat the argument as a low-water mark, not the current version;
+  /// rapid successive mutations can therefore still look "coalesced" to a
+  /// slow listener, and followers rely on beacon/pull anti-entropy to
+  /// reach the final version regardless. Registration is a setup-time
+  /// operation: it must not race mutators; listeners themselves must be
+  /// thread-safe when mutators run on more than one thread.
   using VersionListener = std::function<void(std::uint64_t)>;
   void RegisterVersionListener(VersionListener listener);
 
@@ -172,14 +178,23 @@ class ITracker {
   /// Builds the p-distance mesh from the current priced state. Caller must
   /// hold mu_.
   PDistanceMatrix BuildViewLocked() const;
-  /// Bumps the version after a mutation. Caller must hold mu_.
-  void BumpVersionLocked() {
-    version_.store(version_.load(std::memory_order_relaxed) + 1,
-                   std::memory_order_release);
+  /// Bumps the version after a mutation and returns the bumped value, so
+  /// the caller can hand its own mutation's version to the listeners
+  /// instead of re-reading the counter after unlocking. Caller must hold
+  /// mu_.
+  std::uint64_t BumpVersionLocked() {
+    const std::uint64_t v = version_.load(std::memory_order_relaxed) + 1;
+    version_.store(v, std::memory_order_release);
+    return v;
   }
-  /// Invokes every registered listener with the current version. Must be
-  /// called after releasing mu_ — listeners may re-enter the read path.
-  void NotifyVersionListeners() const;
+  /// Invokes every registered listener with `version` — the exact version
+  /// this mutation produced. Must be called after releasing mu_ —
+  /// listeners may re-enter the read path. Under concurrent mutators,
+  /// notifications for distinct versions may still arrive out of order
+  /// (the lock is released before notifying), so listeners must treat the
+  /// value as "at least this version exists", never as "this is current";
+  /// federation anti-entropy covers any skipped intermediate.
+  void NotifyVersionListeners(std::uint64_t version) const;
 
   const net::Graph& graph_;
   const net::RoutingTable& routing_;

@@ -1,6 +1,7 @@
 #include "proto/federation.h"
 
 #include <algorithm>
+#include <cstring>
 #include <stdexcept>
 #include <tuple>
 
@@ -47,25 +48,79 @@ std::optional<FederationTag> PeekFederationTag(std::span<const std::uint8_t> byt
   if (r.u8() != kProtocolVersion) return std::nullopt;
   const std::uint8_t tag = r.u8();
   if (!r.ok() || tag < static_cast<std::uint8_t>(FederationTag::kFramePush) ||
-      tag > static_cast<std::uint8_t>(FederationTag::kBeacon)) {
+      tag > static_cast<std::uint8_t>(FederationTag::kDeltaPush)) {
     return std::nullopt;
   }
   return static_cast<FederationTag>(tag);
 }
 
+namespace {
+
+/// Incremental FNV-1a (same constants as FrameChecksum) for digesting a
+/// frame set without materializing one contiguous buffer.
+class Fnv32 {
+ public:
+  void bytes(std::span<const std::uint8_t> data) {
+    for (const std::uint8_t b : data) {
+      hash_ = (hash_ ^ b) * 16777619u;
+    }
+  }
+  void u32(std::uint32_t v) {
+    const std::uint8_t buf[4] = {
+        static_cast<std::uint8_t>(v >> 24), static_cast<std::uint8_t>(v >> 16),
+        static_cast<std::uint8_t>(v >> 8), static_cast<std::uint8_t>(v)};
+    bytes(buf);
+  }
+  void u64(std::uint64_t v) {
+    u32(static_cast<std::uint32_t>(v >> 32));
+    u32(static_cast<std::uint32_t>(v));
+  }
+  /// Length-prefixed, so adjacent variable-size fields cannot alias.
+  void blob(std::span<const std::uint8_t> data) {
+    u32(static_cast<std::uint32_t>(data.size()));
+    bytes(data);
+  }
+  std::uint32_t digest() const { return hash_; }
+
+ private:
+  std::uint32_t hash_ = 2166136261u;
+};
+
+}  // namespace
+
+std::uint32_t FrameSetChecksum(const SnapshotFrameSet& frames) {
+  Fnv32 fnv;
+  fnv.u64(frames.version);
+  fnv.u64(frames.view_version);
+  fnv.u32(static_cast<std::uint32_t>(frames.num_pids));
+  fnv.u32(static_cast<std::uint32_t>(frames.rows.size()));
+  for (std::size_t i = 0; i < frames.rows.size(); ++i) {
+    fnv.u64(i < frames.row_versions.size() ? frames.row_versions[i] : 0);
+    fnv.blob(frames.rows[i]);
+  }
+  fnv.blob(frames.not_modified);
+  fnv.blob(frames.external_view);
+  fnv.blob(frames.policy);
+  return fnv.digest();
+}
+
 std::vector<std::uint8_t> EncodeFramePush(const SnapshotFrameSet& frames) {
   Writer w;
-  std::size_t payload = 8 + 4 + 4 + frames.external_view.size() + 4 +
+  std::size_t payload = 8 + 8 + 4 + 4 + frames.external_view.size() + 4 +
                         frames.not_modified.size() + 4 + 1 + 4 + frames.policy.size();
-  for (const auto& row : frames.rows) payload += 4 + row.size();
+  for (const auto& row : frames.rows) payload += 8 + 4 + row.size();
   w.reserve(6 + payload + 4);
   FrameHeader(w, FederationTag::kFramePush);
   w.u64(frames.version);
+  w.u64(frames.view_version);
   w.i32(frames.num_pids);
   w.blob(frames.not_modified);
   w.blob(frames.external_view);
   w.u32(static_cast<std::uint32_t>(frames.rows.size()));
-  for (const auto& row : frames.rows) w.blob(row);
+  for (std::size_t i = 0; i < frames.rows.size(); ++i) {
+    w.u64(i < frames.row_versions.size() ? frames.row_versions[i] : frames.version);
+    w.blob(frames.rows[i]);
+  }
   w.u8(frames.policy.empty() ? 0 : 1);
   if (!frames.policy.empty()) w.blob(frames.policy);
   return Seal(w);
@@ -77,6 +132,7 @@ std::optional<SnapshotFrameSet> DecodeFramePush(std::span<const std::uint8_t> by
   Reader r(*payload);
   SnapshotFrameSet frames;
   frames.version = r.u64();
+  frames.view_version = r.u64();
   frames.num_pids = r.i32();
   frames.not_modified = r.blob();
   frames.external_view = r.blob();
@@ -86,7 +142,9 @@ std::optional<SnapshotFrameSet> DecodeFramePush(std::span<const std::uint8_t> by
     return std::nullopt;
   }
   frames.rows.reserve(num_rows);
+  frames.row_versions.reserve(num_rows);
   for (std::uint32_t i = 0; i < num_rows && r.ok(); ++i) {
+    frames.row_versions.push_back(r.u64());
     frames.rows.push_back(r.blob());
   }
   const std::uint8_t has_policy = r.u8();
@@ -94,6 +152,75 @@ std::optional<SnapshotFrameSet> DecodeFramePush(std::span<const std::uint8_t> by
   if (has_policy == 1) frames.policy = r.blob();
   if (!r.done()) return std::nullopt;
   return frames;
+}
+
+std::vector<std::uint8_t> EncodeDeltaPush(const DeltaPush& delta) {
+  Writer w;
+  std::size_t payload = 8 + 8 + 8 + 4 + 4 + delta.not_modified.size() + 4 + 1 +
+                        4 + delta.policy.size() + 4;
+  for (const auto& row : delta.rows) payload += 4 + 8 + 4 + row.bytes.size();
+  w.reserve(6 + payload + 4);
+  FrameHeader(w, FederationTag::kDeltaPush);
+  w.u64(delta.base_version);
+  w.u64(delta.version);
+  w.u64(delta.view_version);
+  w.i32(delta.num_pids);
+  w.blob(delta.not_modified);
+  w.u32(static_cast<std::uint32_t>(delta.rows.size()));
+  for (const auto& row : delta.rows) {
+    w.u32(static_cast<std::uint32_t>(row.pid));
+    w.u64(row.row_version);
+    w.blob(row.bytes);
+  }
+  w.u8(delta.policy.empty() ? 0 : 1);
+  if (!delta.policy.empty()) w.blob(delta.policy);
+  w.u32(delta.result_checksum);
+  return Seal(w);
+}
+
+std::optional<DeltaPush> DecodeDeltaPush(std::span<const std::uint8_t> bytes) {
+  const auto payload = CheckedPayload(bytes, FederationTag::kDeltaPush);
+  if (!payload) return std::nullopt;
+  Reader r(*payload);
+  DeltaPush delta;
+  delta.base_version = r.u64();
+  delta.version = r.u64();
+  delta.view_version = r.u64();
+  delta.num_pids = r.i32();
+  delta.not_modified = r.blob();
+  const std::uint32_t num_rows = r.u32();
+  // Protocol-meaningful relations are validated here (not just by
+  // checksum): a delta that violates them could never have been produced
+  // by a correct publisher, so it is rejected before touching any store.
+  if (!r.ok() || delta.num_pids < 0 ||
+      delta.base_version >= delta.version ||
+      delta.view_version > delta.version ||
+      num_rows > static_cast<std::uint32_t>(delta.num_pids)) {
+    return std::nullopt;
+  }
+  delta.rows.reserve(num_rows);
+  std::int64_t prev_pid = -1;
+  for (std::uint32_t i = 0; i < num_rows && r.ok(); ++i) {
+    DeltaRow row;
+    row.pid = static_cast<std::int32_t>(r.u32());
+    row.row_version = r.u64();
+    row.bytes = r.blob();
+    // Canonical strictly-increasing pid order; row stamps must lie in
+    // (base, version] or the delta is incoherent.
+    if (row.pid <= prev_pid || row.pid >= delta.num_pids ||
+        row.row_version <= delta.base_version ||
+        row.row_version > delta.version) {
+      return std::nullopt;
+    }
+    prev_pid = row.pid;
+    delta.rows.push_back(std::move(row));
+  }
+  const std::uint8_t has_policy = r.u8();
+  if (has_policy > 1) return std::nullopt;
+  if (has_policy == 1) delta.policy = r.blob();
+  delta.result_checksum = r.u32();
+  if (!r.done()) return std::nullopt;
+  return delta;
 }
 
 std::vector<std::uint8_t> EncodeFrameAck(const FrameAck& ack) {
@@ -114,7 +241,7 @@ std::optional<FrameAck> DecodeFrameAck(std::span<const std::uint8_t> bytes) {
   ack.version = r.u64();
   if (!r.done()) return std::nullopt;
   if (status < static_cast<std::uint8_t>(AckStatus::kInstalled) ||
-      status > static_cast<std::uint8_t>(AckStatus::kRejected)) {
+      status > static_cast<std::uint8_t>(AckStatus::kNeedFullSet)) {
     return std::nullopt;
   }
   ack.status = static_cast<AckStatus>(status);
@@ -123,9 +250,10 @@ std::optional<FrameAck> DecodeFrameAck(std::span<const std::uint8_t> bytes) {
 
 std::vector<std::uint8_t> EncodeFramePull(const FramePull& pull) {
   Writer w;
-  w.reserve(6 + 8 + 4);
+  w.reserve(6 + 8 + 1 + 4);
   FrameHeader(w, FederationTag::kFramePull);
   w.u64(pull.have_version);
+  w.u8(pull.want_full ? 1 : 0);
   return Seal(w);
 }
 
@@ -135,6 +263,9 @@ std::optional<FramePull> DecodeFramePull(std::span<const std::uint8_t> bytes) {
   Reader r(*payload);
   FramePull pull;
   pull.have_version = r.u64();
+  const std::uint8_t want_full = r.u8();
+  if (want_full > 1) return std::nullopt;
+  pull.want_full = want_full == 1;
   if (!r.done()) return std::nullopt;
   return pull;
 }
@@ -169,6 +300,82 @@ bool ReplicatedSnapshotStore::Install(SnapshotFrameSet frames) {
                  std::memory_order_release);
   installs_.fetch_add(1, std::memory_order_relaxed);
   return true;
+}
+
+namespace {
+
+// Byte layout facts about EncodeBody the delta splice depends on: both
+// GetExternalViewResp and GetPDistancesResp are
+//   [0..1] header | [2..5] i32 (num_pids / from) | [6..13] u64 version |
+//   [14..17] u32 count | [18..] doubles as big-endian u64
+// so row i of the external view occupies bytes [18 + i*n*8, 18 + (i+1)*n*8).
+constexpr std::size_t kDistanceFrameDoublesOffset = 18;
+constexpr std::size_t kDistanceFrameVersionOffset = 6;
+
+void PatchVersionField(std::vector<std::uint8_t>& frame, std::uint64_t version) {
+  for (int i = 0; i < 8; ++i) {
+    frame[kDistanceFrameVersionOffset + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(version >> (56 - 8 * i));
+  }
+}
+
+}  // namespace
+
+ReplicatedSnapshotStore::DeltaResult ReplicatedSnapshotStore::InstallDelta(
+    const DeltaPush& delta) {
+  std::lock_guard<std::mutex> lock(install_mu_);
+  const auto held = current_.load(std::memory_order_acquire);
+  if (held && delta.version <= held->version) {
+    stale_installs_.fetch_add(1, std::memory_order_relaxed);
+    return DeltaResult::kStale;
+  }
+  // Exact-base rule: a delta applies to precisely the version it was
+  // computed against, never to "close enough".
+  if (!held || held->version != delta.base_version ||
+      held->num_pids != delta.num_pids ||
+      held->rows.size() != static_cast<std::size_t>(delta.num_pids) ||
+      held->row_versions.size() != held->rows.size()) {
+    return DeltaResult::kBaseMismatch;
+  }
+  const std::size_t n = held->rows.size();
+  if (held->external_view.size() !=
+      kDistanceFrameDoublesOffset + n * n * sizeof(double)) {
+    return DeltaResult::kBaseMismatch;
+  }
+
+  // Splice into a private copy; readers only ever see the held set or the
+  // fully-verified result.
+  auto next = std::make_shared<SnapshotFrameSet>(*held);
+  next->version = delta.version;
+  next->view_version = delta.view_version;
+  next->not_modified = delta.not_modified;
+  next->policy = delta.policy;
+  for (const auto& row : delta.rows) {
+    const auto i = static_cast<std::size_t>(row.pid);
+    if (row.bytes.size() !=
+        kDistanceFrameDoublesOffset + n * sizeof(double)) {
+      return DeltaResult::kBaseMismatch;
+    }
+    next->rows[i] = row.bytes;
+    next->row_versions[i] = row.row_version;
+    std::memcpy(next->external_view.data() + kDistanceFrameDoublesOffset +
+                    i * n * sizeof(double),
+                row.bytes.data() + kDistanceFrameDoublesOffset,
+                n * sizeof(double));
+  }
+  // The view frame's embedded version is its content stamp; unchanged rows
+  // keep their doubles, so only this field differs from a re-encode.
+  PatchVersionField(next->external_view, delta.view_version);
+
+  // Checksum chain: the spliced result must digest to exactly what the
+  // publisher computed over its own frame set, or the delta is discarded
+  // with the held frames untouched.
+  if (FrameSetChecksum(*next) != delta.result_checksum) {
+    return DeltaResult::kChecksumMismatch;
+  }
+  current_.store(std::move(next), std::memory_order_release);
+  installs_.fetch_add(1, std::memory_order_relaxed);
+  return DeltaResult::kInstalled;
 }
 
 std::uint64_t ReplicatedSnapshotStore::version() const {
@@ -218,7 +425,11 @@ SharedResponse FollowerPortalService::HandleShared(
   switch (*type) {
     case MsgType::kGetExternalViewReq: {
       const auto& req = std::get<GetExternalViewReq>(*decoded);
-      if (req.if_version != 0 && req.if_version == frames->version) {
+      // Content-version tokens earn NotModified exactly as on the
+      // publisher (service.cc) — byte-identical serving includes the
+      // conditional protocol.
+      if (req.if_version != 0 && (req.if_version == frames->version ||
+                                  req.if_version == frames->view_version)) {
         return AliasFrame(frames, frames->not_modified);
       }
       return AliasFrame(frames, frames->external_view);
@@ -230,10 +441,14 @@ SharedResponse FollowerPortalService::HandleShared(
         return std::make_shared<const std::vector<std::uint8_t>>(
             Encode(ErrorMsg{"unknown PID"}));
       }
-      if (req.if_version != 0 && req.if_version == frames->version) {
+      const auto idx = static_cast<std::size_t>(req.from);
+      if (req.if_version != 0 &&
+          (req.if_version == frames->version ||
+           (idx < frames->row_versions.size() &&
+            req.if_version == frames->row_versions[idx]))) {
         return AliasFrame(frames, frames->not_modified);
       }
-      return AliasFrame(frames, frames->rows[static_cast<std::size_t>(req.from)]);
+      return AliasFrame(frames, frames->rows[idx]);
     }
     case MsgType::kGetPolicyReq: {
       if (frames->policy.empty()) {
@@ -281,6 +496,27 @@ SnapshotFollower::SnapshotFollower(ReplicatedSnapshotStore* store) : store_(stor
 
 std::vector<std::uint8_t> SnapshotFollower::HandleReplication(
     std::span<const std::uint8_t> request) {
+  if (PeekFederationTag(request) == FederationTag::kDeltaPush) {
+    const auto delta = DecodeDeltaPush(request);
+    if (!delta) {
+      push_rejects_.fetch_add(1, std::memory_order_relaxed);
+      return EncodeFrameAck(FrameAck{AckStatus::kRejected, store_->version()});
+    }
+    switch (store_->InstallDelta(*delta)) {
+      case ReplicatedSnapshotStore::DeltaResult::kInstalled:
+        delta_installs_.fetch_add(1, std::memory_order_relaxed);
+        return EncodeFrameAck(FrameAck{AckStatus::kInstalled, store_->version()});
+      case ReplicatedSnapshotStore::DeltaResult::kStale:
+        delta_stales_.fetch_add(1, std::memory_order_relaxed);
+        return EncodeFrameAck(FrameAck{AckStatus::kAlreadyCurrent, store_->version()});
+      case ReplicatedSnapshotStore::DeltaResult::kBaseMismatch:
+      case ReplicatedSnapshotStore::DeltaResult::kChecksumMismatch:
+        delta_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+        return EncodeFrameAck(FrameAck{AckStatus::kNeedFullSet, store_->version()});
+    }
+    // Unreachable, but keeps -Wswitch honest without a default case.
+    return EncodeFrameAck(FrameAck{AckStatus::kRejected, store_->version()});
+  }
   auto frames = DecodeFramePush(request);
   if (!frames) {
     push_rejects_.fetch_add(1, std::memory_order_relaxed);
@@ -316,7 +552,7 @@ bool SnapshotFollower::behind() const {
 bool SnapshotFollower::PullOnce(Transport& publisher) {
   pulls_.fetch_add(1, std::memory_order_relaxed);
   const auto response =
-      publisher.Call(EncodeFramePull(FramePull{store_->version()}));
+      publisher.Call(EncodeFramePull(FramePull{store_->version(), false}));
   const auto tag = PeekFederationTag(response);
   if (tag == FederationTag::kFramePush) {
     auto frames = DecodeFramePush(response);
@@ -324,6 +560,37 @@ bool SnapshotFollower::PullOnce(Transport& publisher) {
       pull_installs_.fetch_add(1, std::memory_order_relaxed);
       return true;
     }
+    return false;
+  }
+  if (tag == FederationTag::kDeltaPush) {
+    if (const auto delta = DecodeDeltaPush(response)) {
+      switch (store_->InstallDelta(*delta)) {
+        case ReplicatedSnapshotStore::DeltaResult::kInstalled:
+          delta_installs_.fetch_add(1, std::memory_order_relaxed);
+          pull_installs_.fetch_add(1, std::memory_order_relaxed);
+          return true;
+        case ReplicatedSnapshotStore::DeltaResult::kStale:
+          delta_stales_.fetch_add(1, std::memory_order_relaxed);
+          return false;
+        case ReplicatedSnapshotStore::DeltaResult::kBaseMismatch:
+        case ReplicatedSnapshotStore::DeltaResult::kChecksumMismatch:
+          delta_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+          break;  // unusable delta: escalate to a full pull below
+      }
+    }
+    // The delta answer could not advance us (our base moved between the
+    // pull and the answer, or the chain broke): demand the full set once.
+    pull_full_retries_.fetch_add(1, std::memory_order_relaxed);
+    const auto full =
+        publisher.Call(EncodeFramePull(FramePull{store_->version(), true}));
+    if (PeekFederationTag(full) == FederationTag::kFramePush) {
+      auto frames = DecodeFramePush(full);
+      if (frames && store_->Install(std::move(*frames))) {
+        pull_installs_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+    }
+    return false;
   }
   // kFrameAck (kAlreadyCurrent) or malformed: nothing newer installed.
   return false;
@@ -359,21 +626,60 @@ std::size_t SnapshotPublisher::follower_count() const {
   return followers_.size();
 }
 
+void SnapshotPublisher::RefreshLocked() {
+  const std::uint64_t version = service_->price_version();
+  if (frames_ && push_frame_ && encoded_version_ == version) return;
+  // One export+encode per version regardless of follower count;
+  // ExportFrames reads the service's already-encoded response cache. The
+  // per-base delta cache is valid only for one target version, so it drops
+  // here too.
+  frames_ = std::make_shared<const SnapshotFrameSet>(service_->ExportFrames());
+  push_frame_ = std::make_shared<const std::vector<std::uint8_t>>(
+      EncodeFramePush(*frames_));
+  delta_cache_.clear();
+  encoded_version_ = version;
+  if (options_.directory != nullptr) {
+    options_.directory->UpdateVersionEpoch(options_.domain, options_.self_target,
+                                           options_.self_port, version);
+  }
+}
+
 std::shared_ptr<const std::vector<std::uint8_t>>
 SnapshotPublisher::CurrentPushFrameLocked() {
-  const std::uint64_t version = service_->price_version();
-  if (!push_frame_ || encoded_version_ != version) {
-    // One encode per version regardless of follower count; ExportFrames
-    // reads the service's already-encoded response cache.
-    push_frame_ = std::make_shared<const std::vector<std::uint8_t>>(
-        EncodeFramePush(service_->ExportFrames()));
-    encoded_version_ = version;
-    if (options_.directory != nullptr) {
-      options_.directory->UpdateVersionEpoch(options_.domain, options_.self_target,
-                                             options_.self_port, version);
-    }
-  }
+  RefreshLocked();
   return push_frame_;
+}
+
+std::shared_ptr<const std::vector<std::uint8_t>>
+SnapshotPublisher::DeltaFrameLocked(std::uint64_t base) {
+  RefreshLocked();
+  if (base == 0 || base >= encoded_version_) return nullptr;
+  if (const auto it = delta_cache_.find(base); it != delta_cache_.end()) {
+    return it->second;
+  }
+  // Changed rows relative to base are exactly the ones stamped newer: the
+  // follower's held set at `base` is a faithful copy of what was published
+  // at `base` (monotone installs guarantee it), so no history is needed.
+  DeltaPush delta;
+  delta.base_version = base;
+  delta.version = frames_->version;
+  delta.view_version = frames_->view_version;
+  delta.num_pids = frames_->num_pids;
+  delta.not_modified = frames_->not_modified;
+  delta.policy = frames_->policy;
+  delta.result_checksum = FrameSetChecksum(*frames_);
+  const std::size_t n = frames_->rows.size();
+  if (frames_->row_versions.size() != n) return nullptr;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (frames_->row_versions[i] <= base) continue;
+    delta.rows.push_back(DeltaRow{static_cast<std::int32_t>(i),
+                                  frames_->row_versions[i], frames_->rows[i]});
+  }
+  if (delta.rows.size() == n && n > 0) return nullptr;  // full set is no bigger
+  auto encoded = std::make_shared<const std::vector<std::uint8_t>>(
+      EncodeDeltaPush(delta));
+  delta_cache_.emplace(base, encoded);
+  return encoded;
 }
 
 std::size_t SnapshotPublisher::PublishOnce() {
@@ -386,13 +692,41 @@ std::size_t SnapshotPublisher::PublishOnce() {
       ++confirmed;
       continue;
     }
+    auto wire = frame;
+    bool is_delta = false;
+    if (options_.enable_delta && !follower.needs_full) {
+      if (const auto delta = DeltaFrameLocked(follower.acked_version)) {
+        wire = delta;
+        is_delta = true;
+      }
+    }
     ++pushes_;
+    if (is_delta) {
+      ++delta_frames_sent_;
+      delta_bytes_sent_ += wire->size();
+    } else {
+      ++full_frames_sent_;
+      full_bytes_sent_ += wire->size();
+    }
     try {
-      const auto response = follower.channel->Call(*frame);
-      const auto ack = DecodeFrameAck(response);
+      auto response = follower.channel->Call(*wire);
+      auto ack = DecodeFrameAck(response);
+      if (ack && ack->status == AckStatus::kNeedFullSet && is_delta) {
+        // The follower's base diverged from its acked version (restart,
+        // reset) or the chain broke: fall back to the full set in the same
+        // round, and keep sending full until an ack re-establishes a base.
+        follower.needs_full = true;
+        ++delta_fallbacks_;
+        ++pushes_;
+        ++full_frames_sent_;
+        full_bytes_sent_ += frame->size();
+        response = follower.channel->Call(*frame);
+        ack = DecodeFrameAck(response);
+      }
       if (ack && (ack->status == AckStatus::kInstalled ||
                   ack->status == AckStatus::kAlreadyCurrent)) {
         follower.acked_version = std::max(follower.acked_version, ack->version);
+        follower.needs_full = false;
         if (options_.directory != nullptr) {
           options_.directory->UpdateVersionEpoch(options_.domain, follower.target,
                                                  follower.port, ack->version);
@@ -431,6 +765,15 @@ std::vector<std::uint8_t> SnapshotPublisher::HandleReplication(
     return EncodeFrameAck(FrameAck{AckStatus::kAlreadyCurrent, encoded_version_});
   }
   pulls_served_.fetch_add(1, std::memory_order_relaxed);
+  if (options_.enable_delta && !pull->want_full) {
+    if (const auto delta = DeltaFrameLocked(pull->have_version)) {
+      ++delta_frames_sent_;
+      delta_bytes_sent_ += delta->size();
+      return *delta;
+    }
+  }
+  ++full_frames_sent_;
+  full_bytes_sent_ += frame->size();
   return *frame;
 }
 
@@ -446,6 +789,31 @@ std::uint64_t SnapshotPublisher::push_failure_count() const {
 
 std::uint64_t SnapshotPublisher::pull_served_count() const {
   return pulls_served_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t SnapshotPublisher::delta_frames_sent() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return delta_frames_sent_;
+}
+
+std::uint64_t SnapshotPublisher::full_frames_sent() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return full_frames_sent_;
+}
+
+std::uint64_t SnapshotPublisher::delta_bytes_sent() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return delta_bytes_sent_;
+}
+
+std::uint64_t SnapshotPublisher::full_bytes_sent() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return full_bytes_sent_;
+}
+
+std::uint64_t SnapshotPublisher::delta_fallback_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return delta_fallbacks_;
 }
 
 // --- publisher election -----------------------------------------------------

@@ -29,13 +29,40 @@
 //   kFrameAck  (follower -> publisher, TCP): install outcome + version.
 //   kFramePull (follower -> publisher, TCP): anti-entropy catch-up.
 //   kBeacon    (publisher -> followers, UDP): current version, ~20 bytes.
+//   kDeltaPush (publisher -> follower, TCP): only the rows whose content
+//              changed since the follower's acked version.
 // Push and pull ride the existing length-prefixed request/response
 // transports (TcpServer/TcpClient or any Transport); the beacon is a
 // fire-and-forget datagram — loss only delays gap detection until the next
 // beacon or push.
+//
+// Delta replication (the content-version stamps on SnapshotFrameSet make
+// this possible — see service.h): a super-gradient tick that reprices a few
+// links changes a few per-PID rows, so shipping the whole frame set every
+// version wastes bytes proportional to the matrix. A kDeltaPush carries:
+//   base_version — the exact version the delta applies on top of;
+//   the changed rows (frame bytes + new content stamps);
+//   the new NotModified/policy frames (always small, always shipped);
+//   result_checksum — FNV-1a over the *target* frame set.
+// Base-version rules (enforced by ReplicatedSnapshotStore::InstallDelta,
+// all under the same install mutex as full installs, so monotonicity is a
+// single invariant):
+//   * held version == base_version exactly, else the delta is refused with
+//     AckStatus::kNeedFullSet (never applied to a mismatched base);
+//   * delta version <= held version is a stale duplicate — ignored
+//     (kAlreadyCurrent), so duplicated/reordered deltas can never roll a
+//     follower back;
+//   * after splicing, the rebuilt set's FrameSetChecksum must equal
+//     result_checksum, else the delta is discarded (held frames untouched)
+//     and the follower asks for a full set.
+// Because the publisher needs no history — changed rows relative to base A
+// are exactly {i : row_versions[i] > A} in the *current* set — any acked
+// base can be served a delta, and the full-set push remains the fallback
+// for new, reset, or diverged followers.
 #pragma once
 
 #include <atomic>
+#include <map>
 #include <mutex>
 
 #include "proto/directory.h"
@@ -51,12 +78,16 @@ enum class FederationTag : std::uint8_t {
   kFrameAck = 2,
   kFramePull = 3,
   kBeacon = 4,
+  kDeltaPush = 5,
 };
 
 enum class AckStatus : std::uint8_t {
   kInstalled = 1,      ///< frames newer than the held version: installed
   kAlreadyCurrent = 2, ///< the follower already holds this (or a newer) version
   kRejected = 3,       ///< malformed push, or a pull the endpoint cannot serve
+  /// A delta could not apply (base mismatch or checksum-chain break): the
+  /// held frames are untouched and the publisher should send the full set.
+  kNeedFullSet = 4,
 };
 
 struct FrameAck {
@@ -69,7 +100,43 @@ struct FramePull {
   /// Version the follower already holds (0 = nothing); the publisher
   /// answers kAlreadyCurrent when nothing newer exists.
   std::uint64_t have_version = 0;
+  /// Demand the full frame set (after a delta answer failed to apply);
+  /// otherwise the publisher may answer with a delta on top of
+  /// have_version.
+  bool want_full = false;
 };
+
+/// One changed row inside a delta: the complete replacement frame bytes
+/// plus the row's new content version.
+struct DeltaRow {
+  std::int32_t pid = 0;
+  std::uint64_t row_version = 0;
+  std::vector<std::uint8_t> bytes;  // GetPDistancesResp frame
+};
+
+/// A kDeltaPush payload: everything needed to advance a follower holding
+/// exactly `base_version` to `version` without resending unchanged rows.
+struct DeltaPush {
+  std::uint64_t base_version = 0;
+  std::uint64_t version = 0;
+  std::uint64_t view_version = 0;
+  std::int32_t num_pids = 0;
+  std::vector<std::uint8_t> not_modified;  // NotModifiedResp{version}
+  /// Changed rows, strictly increasing by pid (canonical — the encoder
+  /// emits them sorted, the decoder rejects anything else).
+  std::vector<DeltaRow> rows;
+  /// Current policy frame state, always shipped (policy frames are tiny
+  /// and not content-stamped); empty = publisher offers no policy.
+  std::vector<std::uint8_t> policy;
+  /// FrameSetChecksum of the target frame set — the checksum chain that
+  /// catches any splice divergence before the result is ever served.
+  std::uint32_t result_checksum = 0;
+};
+
+/// Order-sensitive FNV-1a digest of an entire frame set (versions, stamps,
+/// and every frame's bytes). The publisher stamps it into each delta; the
+/// follower recomputes it over the spliced result before install.
+std::uint32_t FrameSetChecksum(const SnapshotFrameSet& frames);
 
 // --- frame codec ------------------------------------------------------------
 // Total like the message codec: malformed bytes (bad magic/tag/checksum,
@@ -77,6 +144,9 @@ struct FramePull {
 
 std::vector<std::uint8_t> EncodeFramePush(const SnapshotFrameSet& frames);
 std::optional<SnapshotFrameSet> DecodeFramePush(std::span<const std::uint8_t> bytes);
+
+std::vector<std::uint8_t> EncodeDeltaPush(const DeltaPush& delta);
+std::optional<DeltaPush> DecodeDeltaPush(std::span<const std::uint8_t> bytes);
 
 std::vector<std::uint8_t> EncodeFrameAck(const FrameAck& ack);
 std::optional<FrameAck> DecodeFrameAck(std::span<const std::uint8_t> bytes);
@@ -100,9 +170,24 @@ std::optional<FederationTag> PeekFederationTag(std::span<const std::uint8_t> byt
 /// reordered pushes can never roll a follower back.
 class ReplicatedSnapshotStore {
  public:
+  /// Outcome of a delta application attempt.
+  enum class DeltaResult : std::uint8_t {
+    kInstalled = 1,         ///< base matched, checksum verified, swapped in
+    kStale = 2,             ///< delta.version <= held version: duplicate/reorder
+    kBaseMismatch = 3,      ///< held version != base (or shape mismatch)
+    kChecksumMismatch = 4,  ///< splice result failed the checksum chain
+  };
+
   /// Installs `frames` if strictly newer than the held version. Returns
   /// true when installed.
   bool Install(SnapshotFrameSet frames);
+
+  /// Applies a delta on top of the held frame set. The held frames are
+  /// replaced only on kInstalled; every other outcome leaves them untouched
+  /// (no rollback, no partial splice ever visible to readers). Runs under
+  /// the same mutex as Install, so full and delta installs serialize into
+  /// one monotone history.
+  DeltaResult InstallDelta(const DeltaPush& delta);
 
   /// The installed frame set (null before the first install). One acquire
   /// load; the returned pointer stays valid for as long as the caller
@@ -173,9 +258,11 @@ class SnapshotFollower {
   explicit SnapshotFollower(ReplicatedSnapshotStore* store);
 
   /// Handler for the replication endpoint (a TcpServer or any request/
-  /// response transport): installs FramePush, answers FrameAck. Malformed
-  /// frames get AckStatus::kRejected — never silence, so the publisher can
-  /// tell a corrupt channel from a dead one.
+  /// response transport): installs FramePush or DeltaPush, answers
+  /// FrameAck. Malformed frames get AckStatus::kRejected — never silence,
+  /// so the publisher can tell a corrupt channel from a dead one. A delta
+  /// that cannot apply (wrong base, broken checksum chain) gets
+  /// AckStatus::kNeedFullSet and leaves the held frames untouched.
   std::vector<std::uint8_t> HandleReplication(std::span<const std::uint8_t> request);
   Handler replication_handler() {
     return [this](std::span<const std::uint8_t> req) { return HandleReplication(req); };
@@ -200,8 +287,11 @@ class SnapshotFollower {
 
   /// Anti-entropy catch-up: asks `publisher` (its replication endpoint) for
   /// anything newer than the installed version and installs the answer.
-  /// Returns true when a newer version was installed. Throws what the
-  /// transport throws; a malformed answer returns false.
+  /// The publisher may answer with a delta; if that delta cannot apply
+  /// (the follower's base moved, or the chain broke) the follower
+  /// immediately re-pulls with want_full set. Returns true when a newer
+  /// version was installed. Throws what the transport throws; a malformed
+  /// answer returns false.
   bool PullOnce(Transport& publisher);
 
   std::uint64_t push_install_count() const { return push_installs_.load(); }
@@ -210,6 +300,14 @@ class SnapshotFollower {
   std::uint64_t beacon_count() const { return beacons_.load(); }
   std::uint64_t pull_count() const { return pulls_.load(); }
   std::uint64_t pull_install_count() const { return pull_installs_.load(); }
+  /// Deltas applied cleanly on top of the held base.
+  std::uint64_t delta_install_count() const { return delta_installs_.load(); }
+  /// Duplicate/reordered deltas ignored by monotonicity.
+  std::uint64_t delta_stale_count() const { return delta_stales_.load(); }
+  /// Deltas answered with kNeedFullSet (base mismatch or checksum break).
+  std::uint64_t delta_fallback_count() const { return delta_fallbacks_.load(); }
+  /// Pull answers that failed as deltas and were retried as full pulls.
+  std::uint64_t pull_full_retry_count() const { return pull_full_retries_.load(); }
 
  private:
   ReplicatedSnapshotStore* store_;
@@ -220,6 +318,10 @@ class SnapshotFollower {
   std::atomic<std::uint64_t> beacons_{0};
   std::atomic<std::uint64_t> pulls_{0};
   std::atomic<std::uint64_t> pull_installs_{0};
+  std::atomic<std::uint64_t> delta_installs_{0};
+  std::atomic<std::uint64_t> delta_stales_{0};
+  std::atomic<std::uint64_t> delta_fallbacks_{0};
+  std::atomic<std::uint64_t> pull_full_retries_{0};
 };
 
 struct PublisherOptions {
@@ -232,13 +334,20 @@ struct PublisherOptions {
   /// The publisher's own SRV identity, epoch-stamped on every republish.
   std::string self_target;
   std::uint16_t self_port = 0;
+  /// Ship kDeltaPush frames to followers with an acked base (full-set
+  /// fallback stays automatic). Disable to get a full-push-only publisher —
+  /// the conformance suite's oracle.
+  bool enable_delta = true;
 };
 
 /// The publisher's replication half, layered on an ITrackerService: encodes
 /// the current version's frames into one push frame (cached per version —
 /// republishing to N followers encodes once) and pushes it to every
-/// follower lagging the current version. Also answers follower pulls from
-/// the same cached frame.
+/// follower lagging the current version. Followers with an acked base get a
+/// kDeltaPush carrying only the rows stamped newer than that base; a delta
+/// the follower cannot apply is answered kNeedFullSet and retried with the
+/// full set in the same round. Also answers follower pulls, with a delta
+/// when the pull's have_version permits one.
 ///
 /// Thread safety: PublishOnce, HandleReplication, and BeaconFrame may be
 /// called concurrently (the TSan hammer does); AddFollower is setup-time.
@@ -269,9 +378,12 @@ class SnapshotPublisher {
   /// it over any datagram channel(s) after a publish.
   std::vector<std::uint8_t> BeaconFrame() const;
 
-  /// Replication endpoint: answers FramePull with the cached push frame
-  /// (or kAlreadyCurrent), anything else with kRejected. Lets followers
-  /// catch up through the same TcpServer machinery the portal uses.
+  /// Replication endpoint: answers FramePull with a delta on top of the
+  /// puller's have_version when profitable (unless the pull demands the
+  /// full set), the cached full push frame otherwise, kAlreadyCurrent when
+  /// nothing newer exists, kRejected for anything malformed. Lets
+  /// followers catch up through the same TcpServer machinery the portal
+  /// uses.
   std::vector<std::uint8_t> HandleReplication(std::span<const std::uint8_t> request);
   Handler replication_handler() {
     return [this](std::span<const std::uint8_t> req) { return HandleReplication(req); };
@@ -280,6 +392,14 @@ class SnapshotPublisher {
   std::uint64_t push_count() const;
   std::uint64_t push_failure_count() const;
   std::uint64_t pull_served_count() const;
+  /// Wire accounting, split by frame kind (pushes and served pulls): the
+  /// bench's delta_bytes_per_version reads these.
+  std::uint64_t delta_frames_sent() const;
+  std::uint64_t full_frames_sent() const;
+  std::uint64_t delta_bytes_sent() const;
+  std::uint64_t full_bytes_sent() const;
+  /// kNeedFullSet acks received (each triggers an immediate full retry).
+  std::uint64_t delta_fallback_count() const;
 
  private:
   struct FollowerChannel {
@@ -287,20 +407,38 @@ class SnapshotPublisher {
     std::uint16_t port = 0;
     std::unique_ptr<Transport> channel;
     std::uint64_t acked_version = 0;
+    /// Set when the follower answered kNeedFullSet: the next frame it gets
+    /// is the full set, cleared on any successful ack.
+    bool needs_full = false;
   };
 
-  /// Returns the push frame for the service's current version, re-encoding
-  /// only when the version moved since the last call. Caller must hold mu_.
+  /// Refreshes frames_/push_frame_ for the service's current version,
+  /// re-encoding only when the version moved since the last call (which
+  /// also drops the per-base delta cache). Caller must hold mu_.
+  void RefreshLocked();
   std::shared_ptr<const std::vector<std::uint8_t>> CurrentPushFrameLocked();
+  /// Encoded delta from `base` to the current version, cached per base.
+  /// Null when a delta is impossible or unprofitable (base 0, base not
+  /// older than current, or every row changed). Caller must hold mu_.
+  std::shared_ptr<const std::vector<std::uint8_t>> DeltaFrameLocked(std::uint64_t base);
 
   const ITrackerService* service_;
   PublisherOptions options_;
   mutable std::mutex mu_;
   std::uint64_t encoded_version_ = 0;
+  /// The current version's exported frame set (delta source material).
+  std::shared_ptr<const SnapshotFrameSet> frames_;
   std::shared_ptr<const std::vector<std::uint8_t>> push_frame_;
+  /// base version -> encoded kDeltaPush, valid for encoded_version_ only.
+  std::map<std::uint64_t, std::shared_ptr<const std::vector<std::uint8_t>>> delta_cache_;
   std::vector<FollowerChannel> followers_;
   std::uint64_t pushes_ = 0;
   std::uint64_t push_failures_ = 0;
+  std::uint64_t delta_frames_sent_ = 0;
+  std::uint64_t full_frames_sent_ = 0;
+  std::uint64_t delta_bytes_sent_ = 0;
+  std::uint64_t full_bytes_sent_ = 0;
+  std::uint64_t delta_fallbacks_ = 0;
   std::atomic<std::uint64_t> pulls_served_{0};
 };
 

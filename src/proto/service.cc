@@ -1,5 +1,6 @@
 #include "proto/service.h"
 
+#include <cstring>
 #include <stdexcept>
 
 namespace p4p::proto {
@@ -48,26 +49,59 @@ ITrackerService::encoded_state() const {
 
   auto next = std::make_shared<EncodedState>();
   next->version = snap->version;
+  next->snap = snap;
   next->not_modified = Encode(NotModifiedResp{snap->version});
 
   const int n = snap->view.size();
-  GetExternalViewResp view;
-  view.num_pids = n;
-  view.version = snap->version;
-  view.distances.assign(snap->view.values().begin(), snap->view.values().end());
-  next->external_view = Encode(view);
-
+  // Content stamping: diff each row's raw doubles against the previous
+  // state's snapshot (byte compare — tolerant of NaN, and exact, since the
+  // encoder is a bit-faithful function of these bytes). Unchanged rows keep
+  // their previous frame bytes and content version, so the federation layer
+  // can ship deltas and conditional clients holding a row's content token
+  // still earn NotModified across no-op version bumps.
+  const auto prev = state;
+  const bool diffable = prev && prev->snap && prev->snap->view.size() == n &&
+                        prev->rows.size() == static_cast<std::size_t>(n) &&
+                        prev->row_versions.size() == static_cast<std::size_t>(n);
+  next->row_versions.assign(static_cast<std::size_t>(n), snap->version);
   next->rows.reserve(static_cast<std::size_t>(n));
+  bool any_row_changed = !diffable;
   GetPDistancesResp row;
   row.version = snap->version;
-  row.distances.resize(static_cast<std::size_t>(n));
   for (core::Pid i = 0; i < n; ++i) {
-    row.from = i;
     const auto values = snap->view.values().subspan(
         static_cast<std::size_t>(i) * static_cast<std::size_t>(n),
         static_cast<std::size_t>(n));
+    if (diffable) {
+      const auto prev_values = prev->snap->view.values().subspan(
+          static_cast<std::size_t>(i) * static_cast<std::size_t>(n),
+          static_cast<std::size_t>(n));
+      if (std::memcmp(values.data(), prev_values.data(),
+                      static_cast<std::size_t>(n) * sizeof(double)) == 0) {
+        next->row_versions[static_cast<std::size_t>(i)] =
+            prev->row_versions[static_cast<std::size_t>(i)];
+        next->rows.push_back(prev->rows[static_cast<std::size_t>(i)]);
+        continue;
+      }
+    }
+    any_row_changed = true;
+    row.from = i;
     row.distances.assign(values.begin(), values.end());
     next->rows.push_back(Encode(row));
+  }
+
+  if (!any_row_changed && n > 0) {
+    // Version bumped but no price byte moved: the whole matrix is stable,
+    // so the view frame (and its content stamp) carries over verbatim.
+    next->view_version = prev->view_version;
+    next->external_view = prev->external_view;
+  } else {
+    next->view_version = snap->version;
+    GetExternalViewResp view;
+    view.num_pids = n;
+    view.version = snap->version;
+    view.distances.assign(snap->view.values().begin(), snap->view.values().end());
+    next->external_view = Encode(view);
   }
 
   state_.store(next, std::memory_order_release);
@@ -100,10 +134,12 @@ SnapshotFrameSet ITrackerService::ExportFrames() const {
   SnapshotFrameSet out;
   const auto state = encoded_state();
   out.version = state->version;
+  out.view_version = state->view_version;
   out.num_pids = tracker_->num_pids();
   out.not_modified = state->not_modified;
   out.external_view = state->external_view;
   out.rows = state->rows;
+  out.row_versions = state->row_versions;
   if (policy_ != nullptr) out.policy = encoded_policy()->bytes;
   return out;
 }
@@ -154,7 +190,12 @@ SharedResponse ITrackerService::TryServeCached(
       if (!decoded) return nullptr;
       const auto& req = std::get<GetExternalViewReq>(*decoded);
       const auto state = encoded_state();
-      if (req.if_version != 0 && req.if_version == state->version) {
+      // A token matching either the current version or the view's content
+      // version earns NotModified: in the latter case the client's cached
+      // bytes are still bit-identical to external_view (only the counter
+      // moved), so re-sending the matrix would be pure waste.
+      if (req.if_version != 0 && (req.if_version == state->version ||
+                                  req.if_version == state->view_version)) {
         return Alias(state, state->not_modified);
       }
       return Alias(state, state->external_view);
@@ -167,10 +208,14 @@ SharedResponse ITrackerService::TryServeCached(
         return nullptr;  // slow path answers with ErrorMsg
       }
       const auto state = encoded_state();
-      if (req.if_version != 0 && req.if_version == state->version) {
+      const auto idx = static_cast<std::size_t>(req.from);
+      if (req.if_version != 0 &&
+          (req.if_version == state->version ||
+           (idx < state->row_versions.size() &&
+            req.if_version == state->row_versions[idx]))) {
         return Alias(state, state->not_modified);
       }
-      return Alias(state, state->rows[static_cast<std::size_t>(req.from)]);
+      return Alias(state, state->rows[idx]);
     }
     case MsgType::kGetPolicyReq: {
       if (policy_ == nullptr) return nullptr;

@@ -38,12 +38,29 @@ struct ServiceOptions {
 /// bytes to follower replicas, which install them verbatim — a follower
 /// never decodes the matrix or re-encodes a response, so its answers are
 /// byte-identical to the publisher's.
+///
+/// Every frame carries a *content version*: the price version at which its
+/// bytes last changed. A super-gradient tick that moves only a few link
+/// prices re-stamps only the per-PID rows whose paths cross those links;
+/// untouched rows keep their old stamp and their old bytes. Consequences:
+///   * Delta replication: the publisher can ship a follower acked at
+///     version A just the rows with row_versions[i] > A (kDeltaPush) —
+///     the unchanged rows are bit-identical between A and the current set.
+///   * Conditional serving: a client token equal to a frame's content
+///     version earns NotModified even when the portal's version counter has
+///     moved past it, so no-op version bumps never re-send the matrix.
 struct SnapshotFrameSet {
   std::uint64_t version = 0;
+  /// Content version of external_view (== max over row_versions; `version`
+  /// when the set has no rows).
+  std::uint64_t view_version = 0;
   std::int32_t num_pids = 0;
   std::vector<std::uint8_t> not_modified;       // NotModifiedResp{version}
   std::vector<std::uint8_t> external_view;      // GetExternalViewResp
   std::vector<std::vector<std::uint8_t>> rows;  // GetPDistancesResp per PID
+  /// Per-row content version: the price version at which rows[i] last
+  /// changed. Always rows.size() entries.
+  std::vector<std::uint64_t> row_versions;
   /// GetPolicyResp frame; empty when the publisher offers no policy
   /// interface (followers then answer policy queries with an ErrorMsg).
   std::vector<std::uint8_t> policy;
@@ -109,12 +126,24 @@ class ITrackerService {
   SnapshotFrameSet ExportFrames() const;
 
  private:
-  /// All p4p-distance responses for one price version, encoded once.
+  /// All p4p-distance responses for one price version, encoded once. Each
+  /// rebuild diffs the new PriceSnapshot against the previous state's
+  /// snapshot row by row (raw-byte compare, so NaN-safe): unchanged rows
+  /// keep their previous bytes and content stamp, changed rows are
+  /// re-encoded stamped with the current version.
   struct EncodedState {
     std::uint64_t version = 0;
+    /// Content version of external_view: the price version at which any
+    /// row last changed (== version on the first build).
+    std::uint64_t view_version = 0;
     std::vector<std::uint8_t> not_modified;        // NotModifiedResp{version}
     std::vector<std::uint8_t> external_view;       // GetExternalViewResp
     std::vector<std::vector<std::uint8_t>> rows;   // GetPDistancesResp per PID
+    /// Per-row content versions, rows.size() entries.
+    std::vector<std::uint64_t> row_versions;
+    /// The snapshot these frames encode — kept so the next rebuild can
+    /// diff against it without decoding its own output.
+    std::shared_ptr<const core::PriceSnapshot> snap;
   };
   struct EncodedPolicy {
     std::uint64_t version = 0;

@@ -23,37 +23,105 @@ namespace {
 
 class FederationCodecTest : public ::testing::Test {
  protected:
-  SnapshotFrameSet MakeFrames(std::uint64_t version, int num_pids) {
+  /// A coherent frame set: the external view's doubles and each row's
+  /// doubles agree (row i is view row i), every frame's embedded version
+  /// matches its content stamp — exactly what ITrackerService exports and
+  /// what the delta splice/checksum chain depends on.
+  SnapshotFrameSet MakeFrames(std::uint64_t version, int num_pids,
+                              double fill = 1.5) {
+    const auto n = static_cast<std::size_t>(num_pids);
     SnapshotFrameSet f;
     f.version = version;
+    f.view_version = version;
     f.num_pids = num_pids;
+    f.row_versions.assign(n, version);
     f.not_modified = Encode(NotModifiedResp{version});
     GetExternalViewResp view;
     view.num_pids = num_pids;
     view.version = version;
-    view.distances.assign(
-        static_cast<std::size_t>(num_pids) * static_cast<std::size_t>(num_pids), 1.5);
+    view.distances.assign(n * n, fill);
     f.external_view = Encode(view);
     for (int i = 0; i < num_pids; ++i) {
       GetPDistancesResp row;
       row.from = i;
       row.version = version;
-      row.distances.assign(static_cast<std::size_t>(num_pids), 2.5);
+      row.distances.assign(n, fill);
       f.rows.push_back(Encode(row));
     }
     return f;
+  }
+
+  /// The frame set at `version` after re-pricing only `changed_pids` rows
+  /// (their doubles become `value`, their stamps `version`); everything
+  /// else carries the base's bytes and stamps forward, the way the
+  /// service's diff-based rebuild does.
+  SnapshotFrameSet Advance(const SnapshotFrameSet& base, std::uint64_t version,
+                           const std::vector<int>& changed_pids, double value) {
+    const auto n = static_cast<std::size_t>(base.num_pids);
+    SnapshotFrameSet next = base;
+    next.version = version;
+    next.not_modified = Encode(NotModifiedResp{version});
+    if (changed_pids.empty()) return next;
+    next.view_version = version;
+    // Rebuild the coherent view: decode the base's doubles row by row.
+    GetExternalViewResp view;
+    view.num_pids = base.num_pids;
+    view.version = version;
+    view.distances.reserve(n * n);
+    for (int i = 0; i < base.num_pids; ++i) {
+      const auto decoded = Decode(next.rows[static_cast<std::size_t>(i)]);
+      view.distances.insert(
+          view.distances.end(),
+          std::get<GetPDistancesResp>(*decoded).distances.begin(),
+          std::get<GetPDistancesResp>(*decoded).distances.end());
+    }
+    for (const int pid : changed_pids) {
+      GetPDistancesResp row;
+      row.from = pid;
+      row.version = version;
+      row.distances.assign(n, value);
+      next.rows[static_cast<std::size_t>(pid)] = Encode(row);
+      next.row_versions[static_cast<std::size_t>(pid)] = version;
+      std::fill_n(view.distances.begin() + pid * base.num_pids, n, value);
+    }
+    next.external_view = Encode(view);
+    return next;
+  }
+
+  /// The delta a correct publisher would ship to advance `base` to
+  /// `target`: rows stamped newer than base, target checksum sealed in.
+  DeltaPush MakeDelta(const SnapshotFrameSet& base, const SnapshotFrameSet& target) {
+    DeltaPush delta;
+    delta.base_version = base.version;
+    delta.version = target.version;
+    delta.view_version = target.view_version;
+    delta.num_pids = target.num_pids;
+    delta.not_modified = target.not_modified;
+    delta.policy = target.policy;
+    delta.result_checksum = FrameSetChecksum(target);
+    for (std::size_t i = 0; i < target.rows.size(); ++i) {
+      if (target.row_versions[i] > base.version) {
+        delta.rows.push_back(DeltaRow{static_cast<std::int32_t>(i),
+                                      target.row_versions[i], target.rows[i]});
+      }
+    }
+    return delta;
   }
 };
 
 TEST_F(FederationCodecTest, PushRoundTrip) {
   auto frames = MakeFrames(7, 4);
+  frames.view_version = 5;
+  frames.row_versions = {5, 7, 3, 7};
   frames.policy = Encode(GetPolicyResp{});
   const auto bytes = EncodeFramePush(frames);
   EXPECT_EQ(PeekFederationTag(bytes), FederationTag::kFramePush);
   const auto decoded = DecodeFramePush(bytes);
   ASSERT_TRUE(decoded.has_value());
   EXPECT_EQ(decoded->version, 7u);
+  EXPECT_EQ(decoded->view_version, 5u);
   EXPECT_EQ(decoded->num_pids, 4);
+  EXPECT_EQ(decoded->row_versions, frames.row_versions);
   EXPECT_EQ(decoded->not_modified, frames.not_modified);
   EXPECT_EQ(decoded->external_view, frames.external_view);
   EXPECT_EQ(decoded->rows, frames.rows);
@@ -101,6 +169,16 @@ TEST_F(FederationCodecTest, AckPullBeaconRoundTrip) {
   const auto pull = DecodeFramePull(pull_bytes);
   ASSERT_TRUE(pull.has_value());
   EXPECT_EQ(pull->have_version, 4u);
+  EXPECT_FALSE(pull->want_full);
+  const auto full_pull = DecodeFramePull(EncodeFramePull(FramePull{4, true}));
+  ASSERT_TRUE(full_pull.has_value());
+  EXPECT_TRUE(full_pull->want_full);
+
+  // The new ack status decodes; anything past it stays rejected.
+  const auto need_full =
+      DecodeFrameAck(EncodeFrameAck(FrameAck{AckStatus::kNeedFullSet, 3}));
+  ASSERT_TRUE(need_full.has_value());
+  EXPECT_EQ(need_full->status, AckStatus::kNeedFullSet);
 
   const auto beacon_bytes = EncodeBeacon(12);
   EXPECT_EQ(PeekFederationTag(beacon_bytes), FederationTag::kBeacon);
@@ -120,10 +198,251 @@ TEST_F(FederationCodecTest, DecodersTotalOnRandomBytes) {
     // Random bytes must never decode (the 1-in-2^32 checksum fluke aside,
     // these seeds don't hit it) and must never crash.
     EXPECT_FALSE(DecodeFramePush(noise).has_value());
+    EXPECT_FALSE(DecodeDeltaPush(noise).has_value());
     EXPECT_FALSE(DecodeFrameAck(noise).has_value());
     EXPECT_FALSE(DecodeFramePull(noise).has_value());
     EXPECT_FALSE(DecodeBeacon(noise).has_value());
   }
+}
+
+// --- delta codec ------------------------------------------------------------
+
+TEST_F(FederationCodecTest, DeltaRoundTrip) {
+  const auto base = MakeFrames(5, 4);
+  auto target = Advance(base, 7, {1, 3}, 9.75);
+  target.policy = Encode(GetPolicyResp{});
+  const auto delta = MakeDelta(base, target);
+  ASSERT_EQ(delta.rows.size(), 2u);
+
+  const auto bytes = EncodeDeltaPush(delta);
+  EXPECT_EQ(PeekFederationTag(bytes), FederationTag::kDeltaPush);
+  const auto decoded = DecodeDeltaPush(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->base_version, 5u);
+  EXPECT_EQ(decoded->version, 7u);
+  EXPECT_EQ(decoded->view_version, 7u);
+  EXPECT_EQ(decoded->num_pids, 4);
+  EXPECT_EQ(decoded->not_modified, target.not_modified);
+  EXPECT_EQ(decoded->policy, target.policy);
+  EXPECT_EQ(decoded->result_checksum, FrameSetChecksum(target));
+  ASSERT_EQ(decoded->rows.size(), 2u);
+  EXPECT_EQ(decoded->rows[0].pid, 1);
+  EXPECT_EQ(decoded->rows[0].row_version, 7u);
+  EXPECT_EQ(decoded->rows[0].bytes, target.rows[1]);
+  EXPECT_EQ(decoded->rows[1].pid, 3);
+
+  // A no-op version bump travels as an empty delta (stamps carried over).
+  const auto empty_delta = MakeDelta(base, Advance(base, 6, {}, 0.0));
+  EXPECT_TRUE(empty_delta.rows.empty());
+  const auto empty_decoded = DecodeDeltaPush(EncodeDeltaPush(empty_delta));
+  ASSERT_TRUE(empty_decoded.has_value());
+  EXPECT_TRUE(empty_decoded->rows.empty());
+  EXPECT_EQ(empty_decoded->view_version, 5u);
+}
+
+TEST_F(FederationCodecTest, DeltaRejectsCorruptionAndTruncation) {
+  const auto base = MakeFrames(4, 3);
+  const auto bytes = EncodeDeltaPush(MakeDelta(base, Advance(base, 6, {0, 2}, 3.5)));
+  // Every single-bit flip dies on the trailing checksum (or header checks).
+  for (std::size_t pos = 0; pos < bytes.size(); ++pos) {
+    auto corrupt = bytes;
+    corrupt[pos] ^= 0x10;
+    EXPECT_FALSE(DecodeDeltaPush(corrupt).has_value()) << "bit flip at " << pos;
+  }
+  for (const std::size_t len : {std::size_t{0}, std::size_t{5}, std::size_t{9},
+                                bytes.size() - 7, bytes.size() - 1}) {
+    EXPECT_FALSE(DecodeDeltaPush(std::span(bytes).first(len)).has_value())
+        << "truncated to " << len;
+  }
+  auto extended = bytes;
+  extended.push_back(0);
+  EXPECT_FALSE(DecodeDeltaPush(extended).has_value());
+  // Cross-tag confusion: a full push never decodes as a delta.
+  EXPECT_FALSE(DecodeDeltaPush(EncodeFramePush(base)).has_value());
+}
+
+TEST_F(FederationCodecTest, DeltaRejectsIncoherentRelations) {
+  const auto base = MakeFrames(5, 4);
+  const auto target = Advance(base, 7, {1, 3}, 9.75);
+  const auto good = MakeDelta(base, target);
+
+  // Each mutation below could never come from a correct publisher; the
+  // decoder refuses them structurally, before any store is involved.
+  const auto expect_rejected = [](DeltaPush delta, const char* what) {
+    EXPECT_FALSE(DecodeDeltaPush(EncodeDeltaPush(delta)).has_value()) << what;
+  };
+  {
+    auto d = good;
+    d.base_version = 7;  // base == version
+    expect_rejected(d, "base not older than version");
+  }
+  {
+    auto d = good;
+    d.base_version = 9;  // base > version
+    expect_rejected(d, "base newer than version");
+  }
+  {
+    auto d = good;
+    d.view_version = 8;  // view stamped past the set version
+    expect_rejected(d, "view_version > version");
+  }
+  {
+    auto d = good;
+    std::swap(d.rows[0], d.rows[1]);  // pids 3, 1: not increasing
+    expect_rejected(d, "rows out of pid order");
+  }
+  {
+    auto d = good;
+    d.rows[1].pid = 1;  // duplicate pid
+    expect_rejected(d, "duplicate pid");
+  }
+  {
+    auto d = good;
+    d.rows[1].pid = 4;  // out of range
+    expect_rejected(d, "pid >= num_pids");
+  }
+  {
+    auto d = good;
+    d.rows[0].row_version = 5;  // stamp not newer than base
+    expect_rejected(d, "row stamp <= base");
+  }
+  {
+    auto d = good;
+    d.rows[0].row_version = 8;  // stamp newer than the set itself
+    expect_rejected(d, "row stamp > version");
+  }
+  {
+    auto d = good;
+    d.num_pids = 1;  // more changed rows than pids exist
+    expect_rejected(d, "row count exceeds num_pids");
+  }
+}
+
+// --- delta installs ---------------------------------------------------------
+
+class FederationDeltaStoreTest : public FederationCodecTest {
+ protected:
+  /// Field-by-field equality — a checksum collision must not pass this.
+  static void ExpectSameFrames(const SnapshotFrameSet& got,
+                               const SnapshotFrameSet& want) {
+    EXPECT_EQ(got.version, want.version);
+    EXPECT_EQ(got.view_version, want.view_version);
+    EXPECT_EQ(got.num_pids, want.num_pids);
+    EXPECT_EQ(got.not_modified, want.not_modified);
+    EXPECT_EQ(got.external_view, want.external_view);
+    EXPECT_EQ(got.rows, want.rows);
+    EXPECT_EQ(got.row_versions, want.row_versions);
+    EXPECT_EQ(got.policy, want.policy);
+  }
+};
+
+TEST_F(FederationDeltaStoreTest, SplicesExactBaseDeltaByteForByte) {
+  const auto base = MakeFrames(5, 4);
+  const auto target = Advance(base, 7, {1, 3}, 9.75);
+  ReplicatedSnapshotStore store;
+  ASSERT_TRUE(store.Install(base));
+
+  ASSERT_EQ(store.InstallDelta(MakeDelta(base, target)),
+            ReplicatedSnapshotStore::DeltaResult::kInstalled);
+  EXPECT_EQ(store.version(), 7u);
+  // The spliced result — rows, view doubles, patched view version stamp —
+  // is byte-identical to what a full push of the target would install.
+  ExpectSameFrames(*store.current(), target);
+  EXPECT_EQ(store.install_count(), 2u);
+}
+
+TEST_F(FederationDeltaStoreTest, EmptyDeltaAdvancesNoOpVersionBump) {
+  const auto base = MakeFrames(5, 4);
+  const auto target = Advance(base, 6, {}, 0.0);  // nothing repriced
+  ReplicatedSnapshotStore store;
+  ASSERT_TRUE(store.Install(base));
+  ASSERT_EQ(store.InstallDelta(MakeDelta(base, target)),
+            ReplicatedSnapshotStore::DeltaResult::kInstalled);
+  EXPECT_EQ(store.version(), 6u);
+  EXPECT_EQ(store.current()->view_version, 5u);  // stamps carried forward
+  ExpectSameFrames(*store.current(), target);
+}
+
+TEST_F(FederationDeltaStoreTest, DuplicateAndReorderedDeltasNeverRollBack) {
+  const auto v5 = MakeFrames(5, 4);
+  const auto v7 = Advance(v5, 7, {1}, 2.0);
+  const auto v9 = Advance(v7, 9, {2}, 3.0);
+  ReplicatedSnapshotStore store;
+  ASSERT_TRUE(store.Install(v5));
+  ASSERT_EQ(store.InstallDelta(MakeDelta(v5, v7)),
+            ReplicatedSnapshotStore::DeltaResult::kInstalled);
+  ASSERT_EQ(store.InstallDelta(MakeDelta(v7, v9)),
+            ReplicatedSnapshotStore::DeltaResult::kInstalled);
+
+  // Duplicate of the 5->7 delta, and a reordered re-delivery of 7->9:
+  // both stale, both ignored, held frames bit-identical afterwards.
+  EXPECT_EQ(store.InstallDelta(MakeDelta(v5, v7)),
+            ReplicatedSnapshotStore::DeltaResult::kStale);
+  EXPECT_EQ(store.InstallDelta(MakeDelta(v7, v9)),
+            ReplicatedSnapshotStore::DeltaResult::kStale);
+  EXPECT_EQ(store.version(), 9u);
+  ExpectSameFrames(*store.current(), v9);
+  EXPECT_EQ(store.stale_install_count(), 2u);
+}
+
+TEST_F(FederationDeltaStoreTest, RefusesMismatchedBaseWithoutRollback) {
+  const auto v5 = MakeFrames(5, 4);
+  const auto v7 = Advance(v5, 7, {1}, 2.0);
+  const auto v9 = Advance(v7, 9, {2}, 3.0);
+
+  // A store that never installed anything has no base at all.
+  ReplicatedSnapshotStore fresh;
+  EXPECT_EQ(fresh.InstallDelta(MakeDelta(v5, v7)),
+            ReplicatedSnapshotStore::DeltaResult::kBaseMismatch);
+  EXPECT_EQ(fresh.current(), nullptr);
+
+  // Held base 5, delta computed against 7: exact-base rule refuses it even
+  // though the version is newer — "close enough" does not exist.
+  ReplicatedSnapshotStore store;
+  ASSERT_TRUE(store.Install(v5));
+  EXPECT_EQ(store.InstallDelta(MakeDelta(v7, v9)),
+            ReplicatedSnapshotStore::DeltaResult::kBaseMismatch);
+  EXPECT_EQ(store.version(), 5u);
+  ExpectSameFrames(*store.current(), v5);
+
+  // Shape mismatch (different topology epoch) is a base mismatch too.
+  const auto other = MakeFrames(5, 3);
+  auto wrong_shape = MakeDelta(other, Advance(other, 7, {0}, 4.0));
+  EXPECT_EQ(store.InstallDelta(wrong_shape),
+            ReplicatedSnapshotStore::DeltaResult::kBaseMismatch);
+  EXPECT_EQ(store.version(), 5u);
+}
+
+TEST_F(FederationDeltaStoreTest, ChecksumChainCatchesDivergenceWithoutRollback) {
+  const auto v5 = MakeFrames(5, 4);
+  const auto v7 = Advance(v5, 7, {1, 3}, 9.75);
+  ReplicatedSnapshotStore store;
+  ASSERT_TRUE(store.Install(v5));
+
+  // Tampered target checksum: the splice succeeds mechanically but the
+  // chain refuses to publish it.
+  auto tampered = MakeDelta(v5, v7);
+  tampered.result_checksum ^= 0x1;
+  EXPECT_EQ(store.InstallDelta(tampered),
+            ReplicatedSnapshotStore::DeltaResult::kChecksumMismatch);
+  EXPECT_EQ(store.version(), 5u);
+  ExpectSameFrames(*store.current(), v5);
+
+  // A substituted row (right shape, wrong bytes) breaks the chain the
+  // same way — the forged doubles never become servable.
+  auto forged = MakeDelta(v5, v7);
+  forged.rows[0].bytes = v5.rows[1];
+  EXPECT_EQ(store.InstallDelta(forged),
+            ReplicatedSnapshotStore::DeltaResult::kChecksumMismatch);
+  EXPECT_EQ(store.version(), 5u);
+
+  // A malformed row length cannot even reach the checksum.
+  auto short_row = MakeDelta(v5, v7);
+  short_row.rows[0].bytes.pop_back();
+  EXPECT_EQ(store.InstallDelta(short_row),
+            ReplicatedSnapshotStore::DeltaResult::kBaseMismatch);
+  EXPECT_EQ(store.version(), 5u);
+  EXPECT_EQ(store.install_count(), 1u);
 }
 
 // --- store ------------------------------------------------------------------
@@ -167,12 +486,22 @@ class FederationTest : public ::testing::Test {
     policy_.SetThresholds(core::UsageThresholds{0.7, 0.9});
   }
 
-  /// Bumps the tracker's price version deterministically.
+  /// Bumps the tracker's price version deterministically. Every link's
+  /// price moves, so every p-distance row changes — full-push territory.
   void BumpVersion(int round) {
     std::vector<double> prices(graph_.link_count());
     for (std::size_t e = 0; e < prices.size(); ++e) {
       prices[e] = 1e-9 * (1.0 + static_cast<double>((round + 1) * (e + 1)));
     }
+    tracker_.SetStaticPrices(prices);
+  }
+
+  /// Reprices exactly one directed link on an otherwise flat price map:
+  /// only the rows routed across it change, so the publisher can ship a
+  /// delta (the first call changes everything — bootstrap accordingly).
+  void BumpOneLink(int round) {
+    std::vector<double> prices(graph_.link_count(), 1e-9);
+    prices[0] = 1e-9 * (2.0 + static_cast<double>(round));
     tracker_.SetStaticPrices(prices);
   }
 
@@ -258,6 +587,263 @@ TEST_F(FederationTest, PublishOncePushesAndCachesPerVersion) {
   EXPECT_EQ(publisher.push_count(), 2u);
   EXPECT_EQ(follower_.push_install_count(), 2u);
   EXPECT_EQ(publisher.push_failure_count(), 0u);
+}
+
+// --- content-version stamps (service side) ----------------------------------
+
+TEST_F(FederationTest, NoOpBumpCarriesContentStampsForward) {
+  BumpVersion(0);
+  const auto first = service_.ExportFrames();
+  EXPECT_EQ(first.version, tracker_.version());
+  EXPECT_EQ(first.view_version, first.version);
+  ASSERT_EQ(first.row_versions.size(), first.rows.size());
+  for (const auto rv : first.row_versions) EXPECT_EQ(rv, first.version);
+
+  // Background traffic does not enter p-distances: the bump burns a
+  // version but no row's bytes change, so every content stamp carries.
+  std::vector<double> background(graph_.link_count(), 1e6);
+  tracker_.set_background_bps(background);
+  const auto second = service_.ExportFrames();
+  EXPECT_EQ(second.version, first.version + 1);
+  EXPECT_EQ(second.view_version, first.version);
+  EXPECT_EQ(second.external_view, first.external_view);
+  EXPECT_EQ(second.rows, first.rows);
+  EXPECT_EQ(second.row_versions, first.row_versions);
+  EXPECT_NE(second.not_modified, first.not_modified);  // tracks the version
+
+  // Conditional serving honors content-version tokens across the no-op
+  // bump: a client holding the pre-bump view is told NotModified, not
+  // re-sent an identical matrix with a fresher stamp.
+  for (const auto& request :
+       {Encode(GetExternalViewReq{first.version}),
+        Encode(GetExternalViewReq{second.version}),
+        Encode(GetPDistancesReq{3, first.version}),
+        Encode(GetPDistancesReq{3, second.version})}) {
+    const auto decoded = Decode(service_.Handle(request));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_NE(std::get_if<NotModifiedResp>(&*decoded), nullptr);
+  }
+  // The UDP validation fast path stays strict current-version-only (its
+  // caching client pins the exact version, see caching_client.cc).
+  const auto datagram = service_.HandleValidationDatagram(
+      EncodeValidationRequest(ValidationRequest{1, first.version}));
+  ASSERT_TRUE(datagram.has_value());
+  const auto validation = DecodeValidationResponse(*datagram);
+  ASSERT_TRUE(validation.has_value());
+  EXPECT_EQ(validation->status, ValidationStatus::kRevalidateOverTcp);
+}
+
+TEST_F(FederationTest, PartialRepriceStampsOnlyTouchedRows) {
+  BumpVersion(0);
+  const auto first = service_.ExportFrames();
+
+  // Reprice exactly one directed link: only the rows whose routed paths
+  // cross it change. The rest keep their v1 bytes and stamps — the delta
+  // workload this PR exists for.
+  std::vector<double> prices(graph_.link_count());
+  for (std::size_t e = 0; e < prices.size(); ++e) {
+    prices[e] = 1e-9 * (1.0 + static_cast<double>(e + 1));  // BumpVersion(0)
+  }
+  prices[0] *= 3.0;
+  tracker_.SetStaticPrices(prices);
+  const auto second = service_.ExportFrames();
+  EXPECT_EQ(second.version, first.version + 1);
+  EXPECT_EQ(second.view_version, second.version);  // a row changed => view did
+
+  std::size_t changed = 0;
+  for (std::size_t i = 0; i < second.rows.size(); ++i) {
+    if (second.row_versions[i] == second.version) {
+      ++changed;
+      EXPECT_NE(second.rows[i], first.rows[i]);
+    } else {
+      EXPECT_EQ(second.row_versions[i], first.version);
+      EXPECT_EQ(second.rows[i], first.rows[i]);
+      // An unchanged row's old token still earns NotModified now.
+      const auto decoded = Decode(service_.Handle(
+          Encode(GetPDistancesReq{static_cast<core::Pid>(i), first.version})));
+      ASSERT_TRUE(decoded.has_value());
+      EXPECT_NE(std::get_if<NotModifiedResp>(&*decoded), nullptr);
+    }
+  }
+  EXPECT_GT(changed, 0u);
+  EXPECT_LT(changed, second.rows.size());
+}
+
+// --- publisher delta path ---------------------------------------------------
+
+TEST_F(FederationTest, PublishOnceShipsDeltasToAckedFollowers) {
+  SnapshotPublisher publisher(&service_);
+  publisher.AddFollower("b.example", 1,
+                        std::make_unique<InProcessTransport>(
+                            follower_.replication_handler()));
+
+  // Bootstrap: no acked base exists, so the first push is the full set.
+  BumpOneLink(0);
+  EXPECT_EQ(publisher.PublishOnce(), 1u);
+  EXPECT_EQ(publisher.full_frames_sent(), 1u);
+  EXPECT_EQ(publisher.delta_frames_sent(), 0u);
+
+  // From then on every version rides a delta, and the installed result is
+  // byte-identical to the publisher's own frames.
+  BumpOneLink(1);
+  EXPECT_EQ(publisher.PublishOnce(), 1u);
+  EXPECT_EQ(publisher.delta_frames_sent(), 1u);
+  EXPECT_EQ(publisher.full_frames_sent(), 1u);
+  EXPECT_EQ(follower_.delta_install_count(), 1u);
+  EXPECT_EQ(store_.version(), tracker_.version());
+  const auto frames = service_.ExportFrames();
+  EXPECT_EQ(FrameSetChecksum(*store_.current()), FrameSetChecksum(frames));
+  EXPECT_EQ(store_.current()->external_view, frames.external_view);
+  EXPECT_EQ(store_.current()->rows, frames.rows);
+
+  // Deltas are strictly smaller than the full frames they replace.
+  EXPECT_LT(publisher.delta_bytes_sent(), publisher.full_bytes_sent());
+
+  // A delta-disabled publisher (the conformance oracle) never sends one.
+  PublisherOptions full_only;
+  full_only.enable_delta = false;
+  ReplicatedSnapshotStore oracle_store;
+  SnapshotFollower oracle_follower(&oracle_store);
+  SnapshotPublisher oracle(&service_, full_only);
+  oracle.AddFollower("c.example", 2,
+                     std::make_unique<InProcessTransport>(
+                         oracle_follower.replication_handler()));
+  EXPECT_EQ(oracle.PublishOnce(), 1u);
+  BumpOneLink(2);
+  EXPECT_EQ(oracle.PublishOnce(), 1u);
+  EXPECT_EQ(oracle.delta_frames_sent(), 0u);
+  EXPECT_EQ(oracle.full_frames_sent(), 2u);
+}
+
+TEST_F(FederationTest, NeedFullSetAckTriggersSameRoundFullRetry) {
+  SnapshotPublisher publisher(&service_);
+  publisher.AddFollower("b.example", 1,
+                        std::make_unique<InProcessTransport>(
+                            follower_.replication_handler()));
+  BumpOneLink(0);
+  ASSERT_EQ(publisher.PublishOnce(), 1u);  // acked base: v1
+
+  // The follower quietly advances past the publisher's book-keeping (a
+  // direct pull the publisher never saw), so the next delta is computed
+  // against a base the follower no longer holds.
+  BumpOneLink(1);
+  InProcessTransport to_publisher(publisher.replication_handler());
+  ASSERT_TRUE(follower_.PullOnce(to_publisher));
+  ASSERT_EQ(store_.version(), tracker_.version());
+
+  BumpOneLink(2);
+  EXPECT_EQ(publisher.PublishOnce(), 1u);  // recovered within the round
+  EXPECT_EQ(store_.version(), tracker_.version());
+  EXPECT_EQ(publisher.delta_fallback_count(), 1u);
+  EXPECT_EQ(follower_.delta_fallback_count(), 1u);
+  const auto frames = service_.ExportFrames();
+  EXPECT_EQ(store_.current()->external_view, frames.external_view);
+
+  // The fallback is sticky only until an ack: the next publish goes back
+  // to the delta path.
+  BumpOneLink(3);
+  const auto deltas_before = publisher.delta_frames_sent();
+  EXPECT_EQ(publisher.PublishOnce(), 1u);
+  EXPECT_EQ(publisher.delta_frames_sent(), deltas_before + 1);
+  EXPECT_EQ(follower_.delta_install_count(), 1u + 1u);
+}
+
+TEST_F(FederationTest, ReplicationEndpointAcksDeltaOutcomes) {
+  BumpOneLink(0);
+  const auto v1 = service_.ExportFrames();
+  BumpOneLink(1);
+  const auto v2 = service_.ExportFrames();
+
+  // Build the delta the publisher would ship for 1 -> 2.
+  DeltaPush delta;
+  delta.base_version = v1.version;
+  delta.version = v2.version;
+  delta.view_version = v2.view_version;
+  delta.num_pids = v2.num_pids;
+  delta.not_modified = v2.not_modified;
+  delta.policy = v2.policy;
+  delta.result_checksum = FrameSetChecksum(v2);
+  for (std::size_t i = 0; i < v2.rows.size(); ++i) {
+    if (v2.row_versions[i] > v1.version) {
+      delta.rows.push_back(DeltaRow{static_cast<std::int32_t>(i),
+                                    v2.row_versions[i], v2.rows[i]});
+    }
+  }
+  const auto delta_bytes = EncodeDeltaPush(delta);
+
+  // Against an empty store: kNeedFullSet (no base), store untouched.
+  const auto no_base = DecodeFrameAck(follower_.HandleReplication(delta_bytes));
+  ASSERT_TRUE(no_base.has_value());
+  EXPECT_EQ(no_base->status, AckStatus::kNeedFullSet);
+  EXPECT_EQ(store_.version(), 0u);
+
+  // With the base installed: kInstalled.
+  ASSERT_TRUE(store_.Install(v1));
+  const auto installed = DecodeFrameAck(follower_.HandleReplication(delta_bytes));
+  ASSERT_TRUE(installed.has_value());
+  EXPECT_EQ(installed->status, AckStatus::kInstalled);
+  EXPECT_EQ(installed->version, v2.version);
+  EXPECT_EQ(store_.current()->external_view, v2.external_view);
+
+  // Re-delivered (duplicate) delta: kAlreadyCurrent, no rollback.
+  const auto duplicate = DecodeFrameAck(follower_.HandleReplication(delta_bytes));
+  ASSERT_TRUE(duplicate.has_value());
+  EXPECT_EQ(duplicate->status, AckStatus::kAlreadyCurrent);
+  EXPECT_EQ(store_.version(), v2.version);
+  EXPECT_EQ(follower_.delta_stale_count(), 1u);
+
+  // Corrupt delta frames get kRejected — never silence, never a crash.
+  auto corrupt = delta_bytes;
+  corrupt[corrupt.size() / 2] ^= 0x04;
+  const auto rejected = DecodeFrameAck(follower_.HandleReplication(corrupt));
+  ASSERT_TRUE(rejected.has_value());
+  EXPECT_EQ(rejected->status, AckStatus::kRejected);
+  EXPECT_EQ(store_.version(), v2.version);
+  EXPECT_EQ(follower_.push_rejected_count(), 1u);
+}
+
+TEST_F(FederationTest, PullsAreAnsweredWithDeltasWhenPossible) {
+  SnapshotPublisher publisher(&service_);
+  BumpOneLink(0);  // restamps every row (prices leave the constructor's map)
+  const auto base_version = tracker_.version();
+  // Content stamps are diff-based, so the service must see the base
+  // version before the next bump for the head's stamps to stay partial.
+  ASSERT_EQ(service_.ExportFrames().version, base_version);
+  BumpOneLink(1);  // restamps only the rows routed across link 0
+  const auto head_version = tracker_.version();
+
+  // A puller at the base gets a delta; want_full forces the full frame
+  // set; a current puller gets kAlreadyCurrent either way.
+  const auto delta_answer = publisher.HandleReplication(
+      EncodeFramePull(FramePull{base_version, false}));
+  EXPECT_EQ(PeekFederationTag(delta_answer), FederationTag::kDeltaPush);
+  const auto full_answer = publisher.HandleReplication(
+      EncodeFramePull(FramePull{base_version, true}));
+  EXPECT_EQ(PeekFederationTag(full_answer), FederationTag::kFramePush);
+  const auto current_answer = publisher.HandleReplication(
+      EncodeFramePull(FramePull{head_version, false}));
+  const auto ack = DecodeFrameAck(current_answer);
+  ASSERT_TRUE(ack.has_value());
+  EXPECT_EQ(ack->status, AckStatus::kAlreadyCurrent);
+  // A brand-new puller (version 0) can only be served the full set.
+  EXPECT_EQ(PeekFederationTag(
+                publisher.HandleReplication(EncodeFramePull(FramePull{0, false}))),
+            FederationTag::kFramePush);
+
+  // PullOnce rides the delta path end to end: install the current full
+  // set, advance one link, and the follow-up pull travels as a delta.
+  ASSERT_TRUE(DecodeFramePush(full_answer).has_value());
+  ASSERT_TRUE(store_.Install(*DecodeFramePush(
+      publisher.HandleReplication(EncodeFramePull(FramePull{0, true})))));
+  BumpOneLink(2);
+  InProcessTransport to_publisher(publisher.replication_handler());
+  ASSERT_TRUE(follower_.PullOnce(to_publisher));
+  EXPECT_EQ(store_.version(), tracker_.version());
+  EXPECT_EQ(follower_.delta_install_count(), 1u);
+  EXPECT_EQ(follower_.pull_install_count(), 1u);
+  const auto frames = service_.ExportFrames();
+  EXPECT_EQ(store_.current()->external_view, frames.external_view);
+  EXPECT_EQ(store_.current()->rows, frames.rows);
 }
 
 TEST_F(FederationTest, VersionListenerFiresOnEveryMutator) {

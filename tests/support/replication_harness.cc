@@ -1,0 +1,324 @@
+#include "support/replication_harness.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/itracker.h"
+#include "net/topology.h"
+#include "proto/federation.h"
+#include "proto/telemetry.h"
+#include "support/fault_injection.h"
+
+namespace p4p::testsupport {
+namespace {
+
+/// 64-bit FNV-1a fold for the replay digest.
+class Digest {
+ public:
+  void Fold(std::uint64_t value) {
+    for (int shift = 56; shift >= 0; shift -= 8) {
+      Byte(static_cast<std::uint8_t>(value >> shift));
+    }
+  }
+  void Fold(std::span<const std::uint8_t> bytes) {
+    Fold(static_cast<std::uint64_t>(bytes.size()));
+    for (const auto b : bytes) Byte(b);
+  }
+  std::uint64_t value() const { return hash_; }
+
+ private:
+  void Byte(std::uint8_t b) {
+    hash_ ^= b;
+    hash_ *= 1099511628211ULL;
+  }
+  std::uint64_t hash_ = 14695981039346656037ULL;
+};
+
+/// Byte-for-byte frame-set comparison; every differing field becomes one
+/// violation so a conformance failure names exactly what diverged.
+void CompareFrameSets(const proto::SnapshotFrameSet& got,
+                      const proto::SnapshotFrameSet& want, const std::string& label,
+                      std::vector<std::string>& violations) {
+  const auto fail = [&](const std::string& what) {
+    violations.push_back(label + ": " + what);
+  };
+  if (got.version != want.version) fail("version mismatch");
+  if (got.view_version != want.view_version) fail("view_version mismatch");
+  if (got.num_pids != want.num_pids) fail("num_pids mismatch");
+  if (got.not_modified != want.not_modified) fail("not_modified bytes differ");
+  if (got.external_view != want.external_view) fail("external_view bytes differ");
+  if (got.policy != want.policy) fail("policy bytes differ");
+  if (got.rows.size() != want.rows.size() ||
+      got.row_versions.size() != want.row_versions.size()) {
+    fail("row count mismatch");
+    return;
+  }
+  for (std::size_t i = 0; i < got.rows.size(); ++i) {
+    if (got.rows[i] != want.rows[i]) {
+      fail("row " + std::to_string(i) + " bytes differ");
+    }
+    if (got.row_versions[i] != want.row_versions[i]) {
+      fail("row " + std::to_string(i) + " content version differs");
+    }
+  }
+}
+
+}  // namespace
+
+LossyCallChannel::LossyCallChannel(proto::Handler backend, double drop_rate,
+                                   double corrupt_rate, std::uint64_t seed)
+    : backend_(std::move(backend)), drop_rate_(drop_rate),
+      corrupt_rate_(corrupt_rate), rng_(seed) {}
+
+std::vector<std::uint8_t> LossyCallChannel::Call(
+    std::span<const std::uint8_t> request) {
+  ++calls_;
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  if (u(rng_) < drop_rate_) {
+    ++drops_;
+    throw std::runtime_error("request lost");
+  }
+  std::vector<std::uint8_t> delivered(request.begin(), request.end());
+  if (!delivered.empty() && u(rng_) < corrupt_rate_) {
+    ++corruptions_;
+    FlipBit(delivered);
+  }
+  bytes_ += delivered.size();
+  auto response = backend_(delivered);
+  if (u(rng_) < drop_rate_) {
+    ++drops_;
+    throw std::runtime_error("response lost");
+  }
+  if (!response.empty() && u(rng_) < corrupt_rate_) {
+    ++corruptions_;
+    FlipBit(response);
+  }
+  bytes_ += response.size();
+  return response;
+}
+
+void LossyCallChannel::FlipBit(std::vector<std::uint8_t>& bytes) {
+  std::uniform_int_distribution<std::size_t> pick(0, bytes.size() * 8 - 1);
+  const std::size_t bit = pick(rng_);
+  bytes[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+}
+
+ReplicationScenarioResult RunReplicationScenario(
+    const ReplicationScenarioConfig& config) {
+  ReplicationScenarioResult result;
+  int round = -1;  // -1 = setup / post-run phases
+  const auto fail = [&](const std::string& what) {
+    std::ostringstream msg;
+    msg << "seed=" << config.seed << " drop=" << config.drop_rate
+        << " round=" << round << ": " << what;
+    result.violations.push_back(msg.str());
+  };
+
+  // --- publisher side: tracker in protected-link mode (Fig. 6), so the
+  // scripted loads reprice only the protected links and most versions touch
+  // a handful of p-distance rows — the workload deltas exist for.
+  net::Graph graph = net::MakeAbilene();
+  net::RoutingTable routing(graph);
+  core::ITrackerConfig tracker_config;
+  tracker_config.mode = core::PriceMode::kProtectedLink;
+  core::ITracker tracker(graph, routing, tracker_config);
+  const std::vector<net::LinkId> protected_links = {0, 5, 9};
+  for (const auto link : protected_links) {
+    tracker.ProtectLink(link, core::ProtectedLinkRule{0.5, 1.0, 0.1});
+  }
+  proto::ITrackerService service(&tracker);
+
+  // --- telemetry plane: a probe feeding the collector over a (possibly
+  // lossy) channel; the control loop drives reprice + delta publish.
+  proto::LinkLoadCollector collector(graph.link_count());
+  LossyCallChannel telemetry_channel(collector.handler(),
+                                     config.telemetry_drop_rate,
+                                     /*corrupt_rate=*/0.0, config.seed ^ 0x7E1EULL);
+  proto::LinkLoadReporter reporter(/*reporter_id=*/7, &telemetry_channel);
+
+  // --- follower under test: delta replication over lossy channels.
+  proto::ReplicatedSnapshotStore store_d;
+  proto::FollowerPortalService serve_d(&store_d);
+  proto::SnapshotFollower follower_d(&store_d);
+  proto::SnapshotPublisher delta_pub(&service);
+  delta_pub.AddFollower("delta.example", 1,
+                        std::make_unique<LossyCallChannel>(
+                            follower_d.replication_handler(), config.drop_rate,
+                            config.corrupt_rate, config.seed ^ 0xD317AULL));
+  LossyCallChannel pull_channel(delta_pub.replication_handler(), config.drop_rate,
+                                config.corrupt_rate, config.seed ^ 0x9D11ULL);
+
+  // --- oracle follower: full pushes only, clean channel — what the lossy
+  // delta follower must converge to byte for byte.
+  proto::ReplicatedSnapshotStore store_f;
+  proto::FollowerPortalService serve_f(&store_f);
+  proto::SnapshotFollower follower_f(&store_f);
+  proto::PublisherOptions full_only;
+  full_only.enable_delta = false;
+  proto::SnapshotPublisher oracle_pub(&service, full_only);
+  oracle_pub.AddFollower("oracle.example", 2,
+                         std::make_unique<proto::InProcessTransport>(
+                             follower_f.replication_handler()));
+
+  proto::PDistanceControlLoop loop(&tracker, &collector, &delta_pub);
+
+  // Beacons ride a faulty datagram link (drop/reorder/corrupt/delay).
+  std::mt19937_64 beacon_rng(config.seed ^ 0xB34C04ULL);
+  FaultProfile beacon_faults;
+  beacon_faults.drop_rate = config.drop_rate;
+  beacon_faults.reorder_rate = config.drop_rate / 2;
+  beacon_faults.corrupt_rate = config.corrupt_rate;
+  beacon_faults.delay_rate = 0.25;
+  FaultyDatagramLink beacon_link(beacon_faults, &beacon_rng);
+
+  // Truth map: version -> checksum of the frames published at it. Whatever
+  // the follower serves must checksum-match an entry, which is exactly the
+  // "complete set of one published version, never mixed" invariant.
+  std::map<std::uint64_t, std::uint32_t> truth;
+  Digest digest;
+  std::uint64_t last_version_d = 0;
+  int stale_streak = 0;
+
+  const auto view_request = proto::Encode(proto::GetExternalViewReq{});
+
+  for (round = 0; round < config.rounds; ++round) {
+    // Scripted feed: utilization on the protected links cycles below /
+    // around / above the 0.5 threshold, so prices rise some rounds, decay
+    // others, and stand still when a flush was lost. A couple of
+    // unprotected links report too (prices ignore them).
+    for (const auto link : protected_links) {
+      const double util = 0.25 + 0.45 * static_cast<double>((round + link) % 3);
+      reporter.Record(link, util * graph.link(link).capacity_bps);
+    }
+    reporter.Record(1, 0.3 * graph.link(1).capacity_bps);
+    reporter.Record(2, 0.6 * graph.link(2).capacity_bps);
+    reporter.Flush();  // a lost flush keeps the batch for the next round
+
+    if (loop.Tick()) ++result.updates;  // reprice + delta publish
+    delta_pub.PublishOnce();            // same-round retry of failed pushes
+    oracle_pub.PublishOnce();
+
+    {
+      const auto frames = service.ExportFrames();
+      truth.emplace(frames.version, proto::FrameSetChecksum(frames));
+    }
+
+    // Oracle lockstep: a clean full-push channel never lags the tracker.
+    if (store_f.version() != tracker.version()) {
+      fail("oracle follower lagged a clean channel");
+    }
+
+    // Beacon gap detection + anti-entropy pull over the lossy channel.
+    beacon_link.Push(delta_pub.BeaconFrame());
+    beacon_link.Tick();
+    while (auto datagram = beacon_link.Pop()) follower_d.HandleBeacon(*datagram);
+    if (follower_d.behind()) {
+      try {
+        follower_d.PullOnce(pull_channel);
+      } catch (const std::exception&) {
+      }
+    }
+
+    // --- per-round invariants on the lossy follower ---
+    const auto held = store_d.current();
+    if (store_d.version() < last_version_d) fail("installed version rolled back");
+    last_version_d = store_d.version();
+
+    if (held) {
+      const auto it = truth.find(held->version);
+      if (it == truth.end()) {
+        fail("follower holds a version the publisher never published");
+      } else if (proto::FrameSetChecksum(*held) != it->second) {
+        fail("held frames diverge from the published bytes (mixed set?)");
+      }
+    }
+
+    const auto response = serve_d.Handle(view_request);
+    const auto decoded = proto::Decode(response);
+    if (!decoded.has_value()) {
+      fail("follower served undecodable bytes");
+    } else if (std::get_if<proto::UnavailableResp>(&*decoded) != nullptr) {
+      if (held) fail("served Unavailable while holding installed frames");
+    } else if (const auto* view =
+                   std::get_if<proto::GetExternalViewResp>(&*decoded)) {
+      if (!held) {
+        fail("served a view with no installed frames");
+      } else {
+        if (response != held->external_view) {
+          fail("served view bytes differ from the installed frames");
+        }
+        if (view->version != held->view_version) {
+          fail("served view version is not the installed view_version");
+        }
+        // The served version token earns NotModified back (the
+        // content-version conditional path), and a row fetch comes from
+        // the same installed set — no torn reads across frames.
+        const auto conditional = proto::Decode(
+            serve_d.Handle(proto::Encode(proto::GetExternalViewReq{view->version})));
+        const auto* nm =
+            conditional ? std::get_if<proto::NotModifiedResp>(&*conditional) : nullptr;
+        if (nm == nullptr || nm->version != view->version) {
+          fail("view version token did not earn NotModified");
+        }
+        const auto pid = static_cast<core::Pid>(round % held->rows.size());
+        if (serve_d.Handle(proto::Encode(proto::GetPDistancesReq{pid})) !=
+            held->rows[static_cast<std::size_t>(pid)]) {
+          fail("served row bytes differ from the installed frames");
+        }
+      }
+    } else {
+      fail("unexpected response type from follower");
+    }
+
+    if (store_d.version() < tracker.version()) {
+      ++stale_streak;
+      result.max_staleness_rounds = std::max(result.max_staleness_rounds, stale_streak);
+    } else {
+      stale_streak = 0;
+    }
+
+    digest.Fold(store_d.version());
+    digest.Fold(store_f.version());
+    digest.Fold(response);
+    digest.Fold(serve_f.Handle(view_request));
+  }
+  round = -1;
+
+  // --- healing: once the channel is clean, anti-entropy converges and the
+  // delta-synced store is byte-for-byte the full-push oracle's.
+  proto::InProcessTransport clean_pull(delta_pub.replication_handler());
+  for (int attempt = 0; attempt < 64 && store_d.version() < tracker.version();
+       ++attempt) {
+    follower_d.PullOnce(clean_pull);
+  }
+  if (store_d.version() != tracker.version()) {
+    fail("anti-entropy over a clean channel did not converge");
+  }
+
+  const auto final_d = store_d.current();
+  const auto final_f = store_f.current();
+  if (!final_d || !final_f) {
+    fail("a follower ended the scenario with no installed frames");
+  } else {
+    CompareFrameSets(*final_d, *final_f, "delta follower vs full-push oracle",
+                     result.violations);
+    CompareFrameSets(*final_d, service.ExportFrames(),
+                     "delta follower vs publisher export", result.violations);
+  }
+
+  digest.Fold(store_d.version());
+  result.digest = digest.value();
+  result.final_version = store_d.version();
+  result.delta_installs = follower_d.delta_install_count();
+  result.delta_fallbacks = delta_pub.delta_fallback_count();
+  result.delta_frames_sent = delta_pub.delta_frames_sent();
+  result.full_frames_sent = delta_pub.full_frames_sent();
+  result.delta_bytes_sent = delta_pub.delta_bytes_sent();
+  result.full_bytes_sent = delta_pub.full_bytes_sent();
+  return result;
+}
+
+}  // namespace p4p::testsupport

@@ -1,0 +1,110 @@
+// Deterministic end-to-end replication conformance harness.
+//
+// RunReplicationScenario wires the full control loop the delta-replication
+// design promises — scripted telemetry -> LinkLoadCollector ->
+// PDistanceControlLoop -> ITracker reprice -> SnapshotPublisher delta push
+// -> follower install -> follower serving — across lossy channels, and
+// checks the safety invariants every round:
+//
+//   * the follower's served bytes always form one complete published frame
+//     set (checksum-matched against a truth map recorded at publish time):
+//     never a mixed set, never a version the publisher never produced;
+//   * installed versions are monotone — duplicated, reordered, or corrupt
+//     frames can delay convergence but never roll the follower back;
+//   * before the first install the follower sheds with UnavailableResp and
+//     nothing else;
+//   * a full-push-only oracle follower on a clean channel tracks the
+//     publisher in lockstep, and once the lossy channel heals the
+//     delta-sync follower converges to byte-for-byte the same frame set.
+//
+// Everything — fault decisions, telemetry, prices — is a pure function of
+// ReplicationScenarioConfig, so a scenario replays bit-for-bit (the result
+// digest folds every served byte). The harness is gtest-free: it reports
+// invariant violations as strings and the conformance suite asserts the
+// list is empty, so one seed's failure names the broken invariant instead
+// of an anonymous EXPECT deep in a loop.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "proto/transport.h"
+
+namespace p4p::testsupport {
+
+/// Request/response Transport wrapper with seeded faults: a dropped request
+/// or response throws (the TCP analogue of a lost datagram / reset
+/// connection), a corrupt one gets a single bit flipped. Deterministic
+/// given the seed and call sequence. Counts calls and forwarded bytes so
+/// harnesses can account wire cost per scenario.
+class LossyCallChannel final : public proto::Transport {
+ public:
+  LossyCallChannel(proto::Handler backend, double drop_rate, double corrupt_rate,
+                   std::uint64_t seed);
+
+  std::vector<std::uint8_t> Call(std::span<const std::uint8_t> request) override;
+
+  std::uint64_t call_count() const { return calls_; }
+  std::uint64_t drop_count() const { return drops_; }
+  std::uint64_t corrupt_count() const { return corruptions_; }
+  /// Request + response bytes that actually traversed the channel.
+  std::uint64_t bytes_forwarded() const { return bytes_; }
+
+ private:
+  void FlipBit(std::vector<std::uint8_t>& bytes);
+
+  proto::Handler backend_;
+  double drop_rate_;
+  double corrupt_rate_;
+  std::mt19937_64 rng_;
+  std::uint64_t calls_ = 0;
+  std::uint64_t drops_ = 0;
+  std::uint64_t corruptions_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+struct ReplicationScenarioConfig {
+  std::uint64_t seed = 1;
+  /// Drop rate of the delta push/pull channels to the follower under test.
+  double drop_rate = 0.0;
+  /// Single-bit corruption rate of the same channels (and the beacons).
+  double corrupt_rate = 0.0;
+  /// Drop rate of the probe->collector telemetry channel. A lost flush
+  /// keeps its batch buffered (sequence numbers make the retry safe), so
+  /// that round's tick is empty and no version is burned.
+  double telemetry_drop_rate = 0.0;
+  /// Control-loop ticks driven through the scripted telemetry feed.
+  int rounds = 30;
+};
+
+struct ReplicationScenarioResult {
+  /// Invariant violations, empty when the scenario held every guarantee.
+  /// Each entry names the round and the broken invariant.
+  std::vector<std::string> violations;
+  /// FNV-1a fold of every served byte and installed version across the
+  /// run — two runs of the same config must produce the same digest.
+  std::uint64_t digest = 0;
+  /// Publisher version after the final tick (== both stores after healing).
+  std::uint64_t final_version = 0;
+  /// Longest run of consecutive rounds the lossy follower lagged the
+  /// publisher (its staleness bound under this fault profile).
+  int max_staleness_rounds = 0;
+  /// Ticks that actually repriced (empty telemetry ticks don't).
+  std::uint64_t updates = 0;
+  // Replication accounting for the scenario's delta publisher.
+  std::uint64_t delta_installs = 0;
+  std::uint64_t delta_fallbacks = 0;
+  std::uint64_t delta_frames_sent = 0;
+  std::uint64_t full_frames_sent = 0;
+  std::uint64_t delta_bytes_sent = 0;
+  std::uint64_t full_bytes_sent = 0;
+};
+
+/// Runs one scripted scenario end to end (see file comment). Never throws
+/// on invariant failure — failures land in `violations`.
+ReplicationScenarioResult RunReplicationScenario(
+    const ReplicationScenarioConfig& config);
+
+}  // namespace p4p::testsupport

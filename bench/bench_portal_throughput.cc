@@ -23,6 +23,11 @@
 //                   summed — replicas model separate hosts), and the
 //                   publisher-kill continuity check (a token from the
 //                   publisher earns NotModified from a follower).
+//   * promotion   — a 3-replica failover cluster on a 50 ms lease; the
+//                   publisher dies, the next SRV candidate self-promotes
+//                   under a fenced term (fed_failover_promote_ms), and the
+//                   revived ex-publisher's republish is fenced
+//                   (fed_fenced_rejects_total).
 //
 // Emits BENCH_portal.json; P4P_BENCH_SCALE shrinks request counts.
 #include <netinet/in.h>
@@ -46,6 +51,7 @@
 #include "proto/caching_client.h"
 #include "proto/telemetry.h"
 #include "proto/directory.h"
+#include "proto/failover.h"
 #include "proto/federation.h"
 #include "proto/messages.h"
 #include "proto/resilient_client.h"
@@ -651,6 +657,151 @@ int Run() {
   std::printf("  control loop lag:                  p50 %7.2f ms (report -> tick -> follower current)\n",
               control_loop_lag_ms);
 
+  // --- publisher failover: a 3-replica cluster on a real clock with a
+  // 50 ms lease. The publisher goes silent; the next SRV candidate
+  // self-promotes with a fenced term and the measurement stops at the
+  // first fresh-term version its serving path answers for. The revived
+  // ex-publisher's republish must then bounce off the term fence.
+  double fed_failover_promote_ms = 0.0;
+  double fed_fenced_rejects_total = 0.0;
+  {
+    constexpr int kNodes = 3;
+    struct FailNode {
+      core::ITracker tracker;
+      proto::ITrackerService service;
+      proto::ReplicatedSnapshotStore store;
+      proto::SnapshotFollower follower;
+      std::unique_ptr<proto::FailoverCoordinator> coordinator;
+      std::atomic<bool> alive{true};
+      FailNode(net::Graph& g, net::RoutingTable& r)
+          : tracker(g, r), service(&tracker), follower(&store) {}
+    };
+    const auto wall = [] {
+      return std::chrono::duration<double>(Clock::now().time_since_epoch()).count();
+    };
+    proto::PortalDirectory dir;
+    std::vector<std::unique_ptr<FailNode>> nodes;
+    for (int i = 0; i < kNodes; ++i) {
+      nodes.push_back(std::make_unique<FailNode>(graph, routing));
+      dir.AddRecord("fo.isp", {"fo-" + std::to_string(i),
+                               static_cast<std::uint16_t>(7000 + i), i, 1});
+    }
+    for (int i = 0; i < kNodes; ++i) {
+      proto::FailoverOptions fo;
+      fo.domain = "fo.isp";
+      fo.self_target = "fo-" + std::to_string(i);
+      fo.self_port = static_cast<std::uint16_t>(7000 + i);
+      fo.lease_seconds = 0.05;
+      fo.stagger_seconds = 0.025;
+      auto& node = *nodes[static_cast<std::size_t>(i)];
+      node.coordinator = std::make_unique<proto::FailoverCoordinator>(
+          &node.tracker, &node.service, &node.store, &node.follower, &dir,
+          [&nodes](const std::string&,
+                   std::uint16_t port) -> std::unique_ptr<proto::Transport> {
+            const int dst = port - 7000;
+            if (dst < 0 || dst >= kNodes) return nullptr;
+            auto& peer = *nodes[static_cast<std::size_t>(dst)];
+            return std::make_unique<proto::InProcessTransport>(
+                [&peer](std::span<const std::uint8_t> request) {
+                  if (!peer.alive.load()) throw std::runtime_error("replica dead");
+                  return peer.coordinator->HandleReplication(request);
+                });
+          },
+          fo, wall);
+    }
+    const auto deliver_beacons = [&] {
+      for (int i = 0; i < kNodes; ++i) {
+        if (!nodes[static_cast<std::size_t>(i)]->alive.load()) continue;
+        const auto beacon =
+            nodes[static_cast<std::size_t>(i)]->coordinator->BeaconFrame();
+        if (!beacon) continue;
+        for (int j = 0; j < kNodes; ++j) {
+          if (j != i) nodes[static_cast<std::size_t>(j)]->follower.HandleBeacon(*beacon);
+        }
+      }
+    };
+    const auto spin_until = [&](const std::function<bool()>& done,
+                                const char* what) {
+      const auto deadline = Clock::now() + std::chrono::seconds(10);
+      while (!done()) {
+        if (Clock::now() > deadline) {
+          throw std::runtime_error(std::string("failover bench: timed out ") + what);
+        }
+        for (auto& node : nodes) {
+          if (node->alive.load()) node->coordinator->Tick();
+        }
+        deliver_beacons();
+        std::this_thread::sleep_for(std::chrono::microseconds(500));
+      }
+    };
+    // Bootstrap: rank 0 takes the first term and publishes one version.
+    spin_until(
+        [&] {
+          return nodes[0]->coordinator->role() ==
+                 proto::FailoverCoordinator::Role::kPublisher;
+        },
+        "waiting for the first promotion");
+    prices.assign(prices.size(), 3.0);
+    nodes[0]->tracker.SetStaticPrices(prices);
+    const std::uint64_t term0 = nodes[0]->coordinator->term();
+
+    // Kill it (beacon loss included) and time the succession end to end.
+    nodes[0]->alive.store(false);
+    const auto t0 = Clock::now();
+    int promoted = -1;
+    spin_until(
+        [&] {
+          for (int i = 1; i < kNodes; ++i) {
+            auto& node = *nodes[static_cast<std::size_t>(i)];
+            if (node.coordinator->role() ==
+                    proto::FailoverCoordinator::Role::kPublisher &&
+                node.coordinator->term() > term0) {
+              promoted = i;
+              return true;
+            }
+          }
+          return false;
+        },
+        "waiting for the successor");
+    fed_failover_promote_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+    auto& successor = *nodes[static_cast<std::size_t>(promoted)];
+    // The promoted serving path answers for a fresh-term token.
+    const auto answer = successor.service.HandleValidationDatagram(
+        proto::EncodeValidationRequest(
+            proto::ValidationRequest{1, successor.service.price_version()}));
+    const auto decoded =
+        answer ? proto::DecodeValidationResponse(*answer) : std::nullopt;
+    if (!decoded || decoded->status != proto::ValidationStatus::kNotModified) {
+      throw std::runtime_error("failover bench: promoted publisher not serving");
+    }
+
+    // The fence: the revived ex-publisher's republish is rejected, and the
+    // stale-term ack demotes it.
+    nodes[0]->alive.store(true);
+    std::uint64_t rejects_before = 0;
+    for (const auto& node : nodes) {
+      rejects_before += node->follower.stale_term_reject_count();
+    }
+    prices.assign(prices.size(), 4.0);
+    nodes[0]->tracker.SetStaticPrices(prices);  // listener republishes term0
+    if (auto* stale_pub = nodes[0]->coordinator->publisher()) {
+      stale_pub->PublishOnce();
+    }
+    for (const auto& node : nodes) {
+      fed_fenced_rejects_total += static_cast<double>(
+          node->follower.stale_term_reject_count());
+    }
+    fed_fenced_rejects_total -= static_cast<double>(rejects_before);
+    nodes[0]->coordinator->Tick();  // hears the fence, steps down
+    if (nodes[0]->coordinator->role() !=
+        proto::FailoverCoordinator::Role::kFollower) {
+      throw std::runtime_error("failover bench: fenced publisher did not demote");
+    }
+  }
+  std::printf("  publisher failover (50 ms lease):  promote %7.2f ms   fenced rejects %3.0f\n",
+              fed_failover_promote_ms, fed_fenced_rejects_total);
+
   const double speedup = baseline.rps > 0 ? hit.rps / baseline.rps : 0.0;
   const double udp_vs_tcp = validation.rps > 0 ? udp.rps / validation.rps : 0.0;
   std::printf("\n  version-hit vs baseline speedup: %.1fx\n", speedup);
@@ -666,6 +817,10 @@ int Run() {
        fed_kill_notmodified > 0},
       {"delta bytes per version vs full frame set", "<= 25%",
        Fmt("%.1f%%", 100.0 * delta_vs_full_ratio), delta_vs_full_ratio <= 0.25},
+      {"publisher failover: successor serving a fresh term", "<= 1500 ms",
+       Fmt("%.0f ms", fed_failover_promote_ms), fed_failover_promote_ms <= 1500.0},
+      {"publisher failover: stale-term republish fenced", ">= 1 reject",
+       Fmt("%.0f", fed_fenced_rejects_total), fed_fenced_rejects_total >= 1.0},
   });
 
   WriteBenchJson("BENCH_portal.json", {
@@ -697,14 +852,16 @@ int Run() {
                                           {"fed_frame_install_ns", fed_install_ns},
                                           {"fed_publisher_kill_notmodified", fed_kill_notmodified},
                                           {"fed_publisher_kill_latency_ms", fed_kill_latency_ms},
-                                          {"delta_bytes_per_version", delta_bytes_per_version},
                                           {"delta_full_frame_bytes", delta_full_frame_bytes},
                                           {"delta_vs_full_ratio", delta_vs_full_ratio},
-                                          {"control_loop_lag_ms", control_loop_lag_ms},
                                       });
+  // Replication-plane metrics live in BENCH_scalability.json only —
+  // committing them under two names invited the two copies to drift.
   MergeBenchJson("BENCH_scalability.json", {
                                                {"delta_bytes_per_version", delta_bytes_per_version},
                                                {"control_loop_lag_ms", control_loop_lag_ms},
+                                               {"fed_failover_promote_ms", fed_failover_promote_ms},
+                                               {"fed_fenced_rejects_total", fed_fenced_rejects_total},
                                            });
   return 0;
 }

@@ -67,6 +67,22 @@ void ITracker::NotifyVersionListeners(std::uint64_t version) const {
   for (const auto& listener : version_listeners_) listener(version);
 }
 
+std::uint64_t ITracker::AdvanceVersionTo(std::uint64_t version) {
+  std::uint64_t notify_version = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const std::uint64_t held = version_.load(std::memory_order_relaxed);
+    notify_version = std::max(held, version);
+    if (notify_version != held) {
+      version_.store(notify_version, std::memory_order_release);
+    }
+  }
+  // Notify even on a no-op floor: the caller (a promoting publisher's
+  // rebind) wants its listener kicked once at the resulting version.
+  NotifyVersionListeners(notify_version);
+  return notify_version;
+}
+
 double ITracker::price_unit() const {
   if (config_.objective == IspObjective::kBandwidthDistanceProduct) {
     // Price in "distance units": scale to the mean link distance so the

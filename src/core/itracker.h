@@ -172,6 +172,14 @@ class ITracker {
   using VersionListener = std::function<void(std::uint64_t)>;
   void RegisterVersionListener(VersionListener listener);
 
+  /// Floors the version counter at `version` (no-op when already past it)
+  /// and notifies listeners with the resulting version. A promoting
+  /// federation publisher calls this with term * kTermVersionStride so
+  /// every term mints version tokens from a disjoint range — the published
+  /// matrix is unchanged, only the token moves. Same thread-safety rules
+  /// as any mutator. Returns the version now current.
+  std::uint64_t AdvanceVersionTo(std::uint64_t version);
+
  private:
   double price_unit() const;
   double perturb(Pid i, Pid j, double value) const;

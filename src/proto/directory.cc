@@ -125,12 +125,22 @@ std::size_t PortalDirectory::UpdateVersionEpoch(const std::string& domain,
                                                 const std::string& target,
                                                 std::uint16_t port,
                                                 std::uint64_t version) {
+  return UpdateReplicaEpoch(domain, target, port, 0, version);
+}
+
+std::size_t PortalDirectory::UpdateReplicaEpoch(const std::string& domain,
+                                                const std::string& target,
+                                                std::uint16_t port,
+                                                std::uint64_t term,
+                                                std::uint64_t version) {
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = records_.find(domain);
   if (it == records_.end()) return 0;
   std::size_t updated = 0;
   for (auto& r : it->second) {
-    if (r.target == target && r.port == port && r.version_epoch < version) {
+    if (r.target == target && r.port == port &&
+        std::pair(r.term_epoch, r.version_epoch) < std::pair(term, version)) {
+      r.term_epoch = term;
       r.version_epoch = version;
       ++updated;
     }
@@ -150,6 +160,18 @@ std::uint64_t PortalDirectory::version_epoch(const std::string& domain,
   return 0;
 }
 
+std::uint64_t PortalDirectory::term_epoch(const std::string& domain,
+                                          const std::string& target,
+                                          std::uint16_t port) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = records_.find(domain);
+  if (it == records_.end()) return 0;
+  for (const auto& r : it->second) {
+    if (r.target == target && r.port == port) return r.term_epoch;
+  }
+  return 0;
+}
+
 std::uint64_t PortalDirectory::max_version_epoch(const std::string& domain) const {
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = records_.find(domain);
@@ -157,6 +179,18 @@ std::uint64_t PortalDirectory::max_version_epoch(const std::string& domain) cons
   std::uint64_t max_epoch = 0;
   for (const auto& r : it->second) max_epoch = std::max(max_epoch, r.version_epoch);
   return max_epoch;
+}
+
+std::pair<std::uint64_t, std::uint64_t> PortalDirectory::max_replica_epoch(
+    const std::string& domain) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = records_.find(domain);
+  std::pair<std::uint64_t, std::uint64_t> max_pair{0, 0};
+  if (it == records_.end()) return max_pair;
+  for (const auto& r : it->second) {
+    max_pair = std::max(max_pair, std::pair(r.term_epoch, r.version_epoch));
+  }
+  return max_pair;
 }
 
 std::size_t PortalDirectory::domain_count() const {

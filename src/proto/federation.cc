@@ -1,9 +1,11 @@
 #include "proto/federation.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <stdexcept>
 #include <tuple>
+#include <utility>
 
 #include "proto/messages.h"
 
@@ -90,6 +92,7 @@ class Fnv32 {
 
 std::uint32_t FrameSetChecksum(const SnapshotFrameSet& frames) {
   Fnv32 fnv;
+  fnv.u64(frames.term);
   fnv.u64(frames.version);
   fnv.u64(frames.view_version);
   fnv.u32(static_cast<std::uint32_t>(frames.num_pids));
@@ -106,11 +109,12 @@ std::uint32_t FrameSetChecksum(const SnapshotFrameSet& frames) {
 
 std::vector<std::uint8_t> EncodeFramePush(const SnapshotFrameSet& frames) {
   Writer w;
-  std::size_t payload = 8 + 8 + 4 + 4 + frames.external_view.size() + 4 +
+  std::size_t payload = 8 + 8 + 8 + 4 + 4 + frames.external_view.size() + 4 +
                         frames.not_modified.size() + 4 + 1 + 4 + frames.policy.size();
   for (const auto& row : frames.rows) payload += 8 + 4 + row.size();
   w.reserve(6 + payload + 4);
   FrameHeader(w, FederationTag::kFramePush);
+  w.u64(frames.term);
   w.u64(frames.version);
   w.u64(frames.view_version);
   w.i32(frames.num_pids);
@@ -131,6 +135,7 @@ std::optional<SnapshotFrameSet> DecodeFramePush(std::span<const std::uint8_t> by
   if (!payload) return std::nullopt;
   Reader r(*payload);
   SnapshotFrameSet frames;
+  frames.term = r.u64();
   frames.version = r.u64();
   frames.view_version = r.u64();
   frames.num_pids = r.i32();
@@ -156,11 +161,12 @@ std::optional<SnapshotFrameSet> DecodeFramePush(std::span<const std::uint8_t> by
 
 std::vector<std::uint8_t> EncodeDeltaPush(const DeltaPush& delta) {
   Writer w;
-  std::size_t payload = 8 + 8 + 8 + 4 + 4 + delta.not_modified.size() + 4 + 1 +
-                        4 + delta.policy.size() + 4;
+  std::size_t payload = 8 + 8 + 8 + 8 + 4 + 4 + delta.not_modified.size() + 4 +
+                        1 + 4 + delta.policy.size() + 4;
   for (const auto& row : delta.rows) payload += 4 + 8 + 4 + row.bytes.size();
   w.reserve(6 + payload + 4);
   FrameHeader(w, FederationTag::kDeltaPush);
+  w.u64(delta.term);
   w.u64(delta.base_version);
   w.u64(delta.version);
   w.u64(delta.view_version);
@@ -183,6 +189,7 @@ std::optional<DeltaPush> DecodeDeltaPush(std::span<const std::uint8_t> bytes) {
   if (!payload) return std::nullopt;
   Reader r(*payload);
   DeltaPush delta;
+  delta.term = r.u64();
   delta.base_version = r.u64();
   delta.version = r.u64();
   delta.view_version = r.u64();
@@ -225,10 +232,11 @@ std::optional<DeltaPush> DecodeDeltaPush(std::span<const std::uint8_t> bytes) {
 
 std::vector<std::uint8_t> EncodeFrameAck(const FrameAck& ack) {
   Writer w;
-  w.reserve(6 + 1 + 8 + 4);
+  w.reserve(6 + 1 + 8 + 8 + 4);
   FrameHeader(w, FederationTag::kFrameAck);
   w.u8(static_cast<std::uint8_t>(ack.status));
   w.u64(ack.version);
+  w.u64(ack.term);
   return Seal(w);
 }
 
@@ -239,9 +247,10 @@ std::optional<FrameAck> DecodeFrameAck(std::span<const std::uint8_t> bytes) {
   const std::uint8_t status = r.u8();
   FrameAck ack;
   ack.version = r.u64();
+  ack.term = r.u64();
   if (!r.done()) return std::nullopt;
   if (status < static_cast<std::uint8_t>(AckStatus::kInstalled) ||
-      status > static_cast<std::uint8_t>(AckStatus::kNeedFullSet)) {
+      status > static_cast<std::uint8_t>(AckStatus::kStaleTerm)) {
     return std::nullopt;
   }
   ack.status = static_cast<AckStatus>(status);
@@ -250,9 +259,10 @@ std::optional<FrameAck> DecodeFrameAck(std::span<const std::uint8_t> bytes) {
 
 std::vector<std::uint8_t> EncodeFramePull(const FramePull& pull) {
   Writer w;
-  w.reserve(6 + 8 + 1 + 4);
+  w.reserve(6 + 8 + 8 + 1 + 4);
   FrameHeader(w, FederationTag::kFramePull);
   w.u64(pull.have_version);
+  w.u64(pull.have_term);
   w.u8(pull.want_full ? 1 : 0);
   return Seal(w);
 }
@@ -263,6 +273,7 @@ std::optional<FramePull> DecodeFramePull(std::span<const std::uint8_t> bytes) {
   Reader r(*payload);
   FramePull pull;
   pull.have_version = r.u64();
+  pull.have_term = r.u64();
   const std::uint8_t want_full = r.u8();
   if (want_full > 1) return std::nullopt;
   pull.want_full = want_full == 1;
@@ -270,21 +281,24 @@ std::optional<FramePull> DecodeFramePull(std::span<const std::uint8_t> bytes) {
   return pull;
 }
 
-std::vector<std::uint8_t> EncodeBeacon(std::uint64_t version) {
+std::vector<std::uint8_t> EncodeBeacon(std::uint64_t term, std::uint64_t version) {
   Writer w;
-  w.reserve(6 + 8 + 4);
+  w.reserve(6 + 8 + 8 + 4);
   FrameHeader(w, FederationTag::kBeacon);
+  w.u64(term);
   w.u64(version);
   return Seal(w);
 }
 
-std::optional<std::uint64_t> DecodeBeacon(std::span<const std::uint8_t> datagram) {
+std::optional<BeaconInfo> DecodeBeacon(std::span<const std::uint8_t> datagram) {
   const auto payload = CheckedPayload(datagram, FederationTag::kBeacon);
   if (!payload) return std::nullopt;
   Reader r(*payload);
-  const std::uint64_t version = r.u64();
+  BeaconInfo info;
+  info.term = r.u64();
+  info.version = r.u64();
   if (!r.done()) return std::nullopt;
-  return version;
+  return info;
 }
 
 // --- ReplicatedSnapshotStore ------------------------------------------------
@@ -292,7 +306,8 @@ std::optional<std::uint64_t> DecodeBeacon(std::span<const std::uint8_t> datagram
 bool ReplicatedSnapshotStore::Install(SnapshotFrameSet frames) {
   std::lock_guard<std::mutex> lock(install_mu_);
   const auto held = current_.load(std::memory_order_acquire);
-  if (held && frames.version <= held->version) {
+  if (held && std::pair(frames.term, frames.version) <=
+                  std::pair(held->term, held->version)) {
     stale_installs_.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
@@ -325,13 +340,22 @@ ReplicatedSnapshotStore::DeltaResult ReplicatedSnapshotStore::InstallDelta(
     const DeltaPush& delta) {
   std::lock_guard<std::mutex> lock(install_mu_);
   const auto held = current_.load(std::memory_order_acquire);
-  if (held && delta.version <= held->version) {
+  // Fencing first: a delta from a term below the held one is a fenced
+  // ex-publisher's, whatever its version claims.
+  if (held && delta.term < held->term) {
+    stale_installs_.fetch_add(1, std::memory_order_relaxed);
+    return DeltaResult::kStaleTerm;
+  }
+  if (held && std::pair(delta.term, delta.version) <=
+                  std::pair(held->term, held->version)) {
     stale_installs_.fetch_add(1, std::memory_order_relaxed);
     return DeltaResult::kStale;
   }
-  // Exact-base rule: a delta applies to precisely the version it was
-  // computed against, never to "close enough".
-  if (!held || held->version != delta.base_version ||
+  // Exact-base rule: a delta applies to precisely the (term, version) it
+  // was computed against, never to "close enough" — deltas never span
+  // terms (the publisher's first export after promotion re-stamps every
+  // row, so a cross-term delta could not exist anyway).
+  if (!held || held->term != delta.term || held->version != delta.base_version ||
       held->num_pids != delta.num_pids ||
       held->rows.size() != static_cast<std::size_t>(delta.num_pids) ||
       held->row_versions.size() != held->rows.size()) {
@@ -381,6 +405,11 @@ ReplicatedSnapshotStore::DeltaResult ReplicatedSnapshotStore::InstallDelta(
 std::uint64_t ReplicatedSnapshotStore::version() const {
   const auto held = current_.load(std::memory_order_acquire);
   return held ? held->version : 0;
+}
+
+std::uint64_t ReplicatedSnapshotStore::term() const {
+  const auto held = current_.load(std::memory_order_acquire);
+  return held ? held->term : 0;
 }
 
 // --- FollowerPortalService --------------------------------------------------
@@ -494,69 +523,157 @@ SnapshotFollower::SnapshotFollower(ReplicatedSnapshotStore* store) : store_(stor
   }
 }
 
+std::uint64_t SnapshotFollower::ObserveTerm(std::uint64_t term) {
+  std::uint64_t known = fence_term_.load(std::memory_order_relaxed);
+  bool raised = false;
+  while (term > known) {
+    if (fence_term_.compare_exchange_weak(known, term,
+                                          std::memory_order_acq_rel)) {
+      raised = true;
+      break;
+    }
+  }
+  // Evidence of a newer publisher re-arms an exhausted retry loop: the
+  // endpoint worth pulling from just changed.
+  if (raised) ResetPullSchedule();
+  return std::max(term, known);
+}
+
+void SnapshotFollower::RaiseFenceTerm(std::uint64_t term) { ObserveTerm(term); }
+
 std::vector<std::uint8_t> SnapshotFollower::HandleReplication(
     std::span<const std::uint8_t> request) {
-  if (PeekFederationTag(request) == FederationTag::kDeltaPush) {
+  const auto tag = PeekFederationTag(request);
+  if (tag == FederationTag::kDeltaPush) {
     const auto delta = DecodeDeltaPush(request);
     if (!delta) {
       push_rejects_.fetch_add(1, std::memory_order_relaxed);
-      return EncodeFrameAck(FrameAck{AckStatus::kRejected, store_->version()});
+      return EncodeFrameAck(
+          FrameAck{AckStatus::kRejected, store_->version(), store_->term()});
+    }
+    const std::uint64_t fence = ObserveTerm(delta->term);
+    if (delta->term < fence) {
+      stale_term_rejects_.fetch_add(1, std::memory_order_relaxed);
+      return EncodeFrameAck(
+          FrameAck{AckStatus::kStaleTerm, store_->version(), fence});
     }
     switch (store_->InstallDelta(*delta)) {
       case ReplicatedSnapshotStore::DeltaResult::kInstalled:
         delta_installs_.fetch_add(1, std::memory_order_relaxed);
-        return EncodeFrameAck(FrameAck{AckStatus::kInstalled, store_->version()});
+        return EncodeFrameAck(
+            FrameAck{AckStatus::kInstalled, store_->version(), store_->term()});
       case ReplicatedSnapshotStore::DeltaResult::kStale:
         delta_stales_.fetch_add(1, std::memory_order_relaxed);
-        return EncodeFrameAck(FrameAck{AckStatus::kAlreadyCurrent, store_->version()});
+        return EncodeFrameAck(FrameAck{AckStatus::kAlreadyCurrent,
+                                       store_->version(), store_->term()});
+      case ReplicatedSnapshotStore::DeltaResult::kStaleTerm:
+        stale_term_rejects_.fetch_add(1, std::memory_order_relaxed);
+        return EncodeFrameAck(
+            FrameAck{AckStatus::kStaleTerm, store_->version(), store_->term()});
       case ReplicatedSnapshotStore::DeltaResult::kBaseMismatch:
       case ReplicatedSnapshotStore::DeltaResult::kChecksumMismatch:
         delta_fallbacks_.fetch_add(1, std::memory_order_relaxed);
-        return EncodeFrameAck(FrameAck{AckStatus::kNeedFullSet, store_->version()});
+        return EncodeFrameAck(
+            FrameAck{AckStatus::kNeedFullSet, store_->version(), store_->term()});
     }
     // Unreachable, but keeps -Wswitch honest without a default case.
-    return EncodeFrameAck(FrameAck{AckStatus::kRejected, store_->version()});
+    return EncodeFrameAck(
+        FrameAck{AckStatus::kRejected, store_->version(), store_->term()});
+  }
+  if (tag == FederationTag::kFramePull) {
+    // Promotion-time anti-entropy: a candidate collects the freshest held
+    // set from its peers before its first republish. Full set only — peers
+    // never compute deltas for each other.
+    const auto pull = DecodeFramePull(request);
+    if (!pull) {
+      push_rejects_.fetch_add(1, std::memory_order_relaxed);
+      return EncodeFrameAck(
+          FrameAck{AckStatus::kRejected, store_->version(), store_->term()});
+    }
+    const auto held = store_->current();
+    if (!held || std::pair(held->term, held->version) <=
+                     std::pair(pull->have_term, pull->have_version)) {
+      return EncodeFrameAck(FrameAck{AckStatus::kAlreadyCurrent,
+                                     held ? held->version : 0,
+                                     held ? held->term : 0});
+    }
+    pulls_served_.fetch_add(1, std::memory_order_relaxed);
+    return EncodeFramePush(*held);
   }
   auto frames = DecodeFramePush(request);
   if (!frames) {
     push_rejects_.fetch_add(1, std::memory_order_relaxed);
-    return EncodeFrameAck(FrameAck{AckStatus::kRejected, store_->version()});
+    return EncodeFrameAck(
+        FrameAck{AckStatus::kRejected, store_->version(), store_->term()});
+  }
+  const std::uint64_t fence = ObserveTerm(frames->term);
+  if (frames->term < fence) {
+    stale_term_rejects_.fetch_add(1, std::memory_order_relaxed);
+    return EncodeFrameAck(
+        FrameAck{AckStatus::kStaleTerm, store_->version(), fence});
   }
   if (store_->Install(std::move(*frames))) {
     push_installs_.fetch_add(1, std::memory_order_relaxed);
-    return EncodeFrameAck(FrameAck{AckStatus::kInstalled, store_->version()});
+    return EncodeFrameAck(
+        FrameAck{AckStatus::kInstalled, store_->version(), store_->term()});
   }
   push_stales_.fetch_add(1, std::memory_order_relaxed);
-  return EncodeFrameAck(FrameAck{AckStatus::kAlreadyCurrent, store_->version()});
+  return EncodeFrameAck(
+      FrameAck{AckStatus::kAlreadyCurrent, store_->version(), store_->term()});
 }
 
 std::optional<std::vector<std::uint8_t>> SnapshotFollower::HandleBeacon(
     std::span<const std::uint8_t> datagram) {
-  const auto version = DecodeBeacon(datagram);
-  if (version) {
+  const auto info = DecodeBeacon(datagram);
+  if (info) {
     beacons_.fetch_add(1, std::memory_order_relaxed);
-    // Monotone max: reordered beacons must not shrink the known horizon.
-    std::uint64_t known = beacon_version_.load(std::memory_order_relaxed);
-    while (*version > known &&
-           !beacon_version_.compare_exchange_weak(known, *version,
-                                                  std::memory_order_acq_rel)) {
+    ObserveTerm(info->term);
+    {
+      std::lock_guard<std::mutex> lock(beacon_mu_);
+      // Monotone lexicographic max: reordered beacons must not shrink the
+      // known horizon, and a new term resets the version axis.
+      if (std::pair(info->term, info->version) >
+          std::pair(beacon_horizon_.term, beacon_horizon_.version)) {
+        beacon_horizon_ = *info;
+      }
     }
+    // Observer runs outside every follower lock, so it may call back into
+    // the follower (RaiseFenceTerm, behind, ...) freely.
+    if (beacon_observer_) beacon_observer_(info->term, info->version);
   }
   return std::nullopt;
 }
 
+void SnapshotFollower::SetBeaconObserver(
+    std::function<void(std::uint64_t, std::uint64_t)> observer) {
+  beacon_observer_ = std::move(observer);
+}
+
+BeaconInfo SnapshotFollower::beacon_horizon() const {
+  std::lock_guard<std::mutex> lock(beacon_mu_);
+  return beacon_horizon_;
+}
+
 bool SnapshotFollower::behind() const {
-  return beacon_version_.load(std::memory_order_acquire) > store_->version();
+  const auto horizon = beacon_horizon();
+  const auto held = store_->current();
+  return std::pair(horizon.term, horizon.version) >
+         std::pair(held ? held->term : 0, held ? held->version : 0);
 }
 
 bool SnapshotFollower::PullOnce(Transport& publisher) {
   pulls_.fetch_add(1, std::memory_order_relaxed);
-  const auto response =
-      publisher.Call(EncodeFramePull(FramePull{store_->version(), false}));
+  const auto held = store_->current();
+  const FramePull have{held ? held->version : 0, held ? held->term : 0, false};
+  const auto response = publisher.Call(EncodeFramePull(have));
   const auto tag = PeekFederationTag(response);
   if (tag == FederationTag::kFramePush) {
     auto frames = DecodeFramePush(response);
-    if (frames && store_->Install(std::move(*frames))) {
+    if (!frames) return false;
+    // Pull answers are fenced like pushes: a stale-term publisher's set is
+    // never installed, however fresh its version claims to be.
+    if (frames->term < ObserveTerm(frames->term)) return false;
+    if (store_->Install(std::move(*frames))) {
       pull_installs_.fetch_add(1, std::memory_order_relaxed);
       return true;
     }
@@ -564,6 +681,7 @@ bool SnapshotFollower::PullOnce(Transport& publisher) {
   }
   if (tag == FederationTag::kDeltaPush) {
     if (const auto delta = DecodeDeltaPush(response)) {
+      if (delta->term < ObserveTerm(delta->term)) return false;
       switch (store_->InstallDelta(*delta)) {
         case ReplicatedSnapshotStore::DeltaResult::kInstalled:
           delta_installs_.fetch_add(1, std::memory_order_relaxed);
@@ -571,6 +689,9 @@ bool SnapshotFollower::PullOnce(Transport& publisher) {
           return true;
         case ReplicatedSnapshotStore::DeltaResult::kStale:
           delta_stales_.fetch_add(1, std::memory_order_relaxed);
+          return false;
+        case ReplicatedSnapshotStore::DeltaResult::kStaleTerm:
+          stale_term_rejects_.fetch_add(1, std::memory_order_relaxed);
           return false;
         case ReplicatedSnapshotStore::DeltaResult::kBaseMismatch:
         case ReplicatedSnapshotStore::DeltaResult::kChecksumMismatch:
@@ -581,11 +702,14 @@ bool SnapshotFollower::PullOnce(Transport& publisher) {
     // The delta answer could not advance us (our base moved between the
     // pull and the answer, or the chain broke): demand the full set once.
     pull_full_retries_.fetch_add(1, std::memory_order_relaxed);
-    const auto full =
-        publisher.Call(EncodeFramePull(FramePull{store_->version(), true}));
+    const auto now_held = store_->current();
+    const FramePull full_pull{now_held ? now_held->version : 0,
+                              now_held ? now_held->term : 0, true};
+    const auto full = publisher.Call(EncodeFramePull(full_pull));
     if (PeekFederationTag(full) == FederationTag::kFramePush) {
       auto frames = DecodeFramePush(full);
-      if (frames && store_->Install(std::move(*frames))) {
+      if (frames && frames->term >= ObserveTerm(frames->term) &&
+          store_->Install(std::move(*frames))) {
         pull_installs_.fetch_add(1, std::memory_order_relaxed);
         return true;
       }
@@ -596,11 +720,80 @@ bool SnapshotFollower::PullOnce(Transport& publisher) {
   return false;
 }
 
+void SnapshotFollower::ConfigurePullRetry(PullRetryOptions options,
+                                          std::uint64_t seed) {
+  std::lock_guard<std::mutex> lock(retry_mu_);
+  retry_options_ = options;
+  retry_configured_ = true;
+  retry_rng_.seed(seed ^ 0x9E3779B97F4A7C15ULL);
+  next_pull_due_ = 0.0;
+  consecutive_pull_failures_ = 0;
+}
+
+bool SnapshotFollower::PullDue(double now_seconds) const {
+  std::lock_guard<std::mutex> lock(retry_mu_);
+  if (!retry_configured_) return true;
+  if (retry_options_.max_attempts > 0 &&
+      consecutive_pull_failures_ >= retry_options_.max_attempts) {
+    return false;
+  }
+  return now_seconds >= next_pull_due_;
+}
+
+bool SnapshotFollower::TryPull(Transport& publisher, double now_seconds) {
+  if (!PullDue(now_seconds)) {
+    pull_backoff_skips_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  bool advanced = false;
+  try {
+    advanced = PullOnce(publisher);
+  } catch (const std::exception&) {
+    // A dead transport is exactly what the backoff exists for.
+  }
+  NotePullResult(advanced, now_seconds);
+  return advanced;
+}
+
+void SnapshotFollower::NotePullResult(bool advanced, double now_seconds) {
+  std::lock_guard<std::mutex> lock(retry_mu_);
+  if (!retry_configured_) return;
+  if (advanced) {
+    consecutive_pull_failures_ = 0;
+    next_pull_due_ = now_seconds;
+    return;
+  }
+  ++consecutive_pull_failures_;
+  if (retry_options_.max_attempts > 0 &&
+      consecutive_pull_failures_ >= retry_options_.max_attempts) {
+    if (consecutive_pull_failures_ == retry_options_.max_attempts) {
+      pull_retry_exhaustions_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return;
+  }
+  double delay = retry_options_.initial_backoff_seconds *
+                 std::pow(retry_options_.backoff_factor,
+                          consecutive_pull_failures_ - 1);
+  delay = std::min(delay, retry_options_.max_backoff_seconds);
+  if (retry_options_.jitter > 0.0) {
+    std::uniform_real_distribution<double> scale(1.0 - retry_options_.jitter,
+                                                 1.0 + retry_options_.jitter);
+    delay *= scale(retry_rng_);
+  }
+  next_pull_due_ = now_seconds + delay;
+}
+
+void SnapshotFollower::ResetPullSchedule() {
+  std::lock_guard<std::mutex> lock(retry_mu_);
+  consecutive_pull_failures_ = 0;
+  next_pull_due_ = 0.0;
+}
+
 // --- SnapshotPublisher ------------------------------------------------------
 
 SnapshotPublisher::SnapshotPublisher(const ITrackerService* service,
                                      PublisherOptions options)
-    : service_(service), options_(std::move(options)) {
+    : service_(service), options_(std::move(options)), term_(options_.term) {
   if (service_ == nullptr) {
     throw std::invalid_argument("SnapshotPublisher: null service");
   }
@@ -610,6 +803,43 @@ SnapshotPublisher::SnapshotPublisher(const ITrackerService* service,
     throw std::invalid_argument(
         "SnapshotPublisher: directory epoch updates need domain and self identity");
   }
+}
+
+std::uint64_t SnapshotPublisher::term() const {
+  return term_.load(std::memory_order_acquire);
+}
+
+void SnapshotPublisher::SetTerm(std::uint64_t term) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (term <= term_.load(std::memory_order_relaxed)) return;
+  term_.store(term, std::memory_order_release);
+  // Everything cached was stamped with the old term: drop it so the next
+  // publish re-exports and re-encodes under the new one.
+  frames_.reset();
+  push_frame_.reset();
+  delta_cache_.clear();
+  encoded_version_ = 0;
+  // Followers' held sets belong to the old term; deltas never span terms,
+  // so every follower starts over from a full push.
+  for (auto& follower : followers_) {
+    follower.acked_version = 0;
+    follower.needs_full = false;
+  }
+  // A promotion supersedes whatever fenced us before.
+  fenced_.store(false, std::memory_order_release);
+  observed_fence_term_.store(0, std::memory_order_release);
+}
+
+bool SnapshotPublisher::fenced() const {
+  return fenced_.load(std::memory_order_acquire);
+}
+
+std::uint64_t SnapshotPublisher::observed_fence_term() const {
+  return observed_fence_term_.load(std::memory_order_acquire);
+}
+
+std::uint64_t SnapshotPublisher::stale_term_ack_count() const {
+  return stale_term_acks_.load(std::memory_order_relaxed);
 }
 
 void SnapshotPublisher::AddFollower(std::string target, std::uint16_t port,
@@ -633,14 +863,20 @@ void SnapshotPublisher::RefreshLocked() {
   // ExportFrames reads the service's already-encoded response cache. The
   // per-base delta cache is valid only for one target version, so it drops
   // here too.
-  frames_ = std::make_shared<const SnapshotFrameSet>(service_->ExportFrames());
+  auto exported = service_->ExportFrames();
+  // ExportFrames is term-agnostic; the publisher stamps its term here, so
+  // the frames, their checksum, and every delta derived from them carry it.
+  exported.term = term_.load(std::memory_order_relaxed);
+  frames_ = std::make_shared<const SnapshotFrameSet>(std::move(exported));
   push_frame_ = std::make_shared<const std::vector<std::uint8_t>>(
       EncodeFramePush(*frames_));
   delta_cache_.clear();
   encoded_version_ = version;
   if (options_.directory != nullptr) {
-    options_.directory->UpdateVersionEpoch(options_.domain, options_.self_target,
-                                           options_.self_port, version);
+    options_.directory->UpdateReplicaEpoch(options_.domain, options_.self_target,
+                                           options_.self_port,
+                                           term_.load(std::memory_order_relaxed),
+                                           version);
   }
 }
 
@@ -661,6 +897,7 @@ SnapshotPublisher::DeltaFrameLocked(std::uint64_t base) {
   // follower's held set at `base` is a faithful copy of what was published
   // at `base` (monotone installs guarantee it), so no history is needed.
   DeltaPush delta;
+  delta.term = frames_->term;
   delta.base_version = base;
   delta.version = frames_->version;
   delta.view_version = frames_->view_version;
@@ -683,6 +920,9 @@ SnapshotPublisher::DeltaFrameLocked(std::uint64_t base) {
 }
 
 std::size_t SnapshotPublisher::PublishOnce() {
+  // A fenced publisher must not push: a higher-term publisher owns the
+  // followers now. The coordinator notices fenced() and demotes.
+  if (fenced_.load(std::memory_order_acquire)) return 0;
   std::lock_guard<std::mutex> lock(mu_);
   const auto frame = CurrentPushFrameLocked();
   const std::uint64_t version = encoded_version_;
@@ -723,13 +963,26 @@ std::size_t SnapshotPublisher::PublishOnce() {
         response = follower.channel->Call(*frame);
         ack = DecodeFrameAck(response);
       }
+      if (ack && ack->status == AckStatus::kStaleTerm) {
+        // Fenced: a higher-term publisher superseded us. Record the term we
+        // lost to and stop pushing — including to the remaining followers
+        // in this round; everything we would send is equally stale.
+        stale_term_acks_.fetch_add(1, std::memory_order_relaxed);
+        observed_fence_term_.store(
+            std::max(observed_fence_term_.load(std::memory_order_relaxed),
+                     ack->term),
+            std::memory_order_release);
+        fenced_.store(true, std::memory_order_release);
+        break;
+      }
       if (ack && (ack->status == AckStatus::kInstalled ||
                   ack->status == AckStatus::kAlreadyCurrent)) {
         follower.acked_version = std::max(follower.acked_version, ack->version);
         follower.needs_full = false;
         if (options_.directory != nullptr) {
-          options_.directory->UpdateVersionEpoch(options_.domain, follower.target,
-                                                 follower.port, ack->version);
+          options_.directory->UpdateReplicaEpoch(
+              options_.domain, follower.target, follower.port,
+              term_.load(std::memory_order_relaxed), ack->version);
         }
         if (follower.acked_version >= version) ++confirmed;
         continue;
@@ -750,22 +1003,29 @@ std::uint64_t SnapshotPublisher::published_version() const {
 }
 
 std::vector<std::uint8_t> SnapshotPublisher::BeaconFrame() const {
-  return EncodeBeacon(service_->price_version());
+  return EncodeBeacon(term_.load(std::memory_order_acquire),
+                      service_->price_version());
 }
 
 std::vector<std::uint8_t> SnapshotPublisher::HandleReplication(
     std::span<const std::uint8_t> request) {
   const auto pull = DecodeFramePull(request);
+  const std::uint64_t own_term = term_.load(std::memory_order_acquire);
   if (!pull) {
-    return EncodeFrameAck(FrameAck{AckStatus::kRejected, service_->price_version()});
+    return EncodeFrameAck(
+        FrameAck{AckStatus::kRejected, service_->price_version(), own_term});
   }
   std::lock_guard<std::mutex> lock(mu_);
   const auto frame = CurrentPushFrameLocked();
-  if (pull->have_version >= encoded_version_) {
-    return EncodeFrameAck(FrameAck{AckStatus::kAlreadyCurrent, encoded_version_});
+  if (std::pair(pull->have_term, pull->have_version) >=
+      std::pair(own_term, encoded_version_)) {
+    return EncodeFrameAck(
+        FrameAck{AckStatus::kAlreadyCurrent, encoded_version_, own_term});
   }
   pulls_served_.fetch_add(1, std::memory_order_relaxed);
-  if (options_.enable_delta && !pull->want_full) {
+  // Deltas are only meaningful within one term: a puller holding an older
+  // term's set gets the full frame set, whatever its version.
+  if (options_.enable_delta && !pull->want_full && pull->have_term == own_term) {
     if (const auto delta = DeltaFrameLocked(pull->have_version)) {
       ++delta_frames_sent_;
       delta_bytes_sent_ += delta->size();

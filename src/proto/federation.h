@@ -64,6 +64,7 @@
 #include <atomic>
 #include <map>
 #include <mutex>
+#include <random>
 
 #include "proto/directory.h"
 #include "proto/service.h"
@@ -72,6 +73,14 @@ namespace p4p::proto {
 
 /// First four bytes of every federation frame ("P4PF").
 inline constexpr std::uint32_t kFederationMagic = 0x50345046u;
+
+/// Version-token stride between publisher terms: on promotion the new
+/// publisher floors its tracker version at `term * kTermVersionStride`, so
+/// every term mints version tokens from a disjoint range and a client token
+/// can never collide between two split-brain publishers. 2^32 versions per
+/// term outlasts any realistic publisher lifetime (a reprice per second for
+/// ~136 years).
+inline constexpr std::uint64_t kTermVersionStride = 1ULL << 32;
 
 enum class FederationTag : std::uint8_t {
   kFramePush = 1,
@@ -88,22 +97,39 @@ enum class AckStatus : std::uint8_t {
   /// A delta could not apply (base mismatch or checksum-chain break): the
   /// held frames are untouched and the publisher should send the full set.
   kNeedFullSet = 4,
+  /// The push carried a term below the follower's fence (a newer publisher
+  /// exists): nothing installed, and the ack's `term` tells the fenced
+  /// ex-publisher what term superseded it, so it can demote itself.
+  kStaleTerm = 5,
 };
 
 struct FrameAck {
   AckStatus status = AckStatus::kRejected;
   /// The responder's installed version after handling the frame.
   std::uint64_t version = 0;
+  /// The responder's term: the held set's term for install/current acks,
+  /// the fencing term for kStaleTerm.
+  std::uint64_t term = 0;
 };
 
 struct FramePull {
   /// Version the follower already holds (0 = nothing); the publisher
   /// answers kAlreadyCurrent when nothing newer exists.
   std::uint64_t have_version = 0;
+  /// Term of the held set (0 = nothing / pre-federation). The responder
+  /// compares (have_term, have_version) lexicographically against its own
+  /// pair; deltas are only offered within the responder's own term.
+  std::uint64_t have_term = 0;
   /// Demand the full frame set (after a delta answer failed to apply);
   /// otherwise the publisher may answer with a delta on top of
   /// have_version.
   bool want_full = false;
+};
+
+/// Decoded kBeacon payload: the publisher's (term, version) heartbeat.
+struct BeaconInfo {
+  std::uint64_t term = 0;
+  std::uint64_t version = 0;
 };
 
 /// One changed row inside a delta: the complete replacement frame bytes
@@ -117,6 +143,10 @@ struct DeltaRow {
 /// A kDeltaPush payload: everything needed to advance a follower holding
 /// exactly `base_version` to `version` without resending unchanged rows.
 struct DeltaPush {
+  /// Publisher term producing the target set; the spliced result installs
+  /// at this term (lexicographic (term, version) ordering, same as full
+  /// pushes).
+  std::uint64_t term = 0;
   std::uint64_t base_version = 0;
   std::uint64_t version = 0;
   std::uint64_t view_version = 0;
@@ -154,8 +184,8 @@ std::optional<FrameAck> DecodeFrameAck(std::span<const std::uint8_t> bytes);
 std::vector<std::uint8_t> EncodeFramePull(const FramePull& pull);
 std::optional<FramePull> DecodeFramePull(std::span<const std::uint8_t> bytes);
 
-std::vector<std::uint8_t> EncodeBeacon(std::uint64_t version);
-std::optional<std::uint64_t> DecodeBeacon(std::span<const std::uint8_t> datagram);
+std::vector<std::uint8_t> EncodeBeacon(std::uint64_t term, std::uint64_t version);
+std::optional<BeaconInfo> DecodeBeacon(std::span<const std::uint8_t> datagram);
 
 /// Tag of a well-framed federation message (magic + protocol version
 /// checked, checksum NOT yet verified — dispatch only).
@@ -165,21 +195,26 @@ std::optional<FederationTag> PeekFederationTag(std::span<const std::uint8_t> byt
 
 /// Holds the latest installed SnapshotFrameSet behind an atomic shared_ptr:
 /// any number of serving threads read it lock-free while the replication
-/// path installs newer versions. Installs are monotone — a frame set whose
-/// version does not exceed the installed one is ignored, so duplicated or
-/// reordered pushes can never roll a follower back.
+/// path installs newer versions. Installs are monotone in the lexicographic
+/// (term, version) order — duplicated, reordered, or fenced-ex-publisher
+/// pushes can never roll a follower back or overwrite a newer term's
+/// frames. (The failover protocol additionally keeps raw versions monotone
+/// across terms via the kTermVersionStride floor, so version tokens never
+/// regress either; the store enforces the pair order, the chaos suite the
+/// token invariant.)
 class ReplicatedSnapshotStore {
  public:
   /// Outcome of a delta application attempt.
   enum class DeltaResult : std::uint8_t {
     kInstalled = 1,         ///< base matched, checksum verified, swapped in
-    kStale = 2,             ///< delta.version <= held version: duplicate/reorder
+    kStale = 2,             ///< (term, version) not newer: duplicate/reorder
     kBaseMismatch = 3,      ///< held version != base (or shape mismatch)
     kChecksumMismatch = 4,  ///< splice result failed the checksum chain
+    kStaleTerm = 5,         ///< delta.term below the held term: fenced
   };
 
-  /// Installs `frames` if strictly newer than the held version. Returns
-  /// true when installed.
+  /// Installs `frames` if (frames.term, frames.version) lexicographically
+  /// exceeds the held pair. Returns true when installed.
   bool Install(SnapshotFrameSet frames);
 
   /// Applies a delta on top of the held frame set. The held frames are
@@ -197,6 +232,8 @@ class ReplicatedSnapshotStore {
   }
   /// Version of the installed frame set (0 before the first install).
   std::uint64_t version() const;
+  /// Term of the installed frame set (0 before the first install).
+  std::uint64_t term() const;
   std::uint64_t install_count() const { return installs_.load(std::memory_order_relaxed); }
   /// Pushes ignored because their version did not exceed the held one.
   std::uint64_t stale_install_count() const {
@@ -248,10 +285,33 @@ class FollowerPortalService {
   SharedResponse not_synced_;
 };
 
-/// The follower's replication half: accepts frame pushes, watches version
-/// beacons for gaps, and pulls from the publisher to catch up. One
-/// SnapshotFollower feeds one ReplicatedSnapshotStore; handlers may run on
-/// transport threads concurrently with each other and with PullOnce.
+/// Jittered exponential backoff for a follower's anti-entropy re-pull
+/// loop, so a dead or unreachable publisher is probed ever more slowly
+/// instead of hammered every tick, and a bounded number of consecutive
+/// failures stops the loop entirely until new evidence of a live publisher
+/// (a beacon or a successful install) arrives.
+struct PullRetryOptions {
+  double initial_backoff_seconds = 0.1;
+  double backoff_factor = 2.0;
+  double max_backoff_seconds = 5.0;
+  /// Each delay is scaled by a factor drawn from [1-jitter, 1+jitter].
+  double jitter = 0.25;
+  /// Consecutive non-advancing pulls after which TryPull stops retrying
+  /// (until the schedule resets). 0 = no cap.
+  int max_attempts = 8;
+};
+
+/// The follower's replication half: accepts frame pushes, watches
+/// (term, version) beacons for gaps, pulls from the publisher to catch up,
+/// and serves its own held set to pulling peers (promotion-time
+/// anti-entropy). One SnapshotFollower feeds one ReplicatedSnapshotStore;
+/// handlers may run on transport threads concurrently with each other and
+/// with TryPull/PullOnce.
+///
+/// Term fencing: the follower tracks the highest term it has ever observed
+/// (beacons, pushes, installs). A push or delta whose term is below that
+/// fence is answered AckStatus::kStaleTerm without touching the store —
+/// the fenced ex-publisher learns the superseding term from the ack.
 class SnapshotFollower {
  public:
   /// `store` must outlive the follower.
@@ -259,10 +319,13 @@ class SnapshotFollower {
 
   /// Handler for the replication endpoint (a TcpServer or any request/
   /// response transport): installs FramePush or DeltaPush, answers
-  /// FrameAck. Malformed frames get AckStatus::kRejected — never silence,
-  /// so the publisher can tell a corrupt channel from a dead one. A delta
-  /// that cannot apply (wrong base, broken checksum chain) gets
-  /// AckStatus::kNeedFullSet and leaves the held frames untouched.
+  /// FrameAck, and serves FramePull from the held set (so a promoting
+  /// candidate can collect the freshest frames from its peers). Malformed
+  /// frames get AckStatus::kRejected — never silence, so the publisher can
+  /// tell a corrupt channel from a dead one. A delta that cannot apply
+  /// (wrong base, broken checksum chain) gets AckStatus::kNeedFullSet and
+  /// leaves the held frames untouched; a push below the term fence gets
+  /// AckStatus::kStaleTerm.
   std::vector<std::uint8_t> HandleReplication(std::span<const std::uint8_t> request);
   Handler replication_handler() {
     return [this](std::span<const std::uint8_t> req) { return HandleReplication(req); };
@@ -270,36 +333,73 @@ class SnapshotFollower {
 
   /// Consumes one version beacon datagram; never answers (returns
   /// std::nullopt always — beacons are fire-and-forget). Malformed or
-  /// corrupt beacons are dropped by checksum.
+  /// corrupt beacons are dropped by checksum. A valid beacon raises the
+  /// term fence, feeds gap detection, resets an exhausted pull schedule
+  /// when it announces a newer term, and is reported to the observer (the
+  /// failover coordinator's lease tracking).
   std::optional<std::vector<std::uint8_t>> HandleBeacon(
       std::span<const std::uint8_t> datagram);
   DatagramHandler beacon_handler() {
     return [this](std::span<const std::uint8_t> d) { return HandleBeacon(d); };
   }
 
-  /// True when a beacon announced a version newer than the installed one —
-  /// a push was lost and a pull is due.
+  /// Called with every structurally valid beacon's (term, version), after
+  /// the follower's own bookkeeping, outside its locks. Setup-time only.
+  void SetBeaconObserver(std::function<void(std::uint64_t, std::uint64_t)> observer);
+
+  /// True when a beacon announced a (term, version) lexicographically newer
+  /// than the installed pair — a push was lost and a pull is due.
   bool behind() const;
-  /// Highest version any beacon announced (0 = none seen).
-  std::uint64_t beacon_version() const {
-    return beacon_version_.load(std::memory_order_acquire);
-  }
+  /// Highest (term, version) any beacon announced (0/0 = none seen).
+  BeaconInfo beacon_horizon() const;
+  std::uint64_t beacon_version() const { return beacon_horizon().version; }
+
+  /// The highest term observed from any source (beacons, pushes, installs);
+  /// pushes below it are fenced off with kStaleTerm.
+  std::uint64_t fence_term() const { return fence_term_.load(std::memory_order_acquire); }
+  /// Raises the fence (idempotent, monotone) — the coordinator calls this
+  /// when it adopts a term on promotion.
+  void RaiseFenceTerm(std::uint64_t term);
 
   /// Anti-entropy catch-up: asks `publisher` (its replication endpoint) for
-  /// anything newer than the installed version and installs the answer.
-  /// The publisher may answer with a delta; if that delta cannot apply
-  /// (the follower's base moved, or the chain broke) the follower
+  /// anything newer than the installed (term, version) and installs the
+  /// answer. The publisher may answer with a delta; if that delta cannot
+  /// apply (the follower's base moved, or the chain broke) the follower
   /// immediately re-pulls with want_full set. Returns true when a newer
   /// version was installed. Throws what the transport throws; a malformed
-  /// answer returns false.
+  /// answer returns false. Does NOT consult the retry schedule — use
+  /// TryPull for backoff-gated pulling.
   bool PullOnce(Transport& publisher);
+
+  /// Configures the jittered-backoff retry schedule TryPull enforces.
+  /// Setup-time only.
+  void ConfigurePullRetry(PullRetryOptions options, std::uint64_t seed = 0);
+  /// Whether a TryPull at `now_seconds` would actually pull (the schedule
+  /// allows it and the attempt cap is not exhausted).
+  bool PullDue(double now_seconds) const;
+  /// Backoff-gated PullOnce: skips (returning false) while a backoff delay
+  /// is pending or the consecutive-failure cap is exhausted; otherwise
+  /// pulls, records the outcome (a transport throw or a non-advancing
+  /// answer backs off harder; an install resets the schedule), and never
+  /// propagates transport exceptions.
+  bool TryPull(Transport& publisher, double now_seconds);
 
   std::uint64_t push_install_count() const { return push_installs_.load(); }
   std::uint64_t push_stale_count() const { return push_stales_.load(); }
   std::uint64_t push_rejected_count() const { return push_rejects_.load(); }
+  /// Pushes/deltas refused because their term was below the fence.
+  std::uint64_t stale_term_reject_count() const { return stale_term_rejects_.load(); }
   std::uint64_t beacon_count() const { return beacons_.load(); }
   std::uint64_t pull_count() const { return pulls_.load(); }
   std::uint64_t pull_install_count() const { return pull_installs_.load(); }
+  /// Peer pulls answered from the held set.
+  std::uint64_t pull_served_count() const { return pulls_served_.load(); }
+  /// TryPull invocations skipped by the backoff schedule or attempt cap.
+  std::uint64_t pull_backoff_skip_count() const { return pull_backoff_skips_.load(); }
+  /// Times the consecutive-failure cap disarmed the retry loop.
+  std::uint64_t pull_retry_exhausted_count() const {
+    return pull_retry_exhaustions_.load();
+  }
   /// Deltas applied cleanly on top of the held base.
   std::uint64_t delta_install_count() const { return delta_installs_.load(); }
   /// Duplicate/reordered deltas ignored by monotonicity.
@@ -310,14 +410,36 @@ class SnapshotFollower {
   std::uint64_t pull_full_retry_count() const { return pull_full_retries_.load(); }
 
  private:
+  /// Raises the fence from any observation; returns the resulting fence.
+  std::uint64_t ObserveTerm(std::uint64_t term);
+  /// Records a TryPull outcome and schedules the next attempt.
+  void NotePullResult(bool advanced, double now_seconds);
+  /// Re-arms the retry schedule (new-term beacon, successful install).
+  void ResetPullSchedule();
+
   ReplicatedSnapshotStore* store_;
-  std::atomic<std::uint64_t> beacon_version_{0};
+  std::atomic<std::uint64_t> fence_term_{0};
+  std::function<void(std::uint64_t, std::uint64_t)> beacon_observer_;
+  /// Guards the beacon horizon pair (term + version must move together).
+  mutable std::mutex beacon_mu_;
+  BeaconInfo beacon_horizon_{};
+  /// Guards the retry schedule.
+  mutable std::mutex retry_mu_;
+  PullRetryOptions retry_options_{};
+  bool retry_configured_ = false;
+  std::mt19937_64 retry_rng_{0x9E3779B97F4A7C15ULL};
+  double next_pull_due_ = 0.0;
+  int consecutive_pull_failures_ = 0;
   std::atomic<std::uint64_t> push_installs_{0};
   std::atomic<std::uint64_t> push_stales_{0};
   std::atomic<std::uint64_t> push_rejects_{0};
+  std::atomic<std::uint64_t> stale_term_rejects_{0};
   std::atomic<std::uint64_t> beacons_{0};
   std::atomic<std::uint64_t> pulls_{0};
   std::atomic<std::uint64_t> pull_installs_{0};
+  std::atomic<std::uint64_t> pulls_served_{0};
+  std::atomic<std::uint64_t> pull_backoff_skips_{0};
+  std::atomic<std::uint64_t> pull_retry_exhaustions_{0};
   std::atomic<std::uint64_t> delta_installs_{0};
   std::atomic<std::uint64_t> delta_stales_{0};
   std::atomic<std::uint64_t> delta_fallbacks_{0};
@@ -338,6 +460,10 @@ struct PublisherOptions {
   /// fallback stays automatic). Disable to get a full-push-only publisher —
   /// the conformance suite's oracle.
   bool enable_delta = true;
+  /// The publisher's term, stamped into every push, delta, and beacon.
+  /// 0 keeps the pre-failover single-publisher behaviour; the failover
+  /// coordinator sets a real term via SetTerm on promotion.
+  std::uint64_t term = 0;
 };
 
 /// The publisher's replication half, layered on an ITrackerService: encodes
@@ -362,6 +488,24 @@ class SnapshotPublisher {
   void AddFollower(std::string target, std::uint16_t port,
                    std::unique_ptr<Transport> channel);
   std::size_t follower_count() const;
+
+  /// The term this publisher stamps into pushes, deltas, and beacons.
+  std::uint64_t term() const;
+  /// Adopts a (new, higher) term: invalidates the per-version frame caches
+  /// so the next publish re-stamps everything, clears every follower's
+  /// acked base (their held sets belong to an older term — deltas across
+  /// terms are never offered), and un-fences the publisher. The failover
+  /// coordinator calls this on promotion.
+  void SetTerm(std::uint64_t term);
+
+  /// True once any follower acked kStaleTerm: a higher-term publisher
+  /// exists and this one must stop publishing (the coordinator demotes it).
+  /// PublishOnce is a no-op while fenced.
+  bool fenced() const;
+  /// The superseding term learned from the kStaleTerm ack (0 = not fenced).
+  std::uint64_t observed_fence_term() const;
+  /// kStaleTerm acks received across all followers.
+  std::uint64_t stale_term_ack_count() const;
 
   /// Pushes the current version to every follower that has not acked it
   /// yet; followers already at the current version cost nothing. A failed
@@ -425,6 +569,12 @@ class SnapshotPublisher {
   const ITrackerService* service_;
   PublisherOptions options_;
   mutable std::mutex mu_;
+  /// Current term (starts at options_.term, moved by SetTerm). Atomic so
+  /// BeaconFrame/term() never need mu_.
+  std::atomic<std::uint64_t> term_{0};
+  std::atomic<bool> fenced_{false};
+  std::atomic<std::uint64_t> observed_fence_term_{0};
+  std::atomic<std::uint64_t> stale_term_acks_{0};
   std::uint64_t encoded_version_ = 0;
   /// The current version's exported frame set (delta source material).
   std::shared_ptr<const SnapshotFrameSet> frames_;

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <stdexcept>
 #include <thread>
+#include <utility>
 
 #include "proto/messages.h"
 
@@ -126,15 +127,20 @@ std::vector<std::uint8_t> ResilientPortalClient::Call(
     if (options_.prefer_fresh_replicas && !ordering.empty()) {
       // Demote laggards behind every up-to-date replica: a failover client
       // holding a current version token wants NotModified, which only a
-      // replica at the freshest known epoch can give it. Stable partition
-      // keeps SRV order within both groups; laggards stay reachable as the
-      // last resort.
-      std::uint64_t max_epoch = 0;
-      for (const auto& r : ordering) max_epoch = std::max(max_epoch, r.version_epoch);
-      if (max_epoch > 0) {
+      // replica at the freshest known epoch can give it. Freshness is the
+      // lexicographic (term_epoch, version_epoch) pair, so after a
+      // publisher failover the new term's confirmations outrank anything
+      // the fenced ex-publisher recorded. Stable partition keeps SRV order
+      // within both groups; laggards stay reachable as the last resort.
+      std::pair<std::uint64_t, std::uint64_t> max_epoch{0, 0};
+      for (const auto& r : ordering) {
+        max_epoch = std::max(max_epoch, std::pair(r.term_epoch, r.version_epoch));
+      }
+      if (max_epoch > std::pair<std::uint64_t, std::uint64_t>{0, 0}) {
         const auto first_laggard = std::stable_partition(
-            ordering.begin(), ordering.end(),
-            [max_epoch](const SrvRecord& r) { return r.version_epoch == max_epoch; });
+            ordering.begin(), ordering.end(), [max_epoch](const SrvRecord& r) {
+              return std::pair(r.term_epoch, r.version_epoch) == max_epoch;
+            });
         const auto demoted =
             static_cast<std::uint64_t>(std::distance(first_laggard, ordering.end()));
         if (demoted > 0) {

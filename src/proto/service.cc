@@ -130,6 +130,13 @@ ITrackerService::encoded_policy() const {
 
 std::uint64_t ITrackerService::price_version() const { return tracker_->version(); }
 
+void ITrackerService::ResetEncodedState() const {
+  std::lock_guard<std::mutex> lock(rebuild_mu_);
+  state_.store(nullptr, std::memory_order_release);
+  policy_cache_.store(nullptr, std::memory_order_release);
+  validation_cache_.store(nullptr, std::memory_order_release);
+}
+
 SnapshotFrameSet ITrackerService::ExportFrames() const {
   SnapshotFrameSet out;
   const auto state = encoded_state();

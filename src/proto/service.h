@@ -50,6 +50,11 @@ struct ServiceOptions {
 ///     version earns NotModified even when the portal's version counter has
 ///     moved past it, so no-op version bumps never re-send the matrix.
 struct SnapshotFrameSet {
+  /// Publisher term that produced this set (0 until a federation publisher
+  /// stamps it — ExportFrames itself is term-agnostic). Followers order
+  /// installs lexicographically by (term, version): a fenced ex-publisher's
+  /// frames can never overwrite a newer term's, whatever its version says.
+  std::uint64_t term = 0;
   std::uint64_t version = 0;
   /// Content version of external_view (== max over row_versions; `version`
   /// when the set has no rows).
@@ -124,6 +129,16 @@ class ITrackerService {
   /// per republish, not per request); the publisher encodes them into a
   /// push frame once per version.
   SnapshotFrameSet ExportFrames() const;
+
+  /// Drops every encoded cache, so the next rebuild re-stamps all rows at
+  /// the tracker's *current* version instead of carrying forward older
+  /// content stamps. A promoting failover coordinator calls this right
+  /// after flooring the tracker version at the new term's stride: content
+  /// stamps minted before promotion live in the replica's private version
+  /// space and could collide with tokens the old term published, which
+  /// would turn into silently-wrong NotModified answers. Not for the
+  /// steady-state path (it forfeits the row-diff delta economy once).
+  void ResetEncodedState() const;
 
  private:
   /// All p4p-distance responses for one price version, encoded once. Each

@@ -199,6 +199,20 @@ LinkLoadReporter::LinkLoadReporter(std::uint32_t reporter_id, Transport* collect
   }
 }
 
+LinkLoadReporter::LinkLoadReporter(std::uint32_t reporter_id,
+                                   CollectorResolver resolver,
+                                   int rebind_after_failures)
+    : reporter_id_(reporter_id), resolver_(std::move(resolver)),
+      rebind_after_failures_(rebind_after_failures), collector_(nullptr) {
+  if (!resolver_) {
+    throw std::invalid_argument("LinkLoadReporter: null collector resolver");
+  }
+  if (rebind_after_failures_ < 1) {
+    throw std::invalid_argument("LinkLoadReporter: rebind threshold must be >= 1");
+  }
+  collector_ = resolver_();
+}
+
 void LinkLoadReporter::Record(std::int32_t link, double bps) {
   if (link < 0 || !std::isfinite(bps) || bps < 0.0) {
     throw std::invalid_argument("LinkLoadReporter: bad sample");
@@ -215,6 +229,15 @@ std::size_t LinkLoadReporter::pending() const {
 bool LinkLoadReporter::Flush() {
   std::lock_guard<std::mutex> lock(mu_);
   if (pending_.empty()) return true;
+  if (collector_ == nullptr && resolver_) {
+    // An earlier rebind found no collector: try resolution again before
+    // giving up on this flush.
+    collector_ = resolver_();
+  }
+  if (collector_ == nullptr) {
+    flush_failures_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
   LinkLoadReport report;
   report.reporter = reporter_id_;
   report.seq = next_seq_;
@@ -227,8 +250,16 @@ bool LinkLoadReporter::Flush() {
     // lost attempt actually got through, the collector's seq gate makes
     // the retry a no-op instead of a double count.
     flush_failures_.fetch_add(1, std::memory_order_relaxed);
+    if (resolver_ && ++consecutive_transport_failures_ >= rebind_after_failures_) {
+      // The endpoint looks dead (publisher failover, restart): re-resolve
+      // and retry the retained batch against whatever is current now.
+      collector_ = resolver_();
+      consecutive_transport_failures_ = 0;
+      rebinds_.fetch_add(1, std::memory_order_relaxed);
+    }
     return false;
   }
+  consecutive_transport_failures_ = 0;
   const auto ack = DecodeTelemetryAck(response);
   if (!ack) {
     flush_failures_.fetch_add(1, std::memory_order_relaxed);
@@ -274,6 +305,11 @@ PDistanceControlLoop::PDistanceControlLoop(core::ITracker* tracker,
 }
 
 PDistanceControlLoop::~PDistanceControlLoop() { Stop(); }
+
+void PDistanceControlLoop::SetPublisher(SnapshotPublisher* publisher) {
+  std::lock_guard<std::mutex> lock(tick_mu_);
+  publisher_ = publisher;
+}
 
 bool PDistanceControlLoop::Tick() {
   std::lock_guard<std::mutex> lock(tick_mu_);

@@ -137,10 +137,27 @@ class LinkLoadCollector {
 
 /// Probe half: batches samples and flushes them as one sequenced report.
 /// Thread-safe; one reporter id per instance.
+///
+/// Failover: constructed with a resolver, the reporter re-resolves its
+/// collector endpoint after `rebind_after_failures` consecutive transport
+/// failures, so a publisher failover does not strand it retrying a batch
+/// against the dead publisher's collector forever. The retained batch is
+/// retried against the new endpoint, and the collector's stale-seq ack
+/// resynchronizes sequencing if the old collector had already counted it.
 class LinkLoadReporter {
  public:
-  /// `collector` must outlive the reporter.
+  /// Picks the current collector endpoint. Returning null means "no
+  /// collector known right now" — the reporter keeps its batch and retries
+  /// resolution on the next flush.
+  using CollectorResolver = std::function<Transport*()>;
+
+  /// Fixed-endpoint reporter; `collector` must outlive it.
   LinkLoadReporter(std::uint32_t reporter_id, Transport* collector);
+  /// Failover-aware reporter: `resolver` is consulted at construction and
+  /// again after `rebind_after_failures` consecutive transport failures.
+  /// Resolved transports must outlive their use.
+  LinkLoadReporter(std::uint32_t reporter_id, CollectorResolver resolver,
+                   int rebind_after_failures = 3);
 
   /// Buffers one sample (no I/O).
   void Record(std::int32_t link, double bps);
@@ -154,15 +171,21 @@ class LinkLoadReporter {
 
   std::uint64_t flush_count() const { return flushes_.load(); }
   std::uint64_t flush_failure_count() const { return flush_failures_.load(); }
+  /// Times the resolver was re-consulted after consecutive failures.
+  std::uint64_t rebind_count() const { return rebinds_.load(); }
 
  private:
   const std::uint32_t reporter_id_;
-  Transport* collector_;
+  CollectorResolver resolver_;
+  const int rebind_after_failures_ = 0;
   mutable std::mutex mu_;
+  Transport* collector_;
+  int consecutive_transport_failures_ = 0;
   std::vector<LinkLoadSample> pending_;
   std::uint64_t next_seq_ = 1;
   std::atomic<std::uint64_t> flushes_{0};
   std::atomic<std::uint64_t> flush_failures_{0};
+  std::atomic<std::uint64_t> rebinds_{0};
 };
 
 struct ControlLoopOptions {
@@ -196,6 +219,12 @@ class PDistanceControlLoop {
   /// One telemetry->reprice->publish cycle. Returns true when the tracker
   /// was updated (false on an empty tick with update_on_empty_tick off).
   bool Tick();
+
+  /// Rebinds the publish stage to `publisher` (null detaches it) — the
+  /// failover coordinator points the loop at the newly promoted publisher.
+  /// Serializes with ticks, so a publish in flight completes on the old
+  /// publisher before the swap.
+  void SetPublisher(SnapshotPublisher* publisher);
 
   /// Runs Tick() every `interval` on a background thread until Stop().
   void Start(std::chrono::milliseconds interval);

@@ -170,19 +170,28 @@ TEST_F(FederationCodecTest, AckPullBeaconRoundTrip) {
   ASSERT_TRUE(pull.has_value());
   EXPECT_EQ(pull->have_version, 4u);
   EXPECT_FALSE(pull->want_full);
-  const auto full_pull = DecodeFramePull(EncodeFramePull(FramePull{4, true}));
+  const auto full_pull =
+      DecodeFramePull(EncodeFramePull(FramePull{4, /*have_term=*/2, true}));
   ASSERT_TRUE(full_pull.has_value());
   EXPECT_TRUE(full_pull->want_full);
 
-  // The new ack status decodes; anything past it stays rejected.
+  // The newer ack statuses decode; anything past kStaleTerm stays rejected.
   const auto need_full =
       DecodeFrameAck(EncodeFrameAck(FrameAck{AckStatus::kNeedFullSet, 3}));
   ASSERT_TRUE(need_full.has_value());
   EXPECT_EQ(need_full->status, AckStatus::kNeedFullSet);
+  const auto stale_term =
+      DecodeFrameAck(EncodeFrameAck(FrameAck{AckStatus::kStaleTerm, 3, 7}));
+  ASSERT_TRUE(stale_term.has_value());
+  EXPECT_EQ(stale_term->status, AckStatus::kStaleTerm);
+  EXPECT_EQ(stale_term->term, 7u);
 
-  const auto beacon_bytes = EncodeBeacon(12);
+  const auto beacon_bytes = EncodeBeacon(3, 12);
   EXPECT_EQ(PeekFederationTag(beacon_bytes), FederationTag::kBeacon);
-  EXPECT_EQ(DecodeBeacon(beacon_bytes), 12u);
+  const auto beacon = DecodeBeacon(beacon_bytes);
+  ASSERT_TRUE(beacon.has_value());
+  EXPECT_EQ(beacon->term, 3u);
+  EXPECT_EQ(beacon->version, 12u);
 
   // Cross-tag decoding fails: a beacon is not an ack and vice versa.
   EXPECT_FALSE(DecodeFrameAck(beacon_bytes).has_value());
@@ -815,26 +824,26 @@ TEST_F(FederationTest, PullsAreAnsweredWithDeltasWhenPossible) {
   // A puller at the base gets a delta; want_full forces the full frame
   // set; a current puller gets kAlreadyCurrent either way.
   const auto delta_answer = publisher.HandleReplication(
-      EncodeFramePull(FramePull{base_version, false}));
+      EncodeFramePull(FramePull{base_version, 0, false}));
   EXPECT_EQ(PeekFederationTag(delta_answer), FederationTag::kDeltaPush);
   const auto full_answer = publisher.HandleReplication(
-      EncodeFramePull(FramePull{base_version, true}));
+      EncodeFramePull(FramePull{base_version, 0, true}));
   EXPECT_EQ(PeekFederationTag(full_answer), FederationTag::kFramePush);
   const auto current_answer = publisher.HandleReplication(
-      EncodeFramePull(FramePull{head_version, false}));
+      EncodeFramePull(FramePull{head_version, 0, false}));
   const auto ack = DecodeFrameAck(current_answer);
   ASSERT_TRUE(ack.has_value());
   EXPECT_EQ(ack->status, AckStatus::kAlreadyCurrent);
   // A brand-new puller (version 0) can only be served the full set.
   EXPECT_EQ(PeekFederationTag(
-                publisher.HandleReplication(EncodeFramePull(FramePull{0, false}))),
+                publisher.HandleReplication(EncodeFramePull(FramePull{0, 0, false}))),
             FederationTag::kFramePush);
 
   // PullOnce rides the delta path end to end: install the current full
   // set, advance one link, and the follow-up pull travels as a delta.
   ASSERT_TRUE(DecodeFramePush(full_answer).has_value());
   ASSERT_TRUE(store_.Install(*DecodeFramePush(
-      publisher.HandleReplication(EncodeFramePull(FramePull{0, true})))));
+      publisher.HandleReplication(EncodeFramePull(FramePull{0, 0, true})))));
   BumpOneLink(2);
   InProcessTransport to_publisher(publisher.replication_handler());
   ASSERT_TRUE(follower_.PullOnce(to_publisher));
@@ -883,7 +892,7 @@ TEST_F(FederationTest, BeaconGapDetectionTriggersPull) {
   EXPECT_EQ(follower_.pull_install_count(), 1u);
 
   // A stale (reordered) beacon never shrinks the known horizon.
-  follower_.HandleBeacon(EncodeBeacon(1));
+  follower_.HandleBeacon(EncodeBeacon(0, 1));
   EXPECT_EQ(follower_.beacon_version(), tracker_.version());
   // Corrupt beacons are dropped by checksum.
   auto corrupt = publisher.BeaconFrame();

@@ -107,4 +107,84 @@ struct ReplicationScenarioResult {
 ReplicationScenarioResult RunReplicationScenario(
     const ReplicationScenarioConfig& config);
 
+// --- failover chaos scenarios (DESIGN.md §13) -------------------------------
+//
+// RunFailoverScenario drives a whole replica cluster — every replica runs
+// the full stack (ITracker + service + store + follower + coordinator)
+// and starts as a follower — through crash/restart/partition schedules
+// over lossy channels, and proves the failover invariants every round:
+//
+//   * installs are monotone in the lexicographic (term, version) pair per
+//     store lifetime, and the raw version token never regresses either
+//     (the kTermVersionStride floor at promotion);
+//   * a replica only ever holds/serves a frame set some publisher actually
+//     published (checksum-matched against a truth map keyed by
+//     (term, version) — split-brain publishers both record truth, and the
+//     fence decides whose frames survive);
+//   * after every fault heals, exactly one publisher remains and every
+//     follower converges to its byte-identical frame set;
+//   * same-seed replay is bit-identical (the digest folds every served
+//     byte and installed pair).
+
+struct FailoverScenarioConfig {
+  std::uint64_t seed = 1;
+  /// Drop / single-bit-corruption rates of every replication channel and
+  /// of the beacon datagrams.
+  double drop_rate = 0.0;
+  double corrupt_rate = 0.0;
+  int rounds = 40;
+  /// Cluster size (2..8). SRV priority == replica index, so replica 0 is
+  /// the rank-0 candidate and the first publisher.
+  int replicas = 3;
+  /// Round at which the current publisher process is killed (-1 = never):
+  /// it stops ticking/beaconing and its endpoint throws. With drop_rate > 0
+  /// the kill lands mid-replication — followers sit at mixed acked bases.
+  int kill_publisher_round = -1;
+  /// Round at which the killed replica cold-restarts with empty state
+  /// (fresh store, fresh tracker, fence at 0) and must re-pull (-1 = never).
+  int revive_publisher_round = -1;
+  /// Round at which the current publisher is partitioned off alone, so the
+  /// majority side promotes and two self-believed publishers coexist
+  /// (-1 = never).
+  int partition_round = -1;
+  /// Round at which the partition heals: the fenced ex-publisher's pushes
+  /// must be rejected (kStaleTerm) and it must demote (-1 = never).
+  int heal_round = -1;
+  /// Lease/stagger driving the coordinators (injectable virtual clock).
+  double lease_seconds = 3.0;
+  double stagger_seconds = 1.0;
+  /// Virtual seconds per round.
+  double tick_seconds = 1.0;
+};
+
+struct FailoverScenarioResult {
+  /// Invariant violations, empty when the scenario held every guarantee.
+  std::vector<std::string> violations;
+  /// FNV-1a fold of roles, installed pairs, and served bytes across the
+  /// run — two runs of the same config must produce the same digest.
+  std::uint64_t digest = 0;
+  /// The surviving publisher's (term, version) after post-run settling.
+  std::uint64_t final_term = 0;
+  std::uint64_t final_version = 0;
+  /// Round of the first promotion ever (-1 = none happened).
+  int first_promote_round = -1;
+  /// Rounds from the scheduled disruption (kill or partition) to the first
+  /// new-term publisher (-1 = no disruption scheduled / never recovered).
+  int promote_latency_rounds = -1;
+  /// Role transitions across the whole run (cold-restarted replicas'
+  /// counts are accumulated before the rebuild).
+  std::uint64_t promotions = 0;
+  std::uint64_t demotions = 0;
+  /// Follower-side kStaleTerm rejections — the fence doing its job (what
+  /// the bench reports as fed_fenced_rejects_total).
+  std::uint64_t fenced_rejects = 0;
+  /// TryPull invocations the jittered-backoff schedule suppressed.
+  std::uint64_t pull_backoff_skips = 0;
+};
+
+/// Runs one failover chaos scenario end to end. Never throws on invariant
+/// failure — failures land in `violations`. Throws std::invalid_argument
+/// for out-of-range configs.
+FailoverScenarioResult RunFailoverScenario(const FailoverScenarioConfig& config);
+
 }  // namespace p4p::testsupport

@@ -5,11 +5,12 @@
 // 10k+ concurrent leechers; this bench drives the data plane at that
 // scale. Three scenarios:
 //
-//   1) Flagship swarm — Scaled(10000) leechers over ISP-B with AS-skewed,
-//      metro-concentrated placement and a residential access mix.
-//      Measures per-peer step cost and the incremental max-min speedup
-//      against periodically sampled full solves (bit-parity checked
-//      in-run; mismatches are a hard failure).
+//   1) Flagship swarm — Scaled(100000) leechers over ISP-B with AS-skewed,
+//      metro-concentrated placement and a residential access mix — the top
+//      of the locality-limit range. Measures per-peer step cost and the
+//      regime-adaptive max-min speedup against periodically sampled full
+//      solves (bit-parity checked in-run; mismatches are a hard failure),
+//      with gather/solve attribution from the allocator's counters.
 //   2) Heavy-tailed multi-swarm family — Zipf swarm sizes through the
 //      sharded runner. Wall scaling where the host has cores; on 1-core
 //      CI boxes the honest aggregate is the isolated-shard sum, same
@@ -95,7 +96,7 @@ int main() {
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
 
   // ---- 1) flagship swarm ----
-  const int leechers = bench::Scaled(10000);
+  const int leechers = bench::Scaled(100000);
   bench::PrintSubHeader(bench::Fmt("1) Flagship swarm: %d leechers, AS-skewed",
                                    leechers));
   const auto flagship = MakeFlagshipSwarm(graph, leechers);
@@ -111,6 +112,15 @@ int main() {
   big.rechoke_interval = 40.0;
   big.horizon = 1200.0;
   big.maxmin_full_sample_every = 37;
+  // The saturated flagship dirties ~88% of steps, so most recomputes take
+  // the dense cutover; dirty components that do stay incremental may solve
+  // in parallel where the host has cores (rates are bit-identical either
+  // way, so this only moves wall clock).
+  big.maxmin_solver_threads = hw > 1 ? static_cast<int>(std::min(hw, 4u)) : 1;
+  // With ~90% of flows dirtied per recompute, gathering before cutting over
+  // is pure waste: a 0.1 cutover makes the lower-bound shortcut route nearly
+  // every dirty pass straight to the dense solve with no BFS at all.
+  big.maxmin_dense_cutover = 0.1;
   big.rng_seed = 4242;
   sim::BitTorrentSimulator flagship_sim(graph, routing, big);
   core::NativeRandomSelector flagship_selector;
@@ -134,6 +144,18 @@ int main() {
               "%d mismatches, %.0f%% dirty steps — saturated regime)\n",
               flagship_speedup, flag.maxmin_full_samples,
               flag.maxmin_parity_mismatches, 100.0 * dirty_fraction);
+  // Phase attribution: where the allocator's recompute time actually went.
+  const double flag_recomputes = static_cast<double>(flag.maxmin_dense_solves +
+                                                     flag.maxmin_incremental_solves);
+  const double gather_ns_per_pass =
+      flag_recomputes > 0 ? flag.maxmin_gather_ns / flag_recomputes : 0.0;
+  const double solve_ns_per_pass =
+      flag_recomputes > 0 ? flag.maxmin_solve_ns / flag_recomputes : 0.0;
+  std::printf("  attribution: %.0f ns gather + %.0f ns solve per recompute "
+              "(%llu dense, %llu incremental)\n",
+              gather_ns_per_pass, solve_ns_per_pass,
+              static_cast<unsigned long long>(flag.maxmin_dense_solves),
+              static_cast<unsigned long long>(flag.maxmin_incremental_solves));
 
   // ---- 2) heavy-tailed multi-swarm family through the sharded runner ----
   bench::PrintSubHeader("2) Zipf multi-swarm family (sharded execution)");
@@ -299,9 +321,9 @@ int main() {
   }
 
   bench::PrintComparisons({
-      {"sustained swarm size", ">= 10k leechers in one swarm",
+      {"sustained swarm size", ">= 100k leechers in one swarm",
        bench::Fmt("%d leechers, %d rounds", leechers, flag.rounds),
-       leechers >= bench::Scaled(10000) && flag.rounds > 0},
+       leechers >= bench::Scaled(100000) && flag.rounds > 0},
       {"incremental max-min vs full solve", ">= 5x fleet median, bit-identical",
        bench::Fmt("%.1fx median, %.1fx flagship, %d mismatches", maxmin_speedup,
                   flagship_speedup,
@@ -310,6 +332,10 @@ int main() {
        maxmin_speedup >= 5.0 && flag.maxmin_parity_mismatches +
                                         fleet_mismatches + flash_mismatches ==
                                     0},
+      {"saturated-regime flagship", ">= 1.0x vs full-every-step (target 1.5x)",
+       bench::Fmt("%.2fx at %.0f%% dirty steps", flagship_speedup,
+                  100.0 * dirty_fraction),
+       flagship_speedup >= 1.0},
       {"multi-swarm sharded execution", "> 1x aggregate over 1 thread",
        bench::Fmt("%.2fx (%s)", multiswarm_scaling,
                   hw > 1 ? "wall" : "isolated aggregate"),
@@ -331,6 +357,11 @@ int main() {
           {"maxmin_incremental_speedup_x", maxmin_speedup},
           {"maxmin_flagship_speedup_x", flagship_speedup},
           {"maxmin_flagship_dirty_fraction", dirty_fraction},
+          {"maxmin_gather_ns", gather_ns_per_pass},
+          {"maxmin_solve_ns", solve_ns_per_pass},
+          {"maxmin_dense_solves", static_cast<double>(flag.maxmin_dense_solves)},
+          {"maxmin_incremental_solves",
+           static_cast<double>(flag.maxmin_incremental_solves)},
           {"maxmin_parity_mismatches",
            static_cast<double>(flag.maxmin_parity_mismatches + fleet_mismatches +
                                flash_mismatches)},

@@ -75,6 +75,8 @@ class Engine {
         rng_(cfg.rng_seed),
         alloc_(MakeCapacities(graph, specs)),
         interval_rec_(num_graph_links_, cfg.charging_interval_sec) {
+    alloc_.SetDenseCutover(cfg_.maxmin_dense_cutover);
+    alloc_.SetSolverThreads(cfg_.maxmin_solver_threads);
     joined_.assign(num_peers_, 0);
     departed_.assign(num_peers_, 0);
     completed_.assign(num_peers_, 0);
@@ -940,6 +942,10 @@ BitTorrentResult Engine::Run() {
                                  static_cast<double>(result_.maxmin_full_samples) *
                                  static_cast<double>(result_.rounds);
   }
+  result_.maxmin_gather_ns = static_cast<double>(alloc_.total_gather_ns());
+  result_.maxmin_solve_ns = static_cast<double>(alloc_.total_solve_ns());
+  result_.maxmin_dense_solves = alloc_.dense_solves();
+  result_.maxmin_incremental_solves = alloc_.incremental_solves();
   return std::move(result_);
 }
 

@@ -195,6 +195,10 @@ TEST(MaxMinIncremental, ValidationMatchesOracle) {
   const int s = inc.AddFlow(ok);
   EXPECT_THROW(inc.SetRateCap(s, -1.0), std::invalid_argument);
   EXPECT_THROW(inc.SetCapacity(0, -1.0), std::invalid_argument);
+  // Unknown link: same error contract as every other mutator (not the
+  // std::out_of_range a bare capacities_.at() would raise).
+  EXPECT_THROW(inc.SetCapacity(1, 5.0), std::invalid_argument);
+  EXPECT_THROW(inc.SetCapacity(-1, 5.0), std::invalid_argument);
   inc.RemoveFlow(s);
   EXPECT_THROW(inc.RemoveFlow(s), std::invalid_argument);
   EXPECT_THROW(inc.SetRateCap(s, 1.0), std::invalid_argument);

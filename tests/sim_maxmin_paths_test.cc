@@ -1,0 +1,313 @@
+// Solve-path coverage for IncrementalMaxMin: the dense cutover, the
+// incremental component path, and the parallel component solve must all be
+// bit-identical to the MaxMinFairRates oracle and to each other, at any
+// thread count. Every rate comparison here is EXPECT_EQ on doubles — the
+// contract is exact arithmetic replay, not tolerance.
+#include "sim/maxmin_incremental.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <memory>
+#include <random>
+
+#include "sim/maxmin.h"
+
+namespace p4p::sim {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct ChurnModel {
+  std::vector<double> capacities;
+  std::map<int, Flow> flows;  // slot -> flow
+};
+
+/// One churn step against `inc`, mirrored into `model`. Biased toward
+/// many small disjoint-ish components: flows pick links from a random
+/// narrow window so the incidence graph fragments.
+void ChurnStep(IncrementalMaxMin& inc, ChurnModel& model, std::mt19937_64& rng) {
+  const int num_links = static_cast<int>(model.capacities.size());
+  std::uniform_int_distribution<int> op_dist(0, 99);
+  std::uniform_real_distribution<double> cap_dist(0.5, 50.0);
+  std::uniform_int_distribution<int> link_dist(0, num_links - 1);
+  const int op = op_dist(rng);
+  if (op < 45 || model.flows.empty()) {
+    const int base = link_dist(rng);
+    std::uniform_int_distribution<int> len_dist(1, 4);
+    const int len = len_dist(rng);
+    std::vector<int> links;
+    for (int i = 0; i < len; ++i) {
+      const int l = (base + i * 3) % num_links;
+      if (std::find(links.begin(), links.end(), l) == links.end()) {
+        links.push_back(l);
+      }
+    }
+    double cap = kInf;
+    if (op_dist(rng) < 35) cap = cap_dist(rng) * 0.2;
+    const int slot = inc.AddFlow(links, cap);
+    ASSERT_TRUE(model.flows.emplace(slot, Flow{links, cap}).second);
+  } else if (op < 70) {
+    auto it = model.flows.begin();
+    std::advance(it, static_cast<long>(rng() % model.flows.size()));
+    inc.RemoveFlow(it->first);
+    model.flows.erase(it);
+  } else if (op < 85) {
+    auto it = model.flows.begin();
+    std::advance(it, static_cast<long>(rng() % model.flows.size()));
+    double cap = kInf;
+    if (it->second.links.empty() || op_dist(rng) < 70) cap = cap_dist(rng) * 0.2;
+    inc.SetRateCap(it->first, cap);
+    it->second.rate_cap = cap;
+  } else {
+    const int l = link_dist(rng);
+    const double c = cap_dist(rng);
+    inc.SetCapacity(l, c);
+    model.capacities[static_cast<std::size_t>(l)] = c;
+  }
+}
+
+void ExpectMatchesOracle(IncrementalMaxMin& inc, const ChurnModel& model) {
+  std::vector<Flow> flows;
+  flows.reserve(model.flows.size());
+  for (const auto& [slot, flow] : model.flows) flows.push_back(flow);
+  const auto expect = MaxMinFairRates(model.capacities, flows);
+  const auto rates = inc.Rates();
+  std::size_t i = 0;
+  for (const auto& [slot, flow] : model.flows) {
+    EXPECT_EQ(rates[static_cast<std::size_t>(slot)], expect[i])
+        << "slot " << slot << " diverged from oracle";
+    ++i;
+  }
+}
+
+/// Runs the shared churn script under one allocator configuration and
+/// returns the dense rate vector snapshot after every oracle checkpoint.
+std::vector<std::vector<double>> RunChurnScript(double cutover, int threads,
+                                                std::uint32_t seed,
+                                                bool check_oracle,
+                                                IncrementalMaxMin* out_probe
+                                                    [[maybe_unused]] = nullptr) {
+  std::mt19937_64 rng(seed);
+  ChurnModel model;
+  model.capacities.assign(32, 0.0);
+  std::uniform_real_distribution<double> cap_dist(0.5, 50.0);
+  for (double& c : model.capacities) c = cap_dist(rng);
+
+  IncrementalMaxMin inc(model.capacities);
+  inc.SetDenseCutover(cutover);
+  inc.SetSolverThreads(threads, /*min_parallel_flows=*/0);
+
+  std::vector<std::vector<double>> snapshots;
+  for (int step = 0; step < 300; ++step) {
+    ChurnStep(inc, model, rng);
+    if (step % 4 == 0 || step > 290) {
+      if (check_oracle) {
+        ExpectMatchesOracle(inc, model);
+      }
+      const auto rates = inc.Rates();
+      snapshots.emplace_back(rates.begin(), rates.end());
+    }
+  }
+  return snapshots;
+}
+
+TEST(MaxMinIncrementalPaths, DenseForcedBitIdenticalToOracle) {
+  // Cutover 0 forces the dense path on every dirty solve.
+  std::mt19937_64 rng(11);
+  ChurnModel model;
+  model.capacities.assign(24, 0.0);
+  std::uniform_real_distribution<double> cap_dist(0.5, 50.0);
+  for (double& c : model.capacities) c = cap_dist(rng);
+  IncrementalMaxMin inc(model.capacities);
+  inc.SetDenseCutover(0.0);
+  for (int step = 0; step < 250; ++step) {
+    ChurnStep(inc, model, rng);
+    if (step % 3 == 0) {
+      ExpectMatchesOracle(inc, model);
+      // Cutover 0 forces dense whenever any live flow is dirty; the only
+      // recomputes allowed to stay incremental are vacuous ones (a dirty
+      // link or removed flow whose component has no live flows left).
+      if (inc.last_path() == IncrementalMaxMin::SolvePath::kIncremental) {
+        EXPECT_EQ(inc.last_recomputed_flows(), 0u);
+      }
+    }
+  }
+  EXPECT_GT(inc.dense_solves(), 0u);
+}
+
+TEST(MaxMinIncrementalPaths, IncrementalForcedBitIdenticalToOracle) {
+  // Cutover >= 1 disables the dense path entirely.
+  std::mt19937_64 rng(12);
+  ChurnModel model;
+  model.capacities.assign(24, 0.0);
+  std::uniform_real_distribution<double> cap_dist(0.5, 50.0);
+  for (double& c : model.capacities) c = cap_dist(rng);
+  IncrementalMaxMin inc(model.capacities);
+  inc.SetDenseCutover(2.0);
+  for (int step = 0; step < 250; ++step) {
+    ChurnStep(inc, model, rng);
+    if (step % 3 == 0) ExpectMatchesOracle(inc, model);
+  }
+  EXPECT_GT(inc.incremental_solves(), 0u);
+  EXPECT_EQ(inc.dense_solves(), 0u);
+}
+
+TEST(MaxMinIncrementalPaths, AdaptivePathSwitchingStaysExact) {
+  // Default cutover: heavy churn bursts go dense, single-flow touches stay
+  // incremental, and every switch direction lands on oracle-exact rates.
+  std::mt19937_64 rng(13);
+  ChurnModel model;
+  model.capacities.assign(40, 0.0);
+  std::uniform_real_distribution<double> cap_dist(0.5, 50.0);
+  for (double& c : model.capacities) c = cap_dist(rng);
+  IncrementalMaxMin inc(model.capacities);
+  inc.SetDenseCutover(0.5);
+  for (int round = 0; round < 40; ++round) {
+    // Burst: many mutations at once (dirties a large fraction -> dense).
+    for (int i = 0; i < 12; ++i) ChurnStep(inc, model, rng);
+    ExpectMatchesOracle(inc, model);
+    // Trickle: single mutations (small dirty set -> incremental).
+    for (int i = 0; i < 3; ++i) {
+      ChurnStep(inc, model, rng);
+      ExpectMatchesOracle(inc, model);
+    }
+  }
+  EXPECT_GT(inc.dense_solves(), 0u) << "burst churn never triggered cutover";
+  EXPECT_GT(inc.incremental_solves(), 0u) << "trickle churn never stayed incremental";
+}
+
+TEST(MaxMinIncrementalPaths, CrossConfigBitIdentical) {
+  // The same churn script under forced-dense, adaptive, forced-incremental,
+  // and 4-thread configurations must produce byte-for-byte equal snapshots.
+  for (std::uint32_t seed : {21u, 22u, 23u}) {
+    const auto base = RunChurnScript(0.5, 1, seed, /*check_oracle=*/true);
+    const auto dense = RunChurnScript(0.0, 1, seed, false);
+    const auto incr = RunChurnScript(2.0, 1, seed, false);
+    const auto threaded = RunChurnScript(2.0, 4, seed, false);
+    ASSERT_EQ(base.size(), dense.size());
+    ASSERT_EQ(base.size(), incr.size());
+    ASSERT_EQ(base.size(), threaded.size());
+    for (std::size_t i = 0; i < base.size(); ++i) {
+      EXPECT_EQ(base[i], dense[i]) << "dense diverged at checkpoint " << i;
+      EXPECT_EQ(base[i], incr[i]) << "incremental diverged at checkpoint " << i;
+      EXPECT_EQ(base[i], threaded[i]) << "4-thread diverged at checkpoint " << i;
+    }
+  }
+}
+
+TEST(MaxMinIncrementalPaths, SetCapacityUnknownLinkThrowsInvalidArgument) {
+  IncrementalMaxMin inc({1.0, 2.0});
+  EXPECT_THROW(inc.SetCapacity(2, 1.0), std::invalid_argument);
+  EXPECT_THROW(inc.SetCapacity(-1, 1.0), std::invalid_argument);
+  EXPECT_THROW(inc.SetDenseCutover(-0.1), std::invalid_argument);
+}
+
+TEST(MaxMinIncrementalPaths, AttributionCountersAdvanceOnRecompute) {
+  IncrementalMaxMin inc({10.0, 5.0});
+  const std::vector<int> a = {0}, b = {1};
+  inc.AddFlow(a);
+  inc.AddFlow(b);
+  (void)inc.Rates();
+  EXPECT_GE(inc.last_gather_ns(), 0);
+  EXPECT_GE(inc.last_solve_ns(), 0);
+  const auto g1 = inc.total_gather_ns();
+  const auto s1 = inc.total_solve_ns();
+  // Clean call: attribution untouched.
+  (void)inc.Rates();
+  EXPECT_EQ(inc.total_gather_ns(), g1);
+  EXPECT_EQ(inc.total_solve_ns(), s1);
+  // Dirty call: cumulative totals only grow.
+  inc.SetCapacity(0, 8.0);
+  (void)inc.Rates();
+  EXPECT_GE(inc.total_gather_ns(), g1);
+  EXPECT_GE(inc.total_solve_ns(), s1);
+  EXPECT_EQ(inc.recompute_passes(), 2u);
+}
+
+TEST(MaxMinIncrementalParallel, BitIdenticalAcrossThreadCounts) {
+  // Many disjoint components (one per link pair), solved at 1/2/4 threads
+  // with the parallel floor disabled so the pool actually engages.
+  constexpr int kPairs = 64;
+  std::vector<double> capacities;
+  for (int p = 0; p < kPairs; ++p) {
+    capacities.push_back(10.0 + p);
+    capacities.push_back(4.0 + 0.25 * p);
+  }
+
+  std::vector<std::vector<double>> results;
+  std::size_t jobs_seen = 0;
+  for (int threads : {1, 2, 4}) {
+    IncrementalMaxMin inc(capacities);
+    inc.SetDenseCutover(2.0);  // keep it on the component path
+    inc.SetSolverThreads(threads, /*min_parallel_flows=*/0);
+    std::mt19937_64 rng(77);
+    std::uniform_real_distribution<double> cap_dist(0.2, 6.0);
+    for (int p = 0; p < kPairs; ++p) {
+      const std::vector<int> wide = {2 * p, 2 * p + 1}, narrow = {2 * p};
+      inc.AddFlow(wide);
+      inc.AddFlow(narrow);
+      inc.AddFlow(wide, cap_dist(rng));
+    }
+    (void)inc.Rates();
+    // Re-dirty every component at once so the recompute has kPairs
+    // independent jobs, then pull rates.
+    for (int p = 0; p < kPairs; ++p) inc.SetCapacity(2 * p + 1, cap_dist(rng));
+    const auto rates = inc.Rates();
+    results.emplace_back(rates.begin(), rates.end());
+    EXPECT_EQ(inc.last_components(), static_cast<std::size_t>(kPairs));
+    if (threads > 1) {
+      EXPECT_EQ(inc.last_parallel_jobs(), static_cast<std::size_t>(kPairs))
+          << "pool never engaged at " << threads << " threads";
+      jobs_seen += inc.last_parallel_jobs();
+    } else {
+      EXPECT_EQ(inc.last_parallel_jobs(), 0u);
+    }
+  }
+  ASSERT_GT(jobs_seen, 0u);
+  EXPECT_EQ(results[0], results[1]) << "2-thread rates diverged from 1-thread";
+  EXPECT_EQ(results[0], results[2]) << "4-thread rates diverged from 1-thread";
+}
+
+TEST(MaxMinIncrementalParallel, ParallelMatchesOracleUnderChurn) {
+  // Fragmented churn with the pool always on: exact oracle parity.
+  std::mt19937_64 rng(31);
+  ChurnModel model;
+  model.capacities.assign(48, 0.0);
+  std::uniform_real_distribution<double> cap_dist(0.5, 50.0);
+  for (double& c : model.capacities) c = cap_dist(rng);
+  IncrementalMaxMin inc(model.capacities);
+  inc.SetDenseCutover(2.0);
+  inc.SetSolverThreads(4, /*min_parallel_flows=*/0);
+  for (int step = 0; step < 300; ++step) {
+    ChurnStep(inc, model, rng);
+    if (step % 4 == 0) ExpectMatchesOracle(inc, model);
+  }
+  EXPECT_GT(inc.parallel_passes(), 0u) << "churn never produced a parallel pass";
+}
+
+TEST(MaxMinIncrementalParallel, PoolReconfigureMidStream) {
+  // Shrinking/growing the pool between recomputes keeps rates exact.
+  IncrementalMaxMin inc({10.0, 8.0, 6.0, 4.0});
+  const std::vector<int> a = {0, 1}, b = {2, 3};
+  const int fa = inc.AddFlow(a);
+  inc.AddFlow(b);
+  inc.SetSolverThreads(4, 0);
+  const auto r1 = inc.Rates();
+  const std::vector<double> snap1(r1.begin(), r1.end());
+  inc.SetSolverThreads(2, 0);
+  inc.SetRateCap(fa, 3.0);
+  inc.SetCapacity(3, 5.0);
+  (void)inc.Rates();
+  inc.SetSolverThreads(1, 0);
+  inc.SetRateCap(fa, kInf);
+  inc.SetCapacity(3, 4.0);
+  const auto r3 = inc.Rates();
+  const std::vector<double> snap3(r3.begin(), r3.end());
+  EXPECT_EQ(snap1, snap3) << "round-trip through pool reconfigs changed rates";
+}
+
+}  // namespace
+}  // namespace p4p::sim
